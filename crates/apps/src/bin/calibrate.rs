@@ -1,0 +1,35 @@
+//! Calibration harness: manifestation rates per bug and mode.
+
+use nodefz::Mode;
+use nodefz_apps::common::{RunCfg, Variant};
+
+fn main() {
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8}",
+        "bug", "nodeV", "nodeNFZ", "nodeFZ", "guided"
+    );
+    for case in nodefz_apps::registry() {
+        let mut rates = Vec::new();
+        for mode in [Mode::Vanilla, Mode::NoFuzz, Mode::Fuzz, Mode::Guided] {
+            let hits = (0..runs)
+                .filter(|&seed| {
+                    case.run(&RunCfg::new(mode.clone(), seed), Variant::Buggy)
+                        .manifested
+                })
+                .count();
+            rates.push(hits as f64 / runs as f64);
+        }
+        println!(
+            "{:<6} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            case.info().abbr,
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[3]
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Margin sweep for calibration: rates per margin for one bug.
+use nodefz::Mode;
+use nodefz_apps::common::{RunCfg, Variant};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "GHO".into());
+    let runs = 60;
+    println!("margin_us  nodeV  nodeFZ");
+    for margin in (2200..5200).step_by(300) {
+        std::env::set_var("NFZ_MARGIN_US", margin.to_string());
+        let case = nodefz_apps::registry()
+            .into_iter()
+            .find(|c| c.info().abbr == which)
+            .expect("bug");
+        let mut rates = Vec::new();
+        for mode in [Mode::Vanilla, Mode::Fuzz] {
+            let hits = (0..runs)
+                .filter(|&seed| {
+                    case.run(&RunCfg::new(mode.clone(), seed), Variant::Buggy)
+                        .manifested
+                })
+                .count();
+            rates.push(hits as f64 / runs as f64);
+        }
+        println!("{margin:>8} {:>6.2} {:>7.2}", rates[0], rates[1]);
+    }
+}

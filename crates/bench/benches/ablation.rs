@@ -1,0 +1,54 @@
+//! Ablation study (extension beyond the paper): how much does each fuzz
+//! mechanism contribute to bug manifestation?
+//!
+//! Disables one mechanism at a time from the standard parameterization.
+
+use nodefz::{FuzzParams, Mode};
+use nodefz_apps::common::{RunCfg, Variant};
+
+fn main() {
+    let runs: u64 = std::env::var("NODEFZ_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let configs: Vec<(&str, Mode)> = vec![
+        ("standard", Mode::Fuzz),
+        (
+            "-shuffle",
+            Mode::Custom(FuzzParams::standard().without_shuffle()),
+        ),
+        (
+            "-deferral",
+            Mode::Custom(FuzzParams::standard().without_deferral()),
+        ),
+        (
+            "-demux",
+            Mode::Custom(FuzzParams::standard().without_demux()),
+        ),
+    ];
+    println!("=== Ablation: manifestation rate with one mechanism disabled ({runs} runs) ===\n");
+    print!("{:<6}", "bug");
+    for (name, _) in &configs {
+        print!(" {name:>10}");
+    }
+    println!();
+    for case in nodefz_bench::registry() {
+        if !case.info().in_fig6 {
+            continue;
+        }
+        print!("{:<6}", case.info().abbr);
+        for (_, mode) in &configs {
+            let hits = (0..runs)
+                .filter(|&seed| {
+                    case.run(&RunCfg::new(mode.clone(), seed), Variant::Buggy)
+                        .manifested
+                })
+                .count();
+            print!(" {:>10.2}", hits as f64 / runs as f64);
+        }
+        println!();
+    }
+    println!(
+        "\nReading: a column lower than `standard` means that mechanism matters for that bug."
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 7: normalized Levenshtein distance between type schedules of
+//! repeated suite runs, nodeNFZ vs nodeFZ.
+//!
+//! Paper shape: nodeFZ increases schedule variation for every suite
+//! (CLF being the paper's own truncation-artifact outlier). An LD of 1.0
+//! would require schedules with nothing in common.
+
+fn main() {
+    let runs: u64 = std::env::var("NODEFZ_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let truncate: usize = std::env::var("NODEFZ_TRUNCATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(nodefz_trace::PAPER_TRUNCATION);
+    println!("=== Figure 7: pairwise normalized LD over {runs} suite runs (truncated to {truncate}) ===\n");
+    println!(
+        "{:<6} {:>8} {:>8} {:>9}   {}",
+        "suite", "nodeNFZ", "nodeFZ", "mean len", "nodeFZ LD"
+    );
+    let rows = nodefz_bench::fig7(runs, truncate);
+    let mut increased = 0;
+    for r in &rows {
+        println!(
+            "{:<6} {:>8.3} {:>8.3} {:>9.0}   |{}|",
+            r.abbr,
+            r.nofuzz_ld,
+            r.fuzz_ld,
+            r.mean_len,
+            nodefz_bench::bar(r.fuzz_ld, 0.5, 30)
+        );
+        if r.fuzz_ld > r.nofuzz_ld {
+            increased += 1;
+        }
+    }
+    println!(
+        "\nnodeFZ increased schedule variation for {increased}/{} suites (paper: all but CLF).",
+        rows.len()
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 8: normalized performance overhead of running each suite under
+//! nodeV, nodeNFZ and nodeFZ.
+//!
+//! Paper shape: nodeNFZ is comparable to nodeV; nodeFZ costs up to ~1.5x
+//! (delay injection and extra loop iterations).
+
+fn main() {
+    let iters: u64 = std::env::var("NODEFZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    println!("=== Figure 8: normalized suite wall-clock over {iters} runs (nodeV = 1.0) ===\n");
+    println!(
+        "{:<6} {:>10} {:>8} {:>7}   {}",
+        "suite", "nodeV (ms)", "nodeNFZ", "nodeFZ", "nodeFZ overhead"
+    );
+    let rows = nodefz_bench::fig8(iters);
+    for r in &rows {
+        println!(
+            "{:<6} {:>10.3} {:>8.2} {:>7.2}   |{}|",
+            r.abbr,
+            r.vanilla_s * 1e3,
+            r.nofuzz_rel,
+            r.fuzz_rel,
+            nodefz_bench::bar(r.fuzz_rel, 2.0, 30)
+        );
+    }
+    let worst = rows.iter().map(|r| r.fuzz_rel).fold(0.0f64, f64::max);
+    println!("\nWorst nodeFZ overhead: {worst:.2}x (paper: up to ~1.5x).");
+}

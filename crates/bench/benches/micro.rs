@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the runtime and analysis kernels:
+//! event-loop dispatch throughput under each scheduler, worker-pool
+//! throughput, network echo throughput, and Levenshtein distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nodefz::Mode;
+use nodefz_net::{Client, SimNet};
+use nodefz_rt::{LoopConfig, VDur};
+use nodefz_trace::{levenshtein, levenshtein_banded};
+
+fn bench_timer_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timer_dispatch_1k");
+    for mode in [Mode::Vanilla, Mode::NoFuzz, Mode::Fuzz] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, mode| {
+                b.iter(|| {
+                    let mut el = mode.build_loop(LoopConfig::seeded(1), 7);
+                    el.enter(|cx| {
+                        for i in 0..1_000u64 {
+                            cx.set_timeout(VDur::micros(i), |_| {});
+                        }
+                    });
+                    let report = el.run();
+                    assert!(report.dispatched >= 1_000);
+                    report.dispatched
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pool_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_500_tasks");
+    for mode in [Mode::Vanilla, Mode::Fuzz] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, mode| {
+                b.iter(|| {
+                    let mut el = mode.build_loop(LoopConfig::seeded(2), 9);
+                    el.enter(|cx| {
+                        for _ in 0..500 {
+                            cx.submit_work(VDur::micros(50), |_| (), |_, ()| {})
+                                .unwrap();
+                        }
+                    });
+                    let report = el.run();
+                    assert_eq!(report.pool.completed, 500);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_net_echo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_echo_100_msgs");
+    for mode in [Mode::Vanilla, Mode::Fuzz] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, mode| {
+                b.iter(|| {
+                    let mut el = mode.build_loop(LoopConfig::seeded(3), 11);
+                    let net = SimNet::new();
+                    let n = net.clone();
+                    el.enter(move |cx| {
+                        n.listen(cx, 80, |_cx, conn| {
+                            conn.on_data(|cx, conn, msg| {
+                                let _ = conn.write(cx, msg.clone());
+                            });
+                        })
+                        .unwrap();
+                    });
+                    let client = el.enter(|cx| {
+                        let c = Client::connect(cx, &net, 80);
+                        for i in 0..100u8 {
+                            c.send(cx, vec![i]);
+                        }
+                        c.close_after(cx, VDur::millis(500));
+                        c
+                    });
+                    el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(600)));
+                    el.run();
+                    assert_eq!(client.received().len(), 100);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_levenshtein(c: &mut Criterion) {
+    // Deterministic pseudo-random schedules.
+    let mut x: u64 = 42;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 33) as u8 % 8 + b'A'
+    };
+    let a: Vec<u8> = (0..2_000).map(|_| next()).collect();
+    let b: Vec<u8> = (0..2_000).map(|_| next()).collect();
+    c.bench_function("levenshtein_2k_exact", |bench| {
+        bench.iter(|| levenshtein(&a, &b));
+    });
+    let mut c2 = a.clone();
+    for slot in c2.iter_mut().step_by(40) {
+        *slot = b'z';
+    }
+    c.bench_function("levenshtein_2k_banded", |bench| {
+        bench.iter(|| levenshtein_banded(&a, &c2, 128).expect("within band"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_timer_dispatch,
+    bench_pool_throughput,
+    bench_net_echo,
+    bench_levenshtein
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Parameter sweeps (extension beyond the paper): manifestation rate as a
+//! function of individual deferral percentages.
+
+use nodefz::{FuzzParams, Mode};
+use nodefz_apps::common::{RunCfg, Variant};
+
+fn main() {
+    let runs: u64 = std::env::var("NODEFZ_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let subjects = ["GHO", "NES", "MGS"];
+    println!("=== Sweep: timer deferral percentage ({runs} runs) ===\n");
+    print!("{:<12}", "timer_defer");
+    for s in subjects {
+        print!(" {s:>7}");
+    }
+    println!();
+    for pct in [0.0, 10.0, 20.0, 40.0, 60.0] {
+        let mut params = FuzzParams::standard();
+        params.timer_defer_pct = pct;
+        let mode = Mode::Custom(params);
+        print!("{pct:<12}");
+        for s in subjects {
+            let case = nodefz_bench::registry()
+                .into_iter()
+                .find(|c| c.info().abbr == s)
+                .expect("known bug");
+            let hits = (0..runs)
+                .filter(|&seed| {
+                    case.run(&RunCfg::new(mode.clone(), seed), Variant::Buggy)
+                        .manifested
+                })
+                .count();
+            print!(" {:>7.2}", hits as f64 / runs as f64);
+        }
+        println!();
+    }
+    println!("\n=== Sweep: epoll deferral percentage ({runs} runs) ===\n");
+    print!("{:<12}", "epoll_defer");
+    for s in subjects {
+        print!(" {s:>7}");
+    }
+    println!();
+    for pct in [0.0, 5.0, 10.0, 25.0, 50.0] {
+        let mut params = FuzzParams::standard();
+        params.epoll_defer_pct = pct;
+        let mode = Mode::Custom(params);
+        print!("{pct:<12}");
+        for s in subjects {
+            let case = nodefz_bench::registry()
+                .into_iter()
+                .find(|c| c.info().abbr == s)
+                .expect("known bug");
+            let hits = (0..runs)
+                .filter(|&seed| {
+                    case.run(&RunCfg::new(mode.clone(), seed), Variant::Buggy)
+                        .manifested
+                })
+                .count();
+            print!(" {:>7.2}", hits as f64 / runs as f64);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,87 @@
+//! Tables 1, 2 and 3 of the paper.
+//!
+//! Pass an argument (`table1`, `table2`, `table3`) to print one table;
+//! prints all three by default.
+
+use nodefz::FuzzParams;
+
+fn table1() {
+    println!("=== Table 1: software used in the bug study ===\n");
+    println!(
+        "{:<6} {:<32} {:<12} {}",
+        "Abbr.", "Name", "Bug ref", "Race type"
+    );
+    for case in nodefz_bench::registry() {
+        let info = case.info();
+        println!(
+            "{:<6} {:<32} {:<12} {}",
+            info.abbr,
+            info.name,
+            info.bug_ref,
+            info.race.label()
+        );
+    }
+    println!();
+}
+
+fn table2() {
+    let budget: u64 = std::env::var("NODEFZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    println!(
+        "=== Table 2: bug characteristics + observed evidence (nodeFZ, <= {budget} seeds) ===\n"
+    );
+    println!(
+        "{:<6} {:<6} {:<10} {:<12} {:<44} {}",
+        "Abbr.", "Type", "Events", "Race on", "Impact", "Fix"
+    );
+    let registry = nodefz_bench::registry();
+    for case in &registry {
+        let info = case.info();
+        println!(
+            "{:<6} {:<6} {:<10} {:<12} {:<44} {}",
+            info.abbr,
+            info.race.label(),
+            info.racing_events,
+            info.race_on,
+            info.impact,
+            info.fix
+        );
+    }
+    println!("\n--- Observed manifestations ---\n");
+    for ev in nodefz_bench::table2_evidence(budget) {
+        match ev.first_seed {
+            Some(seed) => println!("{:<6} seed {:>3}: {}", ev.abbr, seed, ev.detail),
+            None => println!("{:<6} ---: {}", ev.abbr, ev.detail),
+        }
+    }
+    println!();
+}
+
+fn table3() {
+    println!("=== Table 3: Node.fz scheduler parameters ===\n");
+    println!("Standard parameterization (§5.1.2):\n");
+    for (name, desc, value) in FuzzParams::standard().table3_rows() {
+        println!("  {name}\n    {desc}\n    value: {value}");
+    }
+    println!("\nGuided accurate-timer parameterization (§5.2.3):\n");
+    for (name, _, value) in FuzzParams::guided_accurate_timers().table3_rows() {
+        println!("  {name}: {value}");
+    }
+    println!();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    match which.as_str() {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        _ => {
+            table1();
+            table2();
+            table3();
+        }
+    }
+}

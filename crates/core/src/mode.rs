@@ -1,0 +1,125 @@
+//! Runtime versions under test (§5.1 of the paper).
+//!
+//! The paper compares three builds: `nodeV` (vanilla Node.js), `nodeNFZ`
+//! (Node.fz compiled in but parameterized to make no fuzzing decisions — it
+//! still serializes the pool and de-multiplexes the done queue, so its
+//! schedule space differs slightly from vanilla), and `nodeFZ` (Node.fz with
+//! the standard parameterization). [`Mode`] reifies that choice plus the
+//! guided and custom parameterizations used in §5.2.3 and the ablations.
+
+use nodefz_rt::{EventLoop, LoopConfig, Scheduler, VanillaScheduler};
+
+use crate::params::FuzzParams;
+use crate::scheduler::FuzzScheduler;
+
+/// Which runtime build executes a program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mode {
+    /// Vanilla Node.js: libuv-faithful scheduler, concurrent pool,
+    /// multiplexed done queue.
+    Vanilla,
+    /// Node.fz infrastructure with no fuzzing ([`FuzzParams::none`]).
+    NoFuzz,
+    /// Node.fz with the standard parameterization (§5.1.2).
+    Fuzz,
+    /// Node.fz with the guided accurate-timer parameterization (§5.2.3).
+    Guided,
+    /// Node.fz with explicit parameters (sweeps, ablations).
+    Custom(FuzzParams),
+}
+
+impl Mode {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Vanilla => "nodeV",
+            Mode::NoFuzz => "nodeNFZ",
+            Mode::Fuzz => "nodeFZ",
+            Mode::Guided => "nodeFZ(guided)",
+            Mode::Custom(_) => "nodeFZ(custom)",
+        }
+    }
+
+    /// The parameters this mode runs with (`None` for vanilla).
+    pub fn params(&self) -> Option<FuzzParams> {
+        match self {
+            Mode::Vanilla => None,
+            Mode::NoFuzz => Some(FuzzParams::none()),
+            Mode::Fuzz => Some(FuzzParams::standard()),
+            Mode::Guided => Some(FuzzParams::guided_accurate_timers()),
+            Mode::Custom(p) => Some(p.clone()),
+        }
+    }
+
+    /// Builds the scheduler for this mode.
+    pub fn scheduler(&self, sched_seed: u64) -> Box<dyn Scheduler> {
+        match self.params() {
+            None => Box::new(VanillaScheduler::new()),
+            Some(p) => Box::new(FuzzScheduler::new(p, sched_seed)),
+        }
+    }
+
+    /// Builds an event loop for this mode.
+    ///
+    /// `cfg.env_seed` controls the modelled environment; `sched_seed`
+    /// controls the fuzzer's decisions (ignored by [`Mode::Vanilla`]).
+    pub fn build_loop(&self, cfg: LoopConfig, sched_seed: u64) -> EventLoop {
+        EventLoop::with_scheduler(cfg, self.scheduler(sched_seed))
+    }
+
+    /// The three headline modes of Figure 6, in presentation order.
+    pub fn headline() -> [Mode; 3] {
+        [Mode::Vanilla, Mode::NoFuzz, Mode::Fuzz]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_rt::VDur;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Mode::Vanilla.label(), "nodeV");
+        assert_eq!(Mode::NoFuzz.label(), "nodeNFZ");
+        assert_eq!(Mode::Fuzz.label(), "nodeFZ");
+        assert_eq!(Mode::Guided.label(), "nodeFZ(guided)");
+    }
+
+    #[test]
+    fn params_mapping() {
+        assert_eq!(Mode::Vanilla.params(), None);
+        assert_eq!(Mode::NoFuzz.params(), Some(FuzzParams::none()));
+        assert_eq!(Mode::Fuzz.params(), Some(FuzzParams::standard()));
+        let custom = FuzzParams::standard().without_demux();
+        assert_eq!(Mode::Custom(custom.clone()).params(), Some(custom));
+    }
+
+    #[test]
+    fn build_loop_runs_a_program_in_every_mode() {
+        for mode in [Mode::Vanilla, Mode::NoFuzz, Mode::Fuzz, Mode::Guided] {
+            let mut el = mode.build_loop(LoopConfig::seeded(5), 9);
+            el.enter(|cx| {
+                cx.set_timeout(VDur::millis(1), |cx| {
+                    cx.submit_work(
+                        VDur::millis(1),
+                        |_| 7u8,
+                        |cx, v| {
+                            assert_eq!(v, 7);
+                            cx.report_error("ok", "");
+                        },
+                    )
+                    .unwrap();
+                });
+            });
+            let report = el.run();
+            assert!(report.has_error("ok"), "mode {} failed", mode.label());
+        }
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(Mode::Vanilla.scheduler(0).name(), "vanilla");
+        assert_eq!(Mode::Fuzz.scheduler(0).name(), "nodefz");
+    }
+}

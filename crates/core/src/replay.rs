@@ -1,0 +1,367 @@
+//! Record-and-replay of scheduling decisions.
+//!
+//! The paper notes that because Node.fz controls all points of
+//! nondeterminism, it "can also enable more systematic exploration of
+//! Node.js application schedules" (§6). This module provides the first
+//! building block: a [`RecordingScheduler`] that wraps any scheduler and
+//! logs every decision it makes, and a [`ReplayScheduler`] that re-applies
+//! a recorded [`DecisionTrace`] verbatim.
+//!
+//! Replaying a trace against the *same program and environment seed*
+//! reproduces the exact schedule — which turns a once-in-a-hundred-runs
+//! manifestation into a deterministic regression test.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nodefz_rt::{PoolMode, ReadyEntry, Scheduler, TimerVerdict, VDur};
+
+/// One recorded scheduling decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Timer verdict: `None` = run, `Some(delay_ns)` = defer with delay.
+    Timer(Option<u64>),
+    /// The permutation applied to a ready list: `perm[i]` is the original
+    /// index of the entry placed at position `i`.
+    Shuffle(Vec<u32>),
+    /// Whether a ready descriptor was deferred.
+    DeferReady(bool),
+    /// Whether a close event was deferred.
+    DeferClose(bool),
+    /// The queue index picked by the worker.
+    PickTask(u32),
+}
+
+/// A complete record of one run's scheduling decisions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionTrace {
+    /// The pool mode the recorded scheduler used.
+    pub pool_mode: PoolMode,
+    /// Whether the done queue was de-multiplexed.
+    pub demux_done: bool,
+    /// The decision sequence, in consultation order.
+    pub decisions: Vec<Decision>,
+}
+
+impl DecisionTrace {
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
+/// Shared handle to a trace being recorded.
+#[derive(Clone)]
+pub struct TraceHandle {
+    inner: Rc<RefCell<DecisionTrace>>,
+}
+
+impl TraceHandle {
+    /// Takes a snapshot of the decisions recorded so far.
+    pub fn snapshot(&self) -> DecisionTrace {
+        self.inner.borrow().clone()
+    }
+}
+
+/// Wraps a scheduler, recording every decision it makes.
+pub struct RecordingScheduler<S> {
+    inner: S,
+    trace: Rc<RefCell<DecisionTrace>>,
+}
+
+impl<S: Scheduler> RecordingScheduler<S> {
+    /// Wraps `inner`; returns the scheduler and a handle to read the trace
+    /// after (or during) the run.
+    pub fn new(inner: S) -> (RecordingScheduler<S>, TraceHandle) {
+        let trace = Rc::new(RefCell::new(DecisionTrace {
+            pool_mode: inner.pool_mode(),
+            demux_done: inner.demux_done(),
+            decisions: Vec::new(),
+        }));
+        let handle = TraceHandle {
+            inner: trace.clone(),
+        };
+        (RecordingScheduler { inner, trace }, handle)
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+    fn name(&self) -> &'static str {
+        "recording"
+    }
+
+    fn pool_mode(&self) -> PoolMode {
+        self.inner.pool_mode()
+    }
+
+    fn demux_done(&self) -> bool {
+        self.inner.demux_done()
+    }
+
+    fn on_timer(&mut self) -> TimerVerdict {
+        let verdict = self.inner.on_timer();
+        let rec = match verdict {
+            TimerVerdict::Run => None,
+            TimerVerdict::Defer { delay } => Some(delay.as_nanos()),
+        };
+        self.trace.borrow_mut().decisions.push(Decision::Timer(rec));
+        verdict
+    }
+
+    fn shuffle_ready(&mut self, ready: &mut Vec<ReadyEntry>) {
+        let before: Vec<u64> = ready.iter().map(|e| e.seq).collect();
+        self.inner.shuffle_ready(ready);
+        // Record the applied permutation by matching sequence numbers.
+        let perm: Vec<u32> = ready
+            .iter()
+            .map(|e| {
+                before
+                    .iter()
+                    .position(|&seq| seq == e.seq)
+                    .expect("shuffle must be a permutation") as u32
+            })
+            .collect();
+        self.trace
+            .borrow_mut()
+            .decisions
+            .push(Decision::Shuffle(perm));
+    }
+
+    fn defer_ready(&mut self, entry: &ReadyEntry) -> bool {
+        let defer = self.inner.defer_ready(entry);
+        self.trace
+            .borrow_mut()
+            .decisions
+            .push(Decision::DeferReady(defer));
+        defer
+    }
+
+    fn defer_close(&mut self) -> bool {
+        let defer = self.inner.defer_close();
+        self.trace
+            .borrow_mut()
+            .decisions
+            .push(Decision::DeferClose(defer));
+        defer
+    }
+
+    fn pick_task(&mut self, window: usize) -> usize {
+        let pick = self.inner.pick_task(window);
+        self.trace
+            .borrow_mut()
+            .decisions
+            .push(Decision::PickTask(pick as u32));
+        pick
+    }
+}
+
+/// Replays a [`DecisionTrace`] decision-for-decision.
+///
+/// Must be used with the same program and environment seed that produced
+/// the trace; consultations beyond the end of the trace (or of a mismatched
+/// kind) fall back to the inert choice (run / identity / no-defer / head),
+/// and the mismatch counter records that the replay diverged.
+pub struct ReplayScheduler {
+    trace: DecisionTrace,
+    cursor: usize,
+    mismatches: u64,
+}
+
+impl ReplayScheduler {
+    /// Creates a replayer for `trace`.
+    pub fn new(trace: DecisionTrace) -> ReplayScheduler {
+        ReplayScheduler {
+            trace,
+            cursor: 0,
+            mismatches: 0,
+        }
+    }
+
+    /// How many consultations did not match the recorded kind (0 for a
+    /// faithful replay).
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    fn next(&mut self) -> Option<&Decision> {
+        let d = self.trace.decisions.get(self.cursor);
+        if d.is_some() {
+            self.cursor += 1;
+        }
+        d
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn pool_mode(&self) -> PoolMode {
+        self.trace.pool_mode
+    }
+
+    fn demux_done(&self) -> bool {
+        self.trace.demux_done
+    }
+
+    fn on_timer(&mut self) -> TimerVerdict {
+        match self.next() {
+            Some(Decision::Timer(None)) => TimerVerdict::Run,
+            Some(Decision::Timer(Some(ns))) => TimerVerdict::Defer {
+                delay: VDur::nanos(*ns),
+            },
+            _ => {
+                self.mismatches += 1;
+                TimerVerdict::Run
+            }
+        }
+    }
+
+    fn shuffle_ready(&mut self, ready: &mut Vec<ReadyEntry>) {
+        let perm = match self.next() {
+            Some(Decision::Shuffle(perm)) if perm.len() == ready.len() => perm.clone(),
+            _ => {
+                self.mismatches += 1;
+                return;
+            }
+        };
+        let original = ready.clone();
+        for (slot, &src) in perm.iter().enumerate() {
+            ready[slot] = original[src as usize];
+        }
+    }
+
+    fn defer_ready(&mut self, _entry: &ReadyEntry) -> bool {
+        match self.next() {
+            Some(Decision::DeferReady(d)) => *d,
+            _ => {
+                self.mismatches += 1;
+                false
+            }
+        }
+    }
+
+    fn defer_close(&mut self) -> bool {
+        match self.next() {
+            Some(Decision::DeferClose(d)) => *d,
+            _ => {
+                self.mismatches += 1;
+                false
+            }
+        }
+    }
+
+    fn pick_task(&mut self, window: usize) -> usize {
+        match self.next() {
+            Some(Decision::PickTask(i)) if (*i as usize) < window => *i as usize,
+            _ => {
+                self.mismatches += 1;
+                0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuzzParams, FuzzScheduler};
+    use nodefz_rt::{EventLoop, LoopConfig};
+
+    /// A nontrivial program mixing timers, pool tasks and immediates.
+    fn program(el: &mut EventLoop) {
+        el.enter(|cx| {
+            for i in 1..8u64 {
+                cx.set_timeout(VDur::micros(i * 211), move |cx| {
+                    cx.submit_work(
+                        VDur::micros(100 + i * 31),
+                        |_| (),
+                        |cx, ()| {
+                            cx.set_immediate(|_| {});
+                        },
+                    )
+                    .unwrap();
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_schedule() {
+        let fuzz = FuzzScheduler::new(FuzzParams::standard(), 33);
+        let (recorder, handle) = RecordingScheduler::new(fuzz);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(9), Box::new(recorder));
+        program(&mut el);
+        let original = el.run();
+        let trace = handle.snapshot();
+        assert!(!trace.is_empty(), "a fuzz run makes decisions");
+
+        let replayer = ReplayScheduler::new(trace);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(9), Box::new(replayer));
+        program(&mut el);
+        let replayed = el.run();
+
+        assert_eq!(original.schedule, replayed.schedule);
+        assert_eq!(original.end_time, replayed.end_time);
+        assert_eq!(original.dispatched, replayed.dispatched);
+    }
+
+    #[test]
+    fn recording_is_transparent() {
+        // A recorded run behaves exactly like the bare scheduler's run.
+        let bare = FuzzScheduler::new(FuzzParams::standard(), 44);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(10), Box::new(bare));
+        program(&mut el);
+        let plain = el.run();
+
+        let fuzz = FuzzScheduler::new(FuzzParams::standard(), 44);
+        let (recorder, _handle) = RecordingScheduler::new(fuzz);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(10), Box::new(recorder));
+        program(&mut el);
+        let recorded = el.run();
+
+        assert_eq!(plain.schedule, recorded.schedule);
+        assert_eq!(plain.end_time, recorded.end_time);
+    }
+
+    #[test]
+    fn exhausted_trace_falls_back_inert() {
+        let trace = DecisionTrace {
+            pool_mode: PoolMode::Concurrent { workers: 4 },
+            demux_done: false,
+            decisions: vec![Decision::Timer(None)],
+        };
+        let mut replayer = ReplayScheduler::new(trace);
+        assert_eq!(replayer.on_timer(), TimerVerdict::Run);
+        // Trace exhausted: inert defaults, mismatches counted.
+        assert_eq!(replayer.on_timer(), TimerVerdict::Run);
+        assert!(!replayer.defer_close());
+        assert_eq!(replayer.pick_task(3), 0);
+        assert_eq!(replayer.mismatches(), 3);
+    }
+
+    #[test]
+    fn vanilla_recording_is_all_inert_decisions() {
+        let (recorder, handle) = RecordingScheduler::new(nodefz_rt::VanillaScheduler::new());
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(3), Box::new(recorder));
+        program(&mut el);
+        el.run();
+        let trace = handle.snapshot();
+        for d in &trace.decisions {
+            match d {
+                Decision::Timer(v) => assert_eq!(*v, None),
+                Decision::DeferReady(b) | Decision::DeferClose(b) => assert!(!b),
+                Decision::PickTask(i) => assert_eq!(*i, 0),
+                Decision::Shuffle(perm) => {
+                    assert!(perm.iter().enumerate().all(|(i, &p)| i as u32 == p));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based legality tests for the fuzz scheduler (§4.4): random
+//! correct programs, random parameters, random seeds — nothing may be
+//! lost, duplicated, run early, or made nondeterministic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use nodefz::{FuzzParams, FuzzScheduler};
+use nodefz_rt::{EventLoop, LoopConfig, Termination, VDur, VTime};
+
+/// Arbitrary-but-legal fuzz parameters.
+fn params_strategy() -> impl Strategy<Value = FuzzParams> {
+    (
+        0.0f64..60.0,
+        0.0f64..60.0,
+        0.0f64..60.0,
+        prop::option::of(1usize..8),
+        prop::option::of(0usize..8),
+        0u64..2_000,
+    )
+        .prop_map(|(epoll, timer, close, wp_dof, epoll_dof, delay_us)| {
+            let mut p = FuzzParams::standard();
+            p.epoll_defer_pct = epoll;
+            p.timer_defer_pct = timer;
+            p.close_defer_pct = close;
+            p.wp_dof = wp_dof;
+            p.epoll_dof = epoll_dof;
+            p.timer_defer_delay = VDur::micros(delay_us);
+            p
+        })
+}
+
+#[derive(Clone, Debug)]
+struct Program {
+    timers_us: Vec<u64>,
+    task_costs_us: Vec<u64>,
+    immediates: usize,
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(1u64..20_000, 0..10),
+        prop::collection::vec(1u64..5_000, 0..10),
+        0usize..5,
+    )
+        .prop_map(|(timers_us, task_costs_us, immediates)| Program {
+            timers_us,
+            task_costs_us,
+            immediates,
+        })
+}
+
+struct Observed {
+    timers_fired: Vec<(usize, VTime)>,
+    tasks_done: Vec<usize>,
+    immediates_run: usize,
+}
+
+fn run_program(
+    program: &Program,
+    params: FuzzParams,
+    env_seed: u64,
+    sched_seed: u64,
+) -> (nodefz_rt::RunReport, Observed) {
+    let sched = FuzzScheduler::new(params, sched_seed);
+    let mut el = EventLoop::with_scheduler(LoopConfig::seeded(env_seed), Box::new(sched));
+    let timers_fired = Rc::new(RefCell::new(Vec::new()));
+    let tasks_done = Rc::new(RefCell::new(Vec::new()));
+    let immediates_run = Rc::new(RefCell::new(0usize));
+    let p = program.clone();
+    let tf = timers_fired.clone();
+    let td = tasks_done.clone();
+    let ir = immediates_run.clone();
+    el.enter(move |cx| {
+        for (idx, &us) in p.timers_us.iter().enumerate() {
+            let tf = tf.clone();
+            cx.set_timeout(VDur::micros(us), move |cx| {
+                tf.borrow_mut().push((idx, cx.now()));
+            });
+        }
+        for (idx, &us) in p.task_costs_us.iter().enumerate() {
+            let td = td.clone();
+            cx.submit_work(
+                VDur::micros(us),
+                move |_| idx,
+                move |_, i| {
+                    td.borrow_mut().push(i);
+                },
+            )
+            .unwrap();
+        }
+        for _ in 0..p.immediates {
+            let ir = ir.clone();
+            cx.set_immediate(move |_| *ir.borrow_mut() += 1);
+        }
+    });
+    let report = el.run();
+    let observed = Observed {
+        timers_fired: timers_fired.borrow().clone(),
+        tasks_done: tasks_done.borrow().clone(),
+        immediates_run: *immediates_run.borrow(),
+    };
+    (report, observed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn nothing_lost_duplicated_or_early(
+        program in program_strategy(),
+        params in params_strategy(),
+        env_seed: u64,
+        sched_seed: u64,
+    ) {
+        let (report, observed) = run_program(&program, params, env_seed, sched_seed);
+        prop_assert_eq!(report.termination, Termination::Quiescent);
+        prop_assert!(!report.crashed());
+
+        // Timers: exactly once each, never before their deadline.
+        prop_assert_eq!(observed.timers_fired.len(), program.timers_us.len());
+        let mut seen = vec![false; program.timers_us.len()];
+        for &(idx, at) in &observed.timers_fired {
+            prop_assert!(!seen[idx], "timer {idx} fired twice");
+            seen[idx] = true;
+            let deadline = VTime::ZERO + VDur::micros(program.timers_us[idx]);
+            prop_assert!(at >= deadline, "timer {idx} fired early: {at} < {deadline}");
+        }
+
+        // Timer dispatch respects the {timeout, registration} order even
+        // under deferral (the short-circuit guarantee, §4.3.4).
+        for pair in observed.timers_fired.windows(2) {
+            let (a, b) = (pair[0].0, pair[1].0);
+            let (da, db) = (program.timers_us[a], program.timers_us[b]);
+            prop_assert!(
+                da < db || (da == db && a < b),
+                "timer order violated: {a} (deadline {da}) before {b} (deadline {db})"
+            );
+        }
+
+        // Pool: every task completes exactly once.
+        let mut got = observed.tasks_done.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..program.task_costs_us.len()).collect::<Vec<_>>());
+        prop_assert_eq!(report.pool.completed, program.task_costs_us.len() as u64);
+
+        // Immediates all ran.
+        prop_assert_eq!(observed.immediates_run, program.immediates);
+    }
+
+    #[test]
+    fn fuzzed_runs_replay_bit_for_bit(
+        program in program_strategy(),
+        params in params_strategy(),
+        env_seed: u64,
+        sched_seed: u64,
+    ) {
+        let (a, _) = run_program(&program, params.clone(), env_seed, sched_seed);
+        let (b, _) = run_program(&program, params, env_seed, sched_seed);
+        prop_assert_eq!(a.schedule, b.schedule);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.dispatched, b.dispatched);
+    }
+
+    #[test]
+    fn scheduler_seed_changes_only_the_schedule_not_the_results(
+        program in program_strategy(),
+        env_seed: u64,
+        s1: u64,
+        s2: u64,
+    ) {
+        let params = FuzzParams::aggressive();
+        let (ra, oa) = run_program(&program, params.clone(), env_seed, s1);
+        let (rb, ob) = run_program(&program, params, env_seed, s2);
+        // Same completed work either way.
+        prop_assert_eq!(ra.pool.completed, rb.pool.completed);
+        prop_assert_eq!(oa.timers_fired.len(), ob.timers_fired.len());
+        prop_assert_eq!(oa.immediates_run, ob.immediates_run);
+    }
+}

@@ -1,0 +1,958 @@
+//! # nodefz-fs — simulated file system on the worker pool
+//!
+//! Node.js file-system calls are "asynchronous" because libuv executes them
+//! on the worker pool (§2.2 of the paper). This crate reproduces that
+//! architecture: every operation is submitted as a worker-pool task whose
+//! body mutates a shared in-memory tree at the task's virtual execution
+//! time, and whose completion callback runs on the event loop later.
+//!
+//! Consequences that matter for the bug study:
+//!
+//! * Two logically-concurrent operations interleave at *operation*
+//!   granularity in virtual time — the source of the FS–FS races (MKD) and
+//!   FS–Call races (CLF).
+//! * Errors use the errno model the bugs turn on (`EEXIST`, `ENOENT`,
+//!   `ENOTDIR`, …).
+//! * Multi-page writes are split into one pool task per page, reproducing
+//!   ext4's page-granularity write atomicity (§4.2.3): concurrent
+//!   overlapping writes can leave a file with pages from either writer.
+//!
+//! ## Example
+//!
+//! ```
+//! use nodefz_fs::SimFs;
+//! use nodefz_rt::{EventLoop, LoopConfig};
+//!
+//! let mut el = EventLoop::new(LoopConfig::seeded(3));
+//! let fs = SimFs::new();
+//! let f = fs.clone();
+//! el.enter(move |cx| {
+//!     let f2 = f.clone();
+//!     f.mkdir(cx, "logs", move |cx, r| {
+//!         r.unwrap();
+//!         f2.write_file(cx, "logs/app.log", b"hello".to_vec(), |_, r| {
+//!             r.unwrap();
+//!         });
+//!     });
+//! });
+//! el.run();
+//! assert!(fs.exists_sync("logs/app.log"));
+//! assert_eq!(fs.read_sync("logs/app.log").unwrap(), b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use nodefz_rt::{Barrier, CbKind, Ctx, Errno, Fd, FdKind, VDur};
+
+/// Page size for page-granularity write atomicity (§4.2.3).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Metadata returned by [`SimFs::stat`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stat {
+    /// Whether the path names a directory.
+    pub is_dir: bool,
+    /// File size in bytes (0 for directories).
+    pub size: usize,
+}
+
+/// Virtual execution costs per operation class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsCosts {
+    /// Metadata read (`stat`, `readdir`).
+    pub meta: VDur,
+    /// Directory creation/removal.
+    pub mkdir: VDur,
+    /// File read, base cost (plus size-proportional term).
+    pub read: VDur,
+    /// File write, base cost (plus size-proportional term).
+    pub write: VDur,
+}
+
+impl Default for FsCosts {
+    fn default() -> FsCosts {
+        FsCosts {
+            meta: VDur::micros(40),
+            mkdir: VDur::micros(80),
+            read: VDur::micros(60),
+            write: VDur::micros(100),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Dir(BTreeMap<String, Node>),
+    File(Vec<u8>),
+}
+
+/// What happened to a watched path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsEventKind {
+    /// A file or directory was created.
+    Created,
+    /// A file's contents changed.
+    Modified,
+    /// A file or directory was removed.
+    Removed,
+}
+
+/// A change notification delivered to a watcher (`fs.watch`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FsEvent {
+    /// The affected path.
+    pub path: String,
+    /// The kind of change.
+    pub kind: FsEventKind,
+}
+
+/// Identifier of a registered watcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WatchId(u64);
+
+struct Watcher {
+    id: WatchId,
+    prefix: String,
+    fd: Fd,
+    queue: VecDeque<FsEvent>,
+}
+
+#[derive(Debug, Default)]
+struct FsStats {
+    ops: u64,
+    creates: u64,
+}
+
+struct FsState {
+    root: BTreeMap<String, Node>,
+    costs: FsCosts,
+    stats: FsStats,
+    watchers: Vec<Watcher>,
+    next_watch: u64,
+    /// Notifications produced by operations, drained on the loop side.
+    pending_events: Vec<(WatchId, FsEvent)>,
+}
+
+impl FsState {
+    fn notify(&mut self, path: &str, kind: FsEventKind) {
+        for w in &self.watchers {
+            if path.starts_with(w.prefix.as_str()) {
+                self.pending_events.push((
+                    w.id,
+                    FsEvent {
+                        path: path.to_string(),
+                        kind,
+                    },
+                ));
+            }
+        }
+    }
+}
+
+/// The simulated file system. Cheap to clone; clones share the tree.
+#[derive(Clone)]
+pub struct SimFs {
+    inner: Rc<RefCell<FsState>>,
+}
+
+impl Default for SimFs {
+    fn default() -> SimFs {
+        SimFs::new()
+    }
+}
+
+fn split(path: &str) -> Result<Vec<String>, Errno> {
+    let parts: Vec<String> = path
+        .split('/')
+        .filter(|p| !p.is_empty() && *p != ".")
+        .map(str::to_string)
+        .collect();
+    if parts.is_empty() {
+        return Err(Errno::Einval);
+    }
+    Ok(parts)
+}
+
+impl FsState {
+    fn resolve_dir<'a>(
+        root: &'a mut BTreeMap<String, Node>,
+        parents: &[String],
+    ) -> Result<&'a mut BTreeMap<String, Node>, Errno> {
+        let mut cur = root;
+        for part in parents {
+            match cur.get_mut(part) {
+                Some(Node::Dir(children)) => cur = children,
+                Some(Node::File(_)) => return Err(Errno::Enotdir),
+                None => return Err(Errno::Enoent),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn mkdir(&mut self, path: &str) -> Result<(), Errno> {
+        self.stats.ops += 1;
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = Self::resolve_dir(&mut self.root, parents)?;
+        match dir.get(leaf) {
+            Some(_) => Err(Errno::Eexist),
+            None => {
+                dir.insert(leaf.clone(), Node::Dir(BTreeMap::new()));
+                self.stats.creates += 1;
+                self.notify(path, FsEventKind::Created);
+                Ok(())
+            }
+        }
+    }
+
+    fn rmdir(&mut self, path: &str) -> Result<(), Errno> {
+        self.stats.ops += 1;
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = Self::resolve_dir(&mut self.root, parents)?;
+        match dir.get(leaf) {
+            Some(Node::Dir(children)) if children.is_empty() => {
+                dir.remove(leaf);
+                self.notify(path, FsEventKind::Removed);
+                Ok(())
+            }
+            Some(Node::Dir(_)) => Err(Errno::Enotempty),
+            Some(Node::File(_)) => Err(Errno::Enotdir),
+            None => Err(Errno::Enoent),
+        }
+    }
+
+    fn stat(&mut self, path: &str) -> Result<Stat, Errno> {
+        self.stats.ops += 1;
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = Self::resolve_dir(&mut self.root, parents)?;
+        match dir.get(leaf) {
+            Some(Node::Dir(_)) => Ok(Stat {
+                is_dir: true,
+                size: 0,
+            }),
+            Some(Node::File(data)) => Ok(Stat {
+                is_dir: false,
+                size: data.len(),
+            }),
+            None => Err(Errno::Enoent),
+        }
+    }
+
+    fn write_file(&mut self, path: &str, data: &[u8], append: bool) -> Result<(), Errno> {
+        self.stats.ops += 1;
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = Self::resolve_dir(&mut self.root, parents)?;
+        match dir.get_mut(leaf) {
+            Some(Node::Dir(_)) => Err(Errno::Eisdir),
+            Some(Node::File(existing)) => {
+                if append {
+                    existing.extend_from_slice(data);
+                } else {
+                    *existing = data.to_vec();
+                }
+                self.notify(path, FsEventKind::Modified);
+                Ok(())
+            }
+            None => {
+                dir.insert(leaf.clone(), Node::File(data.to_vec()));
+                self.stats.creates += 1;
+                self.notify(path, FsEventKind::Created);
+                Ok(())
+            }
+        }
+    }
+
+    fn write_page(&mut self, path: &str, page_index: usize, page: &[u8]) -> Result<(), Errno> {
+        self.stats.ops += 1;
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = Self::resolve_dir(&mut self.root, parents)?;
+        let file = match dir.get_mut(leaf) {
+            Some(Node::Dir(_)) => return Err(Errno::Eisdir),
+            Some(Node::File(existing)) => existing,
+            None => {
+                dir.insert(leaf.clone(), Node::File(Vec::new()));
+                self.stats.creates += 1;
+                match dir.get_mut(leaf) {
+                    Some(Node::File(f)) => f,
+                    _ => unreachable!("just inserted a file"),
+                }
+            }
+        };
+        let start = page_index * PAGE_SIZE;
+        let end = start + page.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[start..end].copy_from_slice(page);
+        Ok(())
+    }
+
+    fn read_file(&mut self, path: &str) -> Result<Vec<u8>, Errno> {
+        self.stats.ops += 1;
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = Self::resolve_dir(&mut self.root, parents)?;
+        match dir.get(leaf) {
+            Some(Node::File(data)) => Ok(data.clone()),
+            Some(Node::Dir(_)) => Err(Errno::Eisdir),
+            None => Err(Errno::Enoent),
+        }
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), Errno> {
+        self.stats.ops += 1;
+        let parts = split(path)?;
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        let dir = Self::resolve_dir(&mut self.root, parents)?;
+        match dir.get(leaf) {
+            Some(Node::File(_)) => {
+                dir.remove(leaf);
+                self.notify(path, FsEventKind::Removed);
+                Ok(())
+            }
+            Some(Node::Dir(_)) => Err(Errno::Eisdir),
+            None => Err(Errno::Enoent),
+        }
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
+        self.stats.ops += 1;
+        let from_parts = split(from)?;
+        let to_parts = split(to)?;
+        // Take the source node out.
+        let (from_leaf, from_parents) = from_parts.split_last().expect("split is non-empty");
+        let node = {
+            let dir = Self::resolve_dir(&mut self.root, from_parents)?;
+            match dir.get(from_leaf) {
+                Some(_) => dir.remove(from_leaf).expect("just seen"),
+                None => return Err(Errno::Enoent),
+            }
+        };
+        // Install it at the destination (replacing a file, as rename(2)
+        // does; refusing to clobber a directory).
+        let (to_leaf, to_parents) = to_parts.split_last().expect("split is non-empty");
+        let reinstall = |root: &mut BTreeMap<String, Node>, node: Node| {
+            // Restore the source on failure.
+            let dir = Self::resolve_dir(root, from_parents).expect("source dir existed");
+            dir.insert(from_leaf.clone(), node);
+        };
+        match Self::resolve_dir(&mut self.root, to_parents) {
+            Ok(dir) => {
+                if matches!(dir.get(to_leaf), Some(Node::Dir(_))) {
+                    reinstall(&mut self.root, node);
+                    return Err(Errno::Eisdir);
+                }
+                let dest = Self::resolve_dir(&mut self.root, to_parents).expect("just resolved");
+                dest.insert(to_leaf.clone(), node);
+                self.notify(from, FsEventKind::Removed);
+                self.notify(to, FsEventKind::Created);
+                Ok(())
+            }
+            Err(e) => {
+                reinstall(&mut self.root, node);
+                Err(e)
+            }
+        }
+    }
+
+    fn readdir(&mut self, path: &str) -> Result<Vec<String>, Errno> {
+        self.stats.ops += 1;
+        if path.is_empty() || path == "/" || path == "." {
+            return Ok(self.root.keys().cloned().collect());
+        }
+        let parts = split(path)?;
+        let dir = Self::resolve_dir(&mut self.root, &parts)?;
+        Ok(dir.keys().cloned().collect())
+    }
+}
+
+impl SimFs {
+    /// Creates an empty file system with default costs.
+    pub fn new() -> SimFs {
+        SimFs::with_costs(FsCosts::default())
+    }
+
+    /// Creates an empty file system with custom operation costs.
+    pub fn with_costs(costs: FsCosts) -> SimFs {
+        SimFs {
+            inner: Rc::new(RefCell::new(FsState {
+                root: BTreeMap::new(),
+                costs,
+                stats: FsStats::default(),
+                watchers: Vec::new(),
+                next_watch: 0,
+                pending_events: Vec::new(),
+            })),
+        }
+    }
+
+    fn submit<T: 'static>(
+        &self,
+        cx: &mut Ctx<'_>,
+        cost: VDur,
+        op: impl FnOnce(&mut FsState) -> T + 'static,
+        cb: impl FnOnce(&mut Ctx<'_>, T) + 'static,
+    ) {
+        let fs = self.clone();
+        let fs_done = self.clone();
+        let submit = cx.submit_work(
+            cost,
+            move |_w| op(&mut fs.inner.borrow_mut()),
+            move |cx, result| {
+                fs_done.flush_watch_events(cx);
+                cb(cx, result);
+            },
+        );
+        if submit.is_err() {
+            // Descriptor exhaustion while de-multiplexing: surface as a
+            // loop-level error so tests can observe it (§4.4).
+            cx.report_error(
+                "EMFILE",
+                "fs operation could not allocate a task descriptor",
+            );
+        }
+    }
+
+    /// Creates a directory (`fs.mkdir`).
+    pub fn mkdir(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<(), Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.mkdir;
+        self.submit(cx, cost, move |fs| fs.mkdir(&path), cb);
+    }
+
+    /// Removes an empty directory (`fs.rmdir`).
+    pub fn rmdir(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<(), Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.mkdir;
+        self.submit(cx, cost, move |fs| fs.rmdir(&path), cb);
+    }
+
+    /// Stats a path (`fs.stat`).
+    pub fn stat(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<Stat, Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.meta;
+        self.submit(cx, cost, move |fs| fs.stat(&path), cb);
+    }
+
+    /// Creates or truncates a file with the given contents
+    /// (`fs.writeFile`).
+    pub fn write_file(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        data: Vec<u8>,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<(), Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.write + VDur::nanos(data.len() as u64 * 4);
+        self.submit(cx, cost, move |fs| fs.write_file(&path, &data, false), cb);
+    }
+
+    /// Appends to a file, creating it if needed (`fs.appendFile`).
+    pub fn append(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        data: Vec<u8>,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<(), Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.write + VDur::nanos(data.len() as u64 * 4);
+        self.submit(cx, cost, move |fs| fs.write_file(&path, &data, true), cb);
+    }
+
+    /// Writes whole pages at page-granularity atomicity (§4.2.3).
+    ///
+    /// Each page becomes its own worker-pool task, so two overlapping
+    /// multi-page writes may interleave and leave the file with pages from
+    /// either writer. The completion callback runs after *this* call's
+    /// pages are all written.
+    pub fn write_pages(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        first_page: usize,
+        pages: Vec<Vec<u8>>,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<(), Errno>) + 'static,
+    ) {
+        if pages.is_empty() {
+            cb(cx, Ok(()));
+            return;
+        }
+        let outcome = Rc::new(RefCell::new(Ok(())));
+        let o = outcome.clone();
+        let barrier = Barrier::new(pages.len(), move |cx| {
+            cb(cx, *o.borrow());
+        });
+        let cost = self.inner.borrow().costs.write;
+        for (i, page) in pages.into_iter().enumerate() {
+            let path = path.to_string();
+            let barrier = barrier.clone();
+            let outcome = outcome.clone();
+            self.submit(
+                cx,
+                cost,
+                move |fs| fs.write_page(&path, first_page + i, &page),
+                move |cx, r: Result<(), Errno>| {
+                    if let Err(e) = r {
+                        *outcome.borrow_mut() = Err(e);
+                    }
+                    barrier.arrive(cx);
+                },
+            );
+        }
+    }
+
+    /// Reads a whole file (`fs.readFile`).
+    pub fn read_file(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<Vec<u8>, Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.read;
+        self.submit(cx, cost, move |fs| fs.read_file(&path), cb);
+    }
+
+    /// Deletes a file (`fs.unlink`).
+    pub fn unlink(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<(), Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.meta;
+        self.submit(cx, cost, move |fs| fs.unlink(&path), cb);
+    }
+
+    /// Renames a file or directory (`fs.rename`).
+    ///
+    /// Replaces an existing destination file (as `rename(2)` does) but
+    /// refuses to clobber a directory.
+    pub fn rename(
+        &self,
+        cx: &mut Ctx<'_>,
+        from: &str,
+        to: &str,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<(), Errno>) + 'static,
+    ) {
+        let from = from.to_string();
+        let to = to.to_string();
+        let cost = self.inner.borrow().costs.meta;
+        self.submit(cx, cost, move |fs| fs.rename(&from, &to), cb);
+    }
+
+    /// Lists a directory (`fs.readdir`).
+    pub fn readdir(
+        &self,
+        cx: &mut Ctx<'_>,
+        path: &str,
+        cb: impl FnOnce(&mut Ctx<'_>, Result<Vec<String>, Errno>) + 'static,
+    ) {
+        let path = path.to_string();
+        let cost = self.inner.borrow().costs.meta;
+        self.submit(cx, cost, move |fs| fs.readdir(&path), cb);
+    }
+
+    // ---- Watching (`fs.watch`) ------------------------------------------------
+
+    /// Watches every path under `prefix`; `cb` runs once per change event.
+    ///
+    /// As in Node.js, an open watcher keeps the event loop alive — close it
+    /// with [`SimFs::unwatch`]. Events flow through the poll phase, so they
+    /// are fuzzable like any other I/O.
+    ///
+    /// # Errors
+    ///
+    /// Returns `EMFILE` at the descriptor limit.
+    pub fn watch(
+        &self,
+        cx: &mut Ctx<'_>,
+        prefix: &str,
+        mut cb: impl FnMut(&mut Ctx<'_>, &FsEvent) + 'static,
+    ) -> Result<WatchId, Errno> {
+        let fd = cx.alloc_fd(FdKind::FsDone)?;
+        cx.set_fd_trace_kind(fd, CbKind::FsDone)?;
+        let fs = self.clone();
+        cx.register_watcher(fd, move |cx, fd| {
+            let event = {
+                let mut st = fs.inner.borrow_mut();
+                st.watchers
+                    .iter_mut()
+                    .find(|w| w.fd == fd)
+                    .and_then(|w| w.queue.pop_front())
+            };
+            if let Some(event) = event {
+                cb(cx, &event);
+            }
+        })?;
+        let mut st = self.inner.borrow_mut();
+        let id = WatchId(st.next_watch);
+        st.next_watch += 1;
+        st.watchers.push(Watcher {
+            id,
+            prefix: prefix.to_string(),
+            fd,
+            queue: VecDeque::new(),
+        });
+        Ok(id)
+    }
+
+    /// Closes a watcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns `EBADF` for an unknown watcher id.
+    pub fn unwatch(&self, cx: &mut Ctx<'_>, id: WatchId) -> Result<(), Errno> {
+        let fd = {
+            let mut st = self.inner.borrow_mut();
+            let idx = st
+                .watchers
+                .iter()
+                .position(|w| w.id == id)
+                .ok_or(Errno::Ebadf)?;
+            st.watchers.swap_remove(idx).fd
+        };
+        cx.close_fd(fd)
+    }
+
+    /// Moves pending notifications into watcher queues and marks their
+    /// descriptors ready. Runs on the loop after each completed operation.
+    fn flush_watch_events(&self, cx: &mut Ctx<'_>) {
+        let marks: Vec<Fd> = {
+            let mut st = self.inner.borrow_mut();
+            let pending = std::mem::take(&mut st.pending_events);
+            let mut marks = Vec::with_capacity(pending.len());
+            for (wid, event) in pending {
+                if let Some(w) = st.watchers.iter_mut().find(|w| w.id == wid) {
+                    w.queue.push_back(event);
+                    marks.push(w.fd);
+                }
+            }
+            marks
+        };
+        for fd in marks {
+            let _ = cx.mark_ready(fd);
+        }
+    }
+
+    // ---- Synchronous inspection (for oracles and setup) ---------------------
+
+    /// Whether a path exists right now (oracle helper; not a modelled op).
+    pub fn exists_sync(&self, path: &str) -> bool {
+        let mut st = self.inner.borrow_mut();
+        st.stats.ops = st.stats.ops.wrapping_sub(0); // No-op; keep stats honest.
+        let Ok(parts) = split(path) else {
+            return false;
+        };
+        let (leaf, parents) = parts.split_last().expect("split is non-empty");
+        match FsState::resolve_dir(&mut st.root, parents) {
+            Ok(dir) => dir.contains_key(leaf),
+            Err(_) => false,
+        }
+    }
+
+    /// Reads a file right now (oracle helper).
+    pub fn read_sync(&self, path: &str) -> Result<Vec<u8>, Errno> {
+        self.inner.borrow_mut().read_file(path)
+    }
+
+    /// Lists a directory right now (oracle helper).
+    pub fn readdir_sync(&self, path: &str) -> Result<Vec<String>, Errno> {
+        self.inner.borrow_mut().readdir(path)
+    }
+
+    /// Creates a directory right now (setup helper).
+    pub fn mkdir_sync(&self, path: &str) -> Result<(), Errno> {
+        self.inner.borrow_mut().mkdir(path)
+    }
+
+    /// Creates or truncates a file right now (setup helper).
+    pub fn write_sync(&self, path: &str, data: Vec<u8>) -> Result<(), Errno> {
+        self.inner.borrow_mut().write_file(path, &data, false)
+    }
+
+    /// Total files + directories ever created (diagnostics).
+    pub fn creates(&self) -> u64 {
+        self.inner.borrow().stats.creates
+    }
+
+    /// Total operations executed (diagnostics).
+    pub fn ops(&self) -> u64 {
+        self.inner.borrow().stats.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_rt::{EventLoop, LoopConfig};
+
+    fn run_fs(seed: u64, setup: impl FnOnce(&mut Ctx<'_>, SimFs)) -> SimFs {
+        let mut el = EventLoop::new(LoopConfig::seeded(seed));
+        let fs = SimFs::new();
+        let f = fs.clone();
+        el.enter(move |cx| setup(cx, f));
+        el.run();
+        fs
+    }
+
+    #[test]
+    fn mkdir_then_exists() {
+        let fs = run_fs(1, |cx, fs| {
+            fs.mkdir(cx, "a", |_, r| r.unwrap());
+        });
+        assert!(fs.exists_sync("a"));
+        assert!(!fs.exists_sync("b"));
+    }
+
+    #[test]
+    fn mkdir_missing_parent_is_enoent() {
+        let fs = run_fs(2, |cx, fs| {
+            fs.mkdir(cx, "a/b/c", |cx, r| {
+                assert_eq!(r, Err(Errno::Enoent));
+                cx.report_error("saw-enoent", "");
+            });
+        });
+        assert!(!fs.exists_sync("a"));
+    }
+
+    #[test]
+    fn mkdir_twice_is_eexist() {
+        run_fs(3, |cx, fs| {
+            let fs2 = fs.clone();
+            fs.mkdir(cx, "dup", move |cx, r| {
+                r.unwrap();
+                fs2.mkdir(cx, "dup", |_, r| {
+                    assert_eq!(r, Err(Errno::Eexist));
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = run_fs(4, |cx, fs| {
+            let fs2 = fs.clone();
+            fs.write_file(cx, "f.txt", b"abc".to_vec(), move |cx, r| {
+                r.unwrap();
+                fs2.read_file(cx, "f.txt", |cx, r| {
+                    assert_eq!(r.unwrap(), b"abc");
+                    cx.report_error("read-ok", "");
+                });
+            });
+        });
+        assert_eq!(fs.read_sync("f.txt").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let fs = run_fs(5, |cx, fs| {
+            let fs2 = fs.clone();
+            fs.append(cx, "log", b"one".to_vec(), move |cx, r| {
+                r.unwrap();
+                fs2.append(cx, "log", b"two".to_vec(), |_, r| r.unwrap());
+            });
+        });
+        assert_eq!(fs.read_sync("log").unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn read_missing_is_enoent() {
+        run_fs(6, |cx, fs| {
+            fs.read_file(cx, "ghost", |_, r| {
+                assert_eq!(r.err(), Some(Errno::Enoent));
+            });
+        });
+    }
+
+    #[test]
+    fn read_dir_is_eisdir() {
+        run_fs(7, |cx, fs| {
+            let fs2 = fs.clone();
+            fs.mkdir(cx, "d", move |cx, r| {
+                r.unwrap();
+                fs2.read_file(cx, "d", |_, r| {
+                    assert_eq!(r.err(), Some(Errno::Eisdir));
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn file_as_path_component_is_enotdir() {
+        run_fs(8, |cx, fs| {
+            let fs2 = fs.clone();
+            fs.write_file(cx, "f", b"x".to_vec(), move |cx, r| {
+                r.unwrap();
+                fs2.mkdir(cx, "f/sub", |_, r| {
+                    assert_eq!(r, Err(Errno::Enotdir));
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn unlink_removes_file() {
+        let fs = run_fs(9, |cx, fs| {
+            let fs2 = fs.clone();
+            fs.write_file(cx, "f", b"x".to_vec(), move |cx, r| {
+                r.unwrap();
+                fs2.unlink(cx, "f", |_, r| r.unwrap());
+            });
+        });
+        assert!(!fs.exists_sync("f"));
+    }
+
+    #[test]
+    fn unlink_dir_is_eisdir_rmdir_file_is_enotdir() {
+        run_fs(10, |cx, fs| {
+            let fs2 = fs.clone();
+            fs.mkdir_sync("d").unwrap();
+            fs.write_file(cx, "f", b"x".to_vec(), move |cx, r| {
+                r.unwrap();
+                let fs3 = fs2.clone();
+                fs2.unlink(cx, "d", move |cx, r| {
+                    assert_eq!(r, Err(Errno::Eisdir));
+                    fs3.rmdir(cx, "f", |_, r| {
+                        assert_eq!(r, Err(Errno::Enotdir));
+                    });
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn rmdir_nonempty_is_enotempty() {
+        run_fs(11, |cx, fs| {
+            fs.mkdir_sync("d").unwrap();
+            fs.mkdir_sync("d/inner").unwrap();
+            fs.rmdir(cx, "d", |_, r| {
+                assert_eq!(r, Err(Errno::Enotempty));
+            });
+        });
+    }
+
+    #[test]
+    fn readdir_lists_children_sorted() {
+        let fs = run_fs(12, |cx, fs| {
+            fs.mkdir_sync("d").unwrap();
+            fs.mkdir_sync("d/z").unwrap();
+            fs.mkdir_sync("d/a").unwrap();
+            fs.readdir(cx, "d", |_, r| {
+                assert_eq!(r.unwrap(), vec!["a".to_string(), "z".to_string()]);
+            });
+        });
+        assert_eq!(fs.readdir_sync("/").unwrap(), vec!["d".to_string()]);
+    }
+
+    #[test]
+    fn stat_reports_kind_and_size() {
+        run_fs(13, |cx, fs| {
+            fs.mkdir_sync("d").unwrap();
+            let fs2 = fs.clone();
+            fs.write_file(cx, "f", vec![0u8; 7], move |cx, r| {
+                r.unwrap();
+                let fs3 = fs2.clone();
+                fs2.stat(cx, "f", move |cx, r| {
+                    assert_eq!(
+                        r.unwrap(),
+                        Stat {
+                            is_dir: false,
+                            size: 7
+                        }
+                    );
+                    fs3.stat(cx, "d", |_, r| {
+                        assert!(r.unwrap().is_dir);
+                    });
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn empty_path_is_einval() {
+        run_fs(14, |cx, fs| {
+            fs.mkdir(cx, "", |_, r| {
+                assert_eq!(r, Err(Errno::Einval));
+            });
+        });
+    }
+
+    #[test]
+    fn write_pages_lays_out_pages() {
+        let fs = run_fs(15, |cx, fs| {
+            let pages = vec![vec![1u8; PAGE_SIZE], vec![2u8; PAGE_SIZE]];
+            fs.write_pages(cx, "big", 0, pages, |_, r| r.unwrap());
+        });
+        let data = fs.read_sync("big").unwrap();
+        assert_eq!(data.len(), 2 * PAGE_SIZE);
+        assert!(data[..PAGE_SIZE].iter().all(|&b| b == 1));
+        assert!(data[PAGE_SIZE..].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn concurrent_overlapping_page_writes_can_mix() {
+        // Two 4-page writes to the same range: under the vanilla pool's
+        // 4 workers the page tasks interleave, so across seeds we should
+        // observe at least one torn file — pages from both writers.
+        let mut torn = false;
+        for seed in 0..200 {
+            let mut el = EventLoop::new(LoopConfig {
+                pool_cost_jitter: 0.9,
+                ..LoopConfig::seeded(1000 + seed)
+            });
+            let fs = SimFs::new();
+            let f = fs.clone();
+            el.enter(move |cx| {
+                let pages_a = vec![vec![b'A'; PAGE_SIZE]; 4];
+                let pages_b = vec![vec![b'B'; PAGE_SIZE]; 4];
+                f.write_pages(cx, "shared", 0, pages_a, |_, r| r.unwrap());
+                f.write_pages(cx, "shared", 0, pages_b, |_, r| r.unwrap());
+            });
+            el.run();
+            let data = fs.read_sync("shared").unwrap();
+            let firsts: Vec<u8> = (0..4).map(|p| data[p * PAGE_SIZE]).collect();
+            if firsts.iter().any(|&b| b == b'A') && firsts.iter().any(|&b| b == b'B') {
+                torn = true;
+                break;
+            }
+        }
+        assert!(torn, "expected a torn multi-page write across 200 seeds");
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let fs = run_fs(16, |cx, fs| {
+            fs.mkdir(cx, "x", |_, r| r.unwrap());
+        });
+        assert_eq!(fs.creates(), 1);
+        assert!(fs.ops() >= 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Tests for `fs.watch` (§4.2.1's "monitor changes in the file system").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nodefz_fs::{FsEvent, FsEventKind, SimFs};
+use nodefz_rt::{Errno, EventLoop, LoopConfig, Termination, VDur};
+
+type Events = Rc<RefCell<Vec<FsEvent>>>;
+
+fn watch_scenario(
+    seed: u64,
+    prefix: &'static str,
+    script: impl FnOnce(&mut nodefz_rt::Ctx<'_>, SimFs) + 'static,
+) -> (Vec<FsEvent>, Termination) {
+    let mut el = EventLoop::new(LoopConfig::seeded(seed));
+    let fs = SimFs::new();
+    let events: Events = Rc::new(RefCell::new(Vec::new()));
+    let f = fs.clone();
+    let e = events.clone();
+    el.enter(move |cx| {
+        let watch_id = f
+            .watch(cx, prefix, move |_cx, event| {
+                e.borrow_mut().push(event.clone());
+            })
+            .unwrap();
+        script(cx, f.clone());
+        // Watchers keep the loop alive; close at the horizon.
+        let f2 = f.clone();
+        cx.set_timeout(VDur::millis(30), move |cx| {
+            f2.unwatch(cx, watch_id).unwrap();
+        });
+    });
+    let report = el.run();
+    let out = events.borrow().clone();
+    (out, report.termination)
+}
+
+#[test]
+fn create_modify_remove_are_observed_in_order() {
+    let (events, term) = watch_scenario(1, "", |cx, fs| {
+        let fs2 = fs.clone();
+        fs.write_file(cx, "log", b"v1".to_vec(), move |cx, r| {
+            r.unwrap();
+            let fs3 = fs2.clone();
+            fs2.write_file(cx, "log", b"v2".to_vec(), move |cx, r| {
+                r.unwrap();
+                fs3.unlink(cx, "log", |_cx, r| r.unwrap());
+            });
+        });
+    });
+    assert_eq!(term, Termination::Quiescent);
+    assert_eq!(
+        events,
+        vec![
+            FsEvent {
+                path: "log".into(),
+                kind: FsEventKind::Created
+            },
+            FsEvent {
+                path: "log".into(),
+                kind: FsEventKind::Modified
+            },
+            FsEvent {
+                path: "log".into(),
+                kind: FsEventKind::Removed
+            },
+        ]
+    );
+}
+
+#[test]
+fn prefix_filters_events() {
+    let (events, _) = watch_scenario(2, "logs/", |cx, fs| {
+        fs.mkdir_sync("logs").unwrap();
+        fs.mkdir_sync("tmp").unwrap();
+        let fs2 = fs.clone();
+        fs.write_file(cx, "logs/app", b"x".to_vec(), move |cx, r| {
+            r.unwrap();
+            fs2.write_file(cx, "tmp/scratch", b"y".to_vec(), |_cx, r| r.unwrap());
+        });
+    });
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].path, "logs/app");
+}
+
+#[test]
+fn mkdir_and_rmdir_notify() {
+    let (events, _) = watch_scenario(3, "build", |cx, fs| {
+        let fs2 = fs.clone();
+        fs.mkdir(cx, "build", move |cx, r| {
+            r.unwrap();
+            fs2.rmdir(cx, "build", |_cx, r| r.unwrap());
+        });
+    });
+    assert_eq!(
+        events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+        vec![FsEventKind::Created, FsEventKind::Removed]
+    );
+}
+
+#[test]
+fn failed_operations_do_not_notify() {
+    let (events, _) = watch_scenario(4, "", |cx, fs| {
+        fs.mkdir(cx, "a/b/c", |_cx, r| assert!(r.is_err())); // ENOENT.
+    });
+    assert!(events.is_empty());
+}
+
+#[test]
+fn unwatch_stops_delivery_and_releases_the_loop() {
+    let mut el = EventLoop::new(LoopConfig::seeded(5));
+    let fs = SimFs::new();
+    let count = Rc::new(RefCell::new(0u32));
+    let f = fs.clone();
+    let c = count.clone();
+    el.enter(move |cx| {
+        let id = f
+            .watch(cx, "", move |_cx, _e| *c.borrow_mut() += 1)
+            .unwrap();
+        let f2 = f.clone();
+        f.write_file(cx, "one", b"1".to_vec(), move |cx, r| {
+            r.unwrap();
+            let f3 = f2.clone();
+            f2.unwatch(cx, id).unwrap();
+            assert!(f2.unwatch(cx, id).is_err(), "double unwatch");
+            f3.write_file(cx, "two", b"2".to_vec(), |_cx, r| r.unwrap());
+        });
+    });
+    let report = el.run();
+    assert_eq!(report.termination, Termination::Quiescent);
+    // Only the first write could have been delivered; the event for the
+    // second was dropped with the watcher. (The first event's delivery
+    // races with the unwatch, so 0 or 1 are both legal — never 2.)
+    assert!(*count.borrow() <= 1);
+}
+
+#[test]
+fn open_watcher_keeps_the_loop_alive() {
+    let mut el = EventLoop::new(LoopConfig::seeded(6));
+    let fs = SimFs::new();
+    let f = fs.clone();
+    el.enter(move |cx| {
+        f.watch(cx, "", |_cx, _e| {}).unwrap();
+    });
+    let report = el.run();
+    assert_eq!(
+        report.termination,
+        Termination::Hung,
+        "an open watcher with no possible events is a hang, as in Node"
+    );
+}
+
+#[test]
+fn two_watchers_both_notified() {
+    let mut el = EventLoop::new(LoopConfig::seeded(7));
+    let fs = SimFs::new();
+    let hits = Rc::new(RefCell::new(0u32));
+    let f = fs.clone();
+    let h = hits.clone();
+    el.enter(move |cx| {
+        let mut ids = Vec::new();
+        for _ in 0..2 {
+            let h = h.clone();
+            ids.push(
+                f.watch(cx, "", move |_cx, _e| *h.borrow_mut() += 1)
+                    .unwrap(),
+            );
+        }
+        let f2 = f.clone();
+        f.write_file(cx, "shared", b"x".to_vec(), |_cx, r| r.unwrap());
+        cx.set_timeout(VDur::millis(20), move |cx| {
+            for id in ids {
+                f2.unwatch(cx, id).unwrap();
+            }
+        });
+    });
+    el.run();
+    assert_eq!(*hits.borrow(), 2);
+}
+
+#[test]
+fn rename_moves_files_and_notifies() {
+    let mut el = EventLoop::new(LoopConfig::seeded(20));
+    let fs = SimFs::new();
+    let events: Events = Rc::new(RefCell::new(Vec::new()));
+    let f = fs.clone();
+    let e = events.clone();
+    el.enter(move |cx| {
+        let id = f
+            .watch(cx, "", move |_cx, ev| e.borrow_mut().push(ev.clone()))
+            .unwrap();
+        f.mkdir_sync("dir").unwrap();
+        f.write_sync("old", b"data".to_vec()).unwrap();
+        let f2 = f.clone();
+        f.rename(cx, "old", "dir/new", move |cx, r| {
+            r.unwrap();
+            let f3 = f2.clone();
+            // Missing source is ENOENT.
+            f2.rename(cx, "ghost", "x", move |cx, r| {
+                assert_eq!(r, Err(Errno::Enoent));
+                // Clobbering a directory is refused, and the source stays.
+                let f4 = f3.clone();
+                f3.rename(cx, "dir/new", "dir", move |_cx, r| {
+                    assert_eq!(r, Err(Errno::Eisdir));
+                    assert!(f4.exists_sync("dir/new"));
+                });
+            });
+        });
+        let f5 = f.clone();
+        cx.set_timeout(VDur::millis(30), move |cx| {
+            f5.unwatch(cx, id).unwrap();
+        });
+    });
+    let report = el.run();
+    assert_eq!(report.termination, Termination::Quiescent);
+    assert!(fs.exists_sync("dir/new"));
+    assert!(!fs.exists_sync("old"));
+    assert_eq!(fs.read_sync("dir/new").unwrap(), b"data");
+    let kinds: Vec<_> = events
+        .borrow()
+        .iter()
+        .map(|e| (e.path.clone(), e.kind))
+        .collect();
+    assert!(kinds.contains(&("old".to_string(), FsEventKind::Removed)));
+    assert!(kinds.contains(&("dir/new".to_string(), FsEventKind::Created)));
+}
+
+#[test]
+fn rename_replaces_destination_file() {
+    let mut el = EventLoop::new(LoopConfig::seeded(21));
+    let fs = SimFs::new();
+    fs.write_sync("a", b"aaa".to_vec()).unwrap();
+    fs.write_sync("b", b"bbb".to_vec()).unwrap();
+    let f = fs.clone();
+    el.enter(move |cx| {
+        f.rename(cx, "a", "b", |_cx, r| r.unwrap());
+    });
+    el.run();
+    assert!(!fs.exists_sync("a"));
+    assert_eq!(fs.read_sync("b").unwrap(), b"aaa");
+}

@@ -1,0 +1,623 @@
+//! # nodefz-http — an HTTP-style layer over the simulated network
+//!
+//! The paper's motivating domain is web servers. This crate provides the
+//! request/response framing and routing a Node.js-style application uses,
+//! on top of `nodefz-net`: a [`Router`] with `:param` path captures, an
+//! [`HttpServer`], and a scripted [`HttpClient`].
+//!
+//! The wire format is a deliberately simple text framing (one message per
+//! request/response); what matters for schedule fuzzing is the event
+//! structure, which is identical to real HTTP-over-TCP at the granularity
+//! the fuzzer perturbs.
+//!
+//! ## Example
+//!
+//! ```
+//! use nodefz_http::{HttpClient, HttpServer, Method, Response, Router};
+//! use nodefz_net::SimNet;
+//! use nodefz_rt::{EventLoop, LoopConfig, VDur};
+//!
+//! let mut el = EventLoop::new(LoopConfig::seeded(4));
+//! let net = SimNet::new();
+//! let mut router = Router::new();
+//! router.get("/hello/:name", |_cx, req, responder| {
+//!     let name = req.param("name").unwrap_or("world").to_string();
+//!     responder.send(_cx, Response::ok(format!("hi {name}")));
+//! });
+//! let n = net.clone();
+//! el.enter(move |cx| {
+//!     HttpServer::listen(cx, &n, 80, router).unwrap();
+//! });
+//! let client = el.enter(|cx| {
+//!     let c = HttpClient::connect(cx, &net, 80);
+//!     c.get(cx, "/hello/ada");
+//!     c.close_after(cx, VDur::millis(50));
+//!     c
+//! });
+//! el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(60)));
+//! el.run();
+//! let responses = client.responses();
+//! assert_eq!(responses[0].status, 200);
+//! assert_eq!(responses[0].body, b"hi ada");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nodefz_net::{Client, Connection, SimNet};
+use nodefz_rt::{Ctx, Errno, VDur};
+
+/// HTTP request methods (the subset the study's servers use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Fetch a resource.
+    Get,
+    /// Create/submit.
+    Post,
+    /// Replace.
+    Put,
+    /// Remove.
+    Delete,
+}
+
+impl Method {
+    /// Upper-case wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request path (no query strings in this model).
+    pub path: String,
+    /// Request body.
+    pub body: Vec<u8>,
+    /// Path parameters captured by the matched route (`:name` segments).
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Returns a captured path parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a body.
+    pub fn ok(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+        }
+    }
+
+    /// Arbitrary status with an empty body.
+    pub fn status(status: u16) -> Response {
+        Response {
+            status,
+            body: Vec::new(),
+        }
+    }
+
+    /// Replaces the body.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Response {
+        self.body = body.into();
+        self
+    }
+}
+
+/// Encodes a request into a wire message.
+pub fn encode_request(method: Method, path: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!("{} {}\n", method.name(), path).into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parses a wire message into (method, path, body).
+pub fn decode_request(msg: &[u8]) -> Option<(Method, String, Vec<u8>)> {
+    let split = msg.iter().position(|&b| b == b'\n')?;
+    let head = std::str::from_utf8(&msg[..split]).ok()?;
+    let (method, path) = head.split_once(' ')?;
+    let method = Method::parse(method)?;
+    if path.is_empty() || !path.starts_with('/') {
+        return None;
+    }
+    Some((method, path.to_string(), msg[split + 1..].to_vec()))
+}
+
+/// Encodes a response into a wire message.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut out = format!("HTTP {}\n", response.status).into_bytes();
+    out.extend_from_slice(&response.body);
+    out
+}
+
+/// Parses a wire message into a response.
+pub fn decode_response(msg: &[u8]) -> Option<Response> {
+    let split = msg.iter().position(|&b| b == b'\n')?;
+    let head = std::str::from_utf8(&msg[..split]).ok()?;
+    let status = head.strip_prefix("HTTP ")?.parse().ok()?;
+    Some(Response {
+        status,
+        body: msg[split + 1..].to_vec(),
+    })
+}
+
+/// One-shot handle for answering a request.
+pub struct Responder {
+    conn: Connection,
+    responded: Rc<RefCell<bool>>,
+}
+
+impl Responder {
+    /// Sends the response. Later calls on clones of the same responder are
+    /// ignored (a response goes out once).
+    pub fn send(&self, cx: &mut Ctx<'_>, response: Response) {
+        let mut sent = self.responded.borrow_mut();
+        if *sent {
+            return;
+        }
+        *sent = true;
+        let _ = self.conn.write(cx, encode_response(&response));
+    }
+
+    /// Whether a response was already sent.
+    pub fn responded(&self) -> bool {
+        *self.responded.borrow()
+    }
+}
+
+impl Clone for Responder {
+    fn clone(&self) -> Responder {
+        Responder {
+            conn: self.conn.clone(),
+            responded: self.responded.clone(),
+        }
+    }
+}
+
+type Handler = Rc<RefCell<dyn FnMut(&mut Ctx<'_>, Request, Responder)>>;
+
+struct Route {
+    method: Method,
+    segments: Vec<String>,
+    handler: Handler,
+}
+
+/// Routes requests by method and path pattern.
+///
+/// Patterns are `/`-separated; a `:name` segment captures that path
+/// component into [`Request::params`]. The first matching route wins;
+/// unmatched requests get a 404.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router (every request 404s).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a route.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl FnMut(&mut Ctx<'_>, Request, Responder) + 'static,
+    ) -> &mut Router {
+        self.routes.push(Route {
+            method,
+            segments: pattern
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+            handler: Rc::new(RefCell::new(handler)),
+        });
+        self
+    }
+
+    /// Adds a GET route.
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl FnMut(&mut Ctx<'_>, Request, Responder) + 'static,
+    ) -> &mut Router {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Adds a POST route.
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl FnMut(&mut Ctx<'_>, Request, Responder) + 'static,
+    ) -> &mut Router {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the router has no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    fn match_route(&self, method: Method, path: &str) -> Option<(Handler, Vec<(String, String)>)> {
+        let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        'routes: for route in &self.routes {
+            if route.method != method || route.segments.len() != parts.len() {
+                continue;
+            }
+            let mut params = Vec::new();
+            for (pattern, got) in route.segments.iter().zip(&parts) {
+                if let Some(name) = pattern.strip_prefix(':') {
+                    params.push((name.to_string(), (*got).to_string()));
+                } else if pattern != got {
+                    continue 'routes;
+                }
+            }
+            return Some((route.handler.clone(), params));
+        }
+        None
+    }
+}
+
+/// An HTTP server bound to a port.
+pub struct HttpServer {
+    inner: nodefz_net::Server,
+}
+
+impl HttpServer {
+    /// Starts serving `router` on `port`.
+    ///
+    /// # Errors
+    ///
+    /// `EADDRINUSE` / `EMFILE` from the network layer.
+    pub fn listen(
+        cx: &mut Ctx<'_>,
+        net: &SimNet,
+        port: u16,
+        router: Router,
+    ) -> Result<HttpServer, Errno> {
+        let router = Rc::new(router);
+        let inner = net.listen(cx, port, move |_cx, conn| {
+            let router = router.clone();
+            conn.on_data(move |cx, conn, msg| {
+                let Some((method, path, body)) = decode_request(msg) else {
+                    let _ = conn.write(cx, encode_response(&Response::status(400)));
+                    return;
+                };
+                let responder = Responder {
+                    conn: conn.clone(),
+                    responded: Rc::new(RefCell::new(false)),
+                };
+                match router.match_route(method, &path) {
+                    Some((handler, params)) => {
+                        let request = Request {
+                            method,
+                            path,
+                            body,
+                            params,
+                        };
+                        (handler.borrow_mut())(cx, request, responder);
+                    }
+                    None => responder.send(cx, Response::status(404)),
+                }
+            });
+        })?;
+        Ok(HttpServer { inner })
+    }
+
+    /// Stops accepting connections.
+    pub fn close(&self, cx: &mut Ctx<'_>) {
+        self.inner.close(cx);
+    }
+}
+
+/// A scripted HTTP client over one keep-alive connection.
+#[derive(Clone)]
+pub struct HttpClient {
+    client: Client,
+}
+
+impl HttpClient {
+    /// Connects to `port`.
+    pub fn connect(cx: &mut Ctx<'_>, net: &SimNet, port: u16) -> HttpClient {
+        HttpClient {
+            client: Client::connect(cx, net, port),
+        }
+    }
+
+    /// Connects after a delay.
+    pub fn connect_after(cx: &mut Ctx<'_>, net: &SimNet, port: u16, delay: VDur) -> HttpClient {
+        HttpClient {
+            client: Client::connect_after(cx, net, port, delay),
+        }
+    }
+
+    /// Issues a request now.
+    pub fn request(&self, cx: &mut Ctx<'_>, method: Method, path: &str, body: &[u8]) {
+        self.client.send(cx, encode_request(method, path, body));
+    }
+
+    /// Issues a request after a delay.
+    pub fn request_after(
+        &self,
+        cx: &mut Ctx<'_>,
+        delay: VDur,
+        method: Method,
+        path: &str,
+        body: &[u8],
+    ) {
+        self.client
+            .send_after(cx, delay, encode_request(method, path, body));
+    }
+
+    /// Issues a GET now.
+    pub fn get(&self, cx: &mut Ctx<'_>, path: &str) {
+        self.request(cx, Method::Get, path, b"");
+    }
+
+    /// Issues a POST now.
+    pub fn post(&self, cx: &mut Ctx<'_>, path: &str, body: &[u8]) {
+        self.request(cx, Method::Post, path, body);
+    }
+
+    /// Closes the connection after a delay.
+    pub fn close_after(&self, cx: &mut Ctx<'_>, delay: VDur) {
+        self.client.close_after(cx, delay);
+    }
+
+    /// Responses received so far, in arrival order (undecodable messages
+    /// are skipped).
+    pub fn responses(&self) -> Vec<Response> {
+        self.client
+            .received()
+            .iter()
+            .filter_map(|m| decode_response(m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_rt::{EventLoop, LoopConfig};
+
+    #[test]
+    fn request_codec_roundtrip() {
+        let wire = encode_request(Method::Post, "/users", b"alice");
+        let (method, path, body) = decode_request(&wire).unwrap();
+        assert_eq!(method, Method::Post);
+        assert_eq!(path, "/users");
+        assert_eq!(body, b"alice");
+    }
+
+    #[test]
+    fn response_codec_roundtrip() {
+        let r = Response::ok("hello").with_body("payload");
+        let wire = encode_response(&r);
+        assert_eq!(decode_response(&wire).unwrap(), r);
+        assert_eq!(
+            decode_response(&encode_response(&Response::status(503)))
+                .unwrap()
+                .status,
+            503
+        );
+    }
+
+    #[test]
+    fn malformed_wire_is_rejected() {
+        assert!(decode_request(b"").is_none());
+        assert!(decode_request(b"GET\n").is_none());
+        assert!(decode_request(b"YEET /x\n").is_none());
+        assert!(decode_request(b"GET relative\n").is_none());
+        assert!(decode_response(b"nonsense").is_none());
+        assert!(decode_response(b"HTTP abc\n").is_none());
+    }
+
+    #[test]
+    fn method_names_roundtrip() {
+        for m in [Method::Get, Method::Post, Method::Put, Method::Delete] {
+            assert_eq!(Method::parse(m.name()), Some(m));
+        }
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+
+    fn serve(seed: u64, router: Router) -> (EventLoop, SimNet) {
+        let mut el = EventLoop::new(LoopConfig::seeded(seed));
+        let net = SimNet::new();
+        let n = net.clone();
+        el.enter(move |cx| {
+            HttpServer::listen(cx, &n, 80, router).unwrap();
+        });
+        (el, net)
+    }
+
+    #[test]
+    fn exact_route_is_served() {
+        let mut router = Router::new();
+        router.get("/ping", |cx, _req, responder| {
+            responder.send(cx, Response::ok("pong"));
+        });
+        let (mut el, net) = serve(1, router);
+        let client = el.enter(|cx| {
+            let c = HttpClient::connect(cx, &net, 80);
+            c.get(cx, "/ping");
+            c.close_after(cx, VDur::millis(40));
+            c
+        });
+        el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(50)));
+        el.run();
+        let responses = client.responses();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0], Response::ok("pong"));
+    }
+
+    #[test]
+    fn params_are_captured() {
+        let mut router = Router::new();
+        router.get("/users/:id/posts/:post", |cx, req, responder| {
+            let reply = format!(
+                "{}-{}",
+                req.param("id").unwrap(),
+                req.param("post").unwrap()
+            );
+            responder.send(cx, Response::ok(reply));
+        });
+        let (mut el, net) = serve(2, router);
+        let client = el.enter(|cx| {
+            let c = HttpClient::connect(cx, &net, 80);
+            c.get(cx, "/users/42/posts/7");
+            c.close_after(cx, VDur::millis(40));
+            c
+        });
+        el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(50)));
+        el.run();
+        assert_eq!(client.responses()[0].body, b"42-7");
+    }
+
+    #[test]
+    fn unmatched_requests_get_404() {
+        let mut router = Router::new();
+        router.get("/known", |cx, _req, r| r.send(cx, Response::ok("")));
+        let (mut el, net) = serve(3, router);
+        let client = el.enter(|cx| {
+            let c = HttpClient::connect(cx, &net, 80);
+            c.get(cx, "/unknown");
+            c.post(cx, "/known", b""); // Wrong method.
+            c.close_after(cx, VDur::millis(40));
+            c
+        });
+        el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(50)));
+        el.run();
+        let statuses: Vec<u16> = client.responses().iter().map(|r| r.status).collect();
+        assert_eq!(statuses, vec![404, 404]);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let router = Router::new();
+        let (mut el, net) = serve(4, router);
+        let client = el.enter(|cx| {
+            let c = Client::connect(cx, &net, 80);
+            c.send(cx, b"garbage without a frame".to_vec());
+            c.close_after(cx, VDur::millis(40));
+            c
+        });
+        el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(50)));
+        el.run();
+        let got = client.received();
+        assert_eq!(decode_response(&got[0]).unwrap().status, 400);
+    }
+
+    #[test]
+    fn responder_sends_once() {
+        let mut router = Router::new();
+        router.get("/double", |cx, _req, responder| {
+            responder.send(cx, Response::ok("first"));
+            assert!(responder.responded());
+            responder.send(cx, Response::ok("second")); // Ignored.
+        });
+        let (mut el, net) = serve(5, router);
+        let client = el.enter(|cx| {
+            let c = HttpClient::connect(cx, &net, 80);
+            c.get(cx, "/double");
+            c.close_after(cx, VDur::millis(40));
+            c
+        });
+        el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(50)));
+        el.run();
+        let responses = client.responses();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].body, b"first");
+    }
+
+    #[test]
+    fn async_handlers_can_respond_later() {
+        let mut router = Router::new();
+        router.get("/slow", |cx, _req, responder| {
+            cx.set_timeout(VDur::millis(3), move |cx| {
+                responder.send(cx, Response::ok("eventually"));
+            });
+        });
+        let (mut el, net) = serve(6, router);
+        let client = el.enter(|cx| {
+            let c = HttpClient::connect(cx, &net, 80);
+            c.get(cx, "/slow");
+            c.close_after(cx, VDur::millis(40));
+            c
+        });
+        el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(50)));
+        el.run();
+        assert_eq!(client.responses()[0].body, b"eventually");
+    }
+
+    #[test]
+    fn pipelined_requests_answered_in_order() {
+        let mut router = Router::new();
+        router.get("/echo/:n", |cx, req, responder| {
+            let n = req.param("n").unwrap().to_string();
+            responder.send(cx, Response::ok(n));
+        });
+        let (mut el, net) = serve(7, router);
+        let client = el.enter(|cx| {
+            let c = HttpClient::connect(cx, &net, 80);
+            for n in 0..6 {
+                c.get(cx, &format!("/echo/{n}"));
+            }
+            c.close_after(cx, VDur::millis(60));
+            c
+        });
+        el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(70)));
+        el.run();
+        let bodies: Vec<Vec<u8>> = client.responses().into_iter().map(|r| r.body).collect();
+        assert_eq!(
+            bodies,
+            (0..6)
+                .map(|n| n.to_string().into_bytes())
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Property tests for the HTTP wire codec.
+
+use proptest::prelude::*;
+
+use nodefz_http::{
+    decode_request, decode_response, encode_request, encode_response, Method, Response,
+};
+
+fn method_strategy() -> impl Strategy<Value = Method> {
+    prop::sample::select(vec![Method::Get, Method::Post, Method::Put, Method::Delete])
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    "(/[a-z0-9:_-]{1,8}){1,4}".prop_map(|s| s)
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(
+        method in method_strategy(),
+        path in path_strategy(),
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let wire = encode_request(method, &path, &body);
+        let (m, p, b) = decode_request(&wire).expect("self-encoded requests decode");
+        prop_assert_eq!(m, method);
+        prop_assert_eq!(p, path);
+        prop_assert_eq!(b, body);
+    }
+
+    #[test]
+    fn response_roundtrip(status in 100u16..600, body in prop::collection::vec(any::<u8>(), 0..64)) {
+        let r = Response { status, body };
+        let decoded = decode_response(&encode_response(&r)).expect("self-encoded responses decode");
+        prop_assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+}

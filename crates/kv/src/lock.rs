@@ -1,0 +1,247 @@
+//! A Redis-style distributed lock over the key-value store.
+//!
+//! The kue study bugs (KUE #483, the novel #967 deadlock) revolve around
+//! exactly this pattern: `SET key owner NX PX ttl` to acquire, polling with
+//! a deadline, `DEL` (owner-checked) to release. This helper packages the
+//! pattern so applications do not re-implement the racy parts.
+
+use nodefz_rt::{Ctx, VDur};
+
+use crate::Kv;
+
+/// Outcome of a lock acquisition attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockResult {
+    /// The lock was acquired.
+    Acquired,
+    /// The deadline elapsed with the lock still held by someone else.
+    TimedOut {
+        /// How many acquisition attempts were made.
+        attempts: u32,
+    },
+}
+
+/// Configuration for [`KvLock`].
+#[derive(Clone, Copy, Debug)]
+pub struct LockConfig {
+    /// TTL stamped on the lock key (crash safety).
+    pub ttl: VDur,
+    /// Delay between acquisition attempts.
+    pub retry_every: VDur,
+    /// Maximum number of attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for LockConfig {
+    fn default() -> LockConfig {
+        LockConfig {
+            ttl: VDur::secs(30),
+            retry_every: VDur::millis(2),
+            max_attempts: 5,
+        }
+    }
+}
+
+/// A named lock bound to a store and an owner identity.
+#[derive(Clone)]
+pub struct KvLock {
+    kv: Kv,
+    key: String,
+    owner: String,
+    config: LockConfig,
+}
+
+impl KvLock {
+    /// Creates a lock handle (acquires nothing yet).
+    pub fn new(kv: &Kv, key: &str, owner: &str, config: LockConfig) -> KvLock {
+        KvLock {
+            kv: kv.clone(),
+            key: key.to_string(),
+            owner: owner.to_string(),
+            config,
+        }
+    }
+
+    /// Attempts to acquire the lock, retrying until the attempt budget is
+    /// exhausted; `cb` receives the outcome.
+    pub fn acquire(&self, cx: &mut Ctx<'_>, cb: impl FnOnce(&mut Ctx<'_>, LockResult) + 'static) {
+        self.try_once(cx, 1, Box::new(cb));
+    }
+
+    fn try_once(
+        &self,
+        cx: &mut Ctx<'_>,
+        attempt: u32,
+        cb: Box<dyn FnOnce(&mut Ctx<'_>, LockResult)>,
+    ) {
+        let this = self.clone();
+        self.kv.setnx_ttl(
+            cx,
+            &self.key,
+            &self.owner,
+            self.config.ttl,
+            move |cx, won| {
+                if won {
+                    cb(cx, LockResult::Acquired);
+                } else if attempt >= this.config.max_attempts {
+                    cb(cx, LockResult::TimedOut { attempts: attempt });
+                } else {
+                    let this2 = this.clone();
+                    cx.set_timeout(this.config.retry_every, move |cx| {
+                        this2.try_once(cx, attempt + 1, cb);
+                    });
+                }
+            },
+        );
+    }
+
+    /// Releases the lock if this owner still holds it; `cb` receives
+    /// whether a release actually happened.
+    ///
+    /// The owner check makes release safe after a TTL expiry handed the
+    /// lock to someone else — deleting blindly would break their critical
+    /// section.
+    pub fn release(&self, cx: &mut Ctx<'_>, cb: impl FnOnce(&mut Ctx<'_>, bool) + 'static) {
+        let kv = self.kv.clone();
+        let key = self.key.clone();
+        let owner = self.owner.clone();
+        self.kv.get(cx, &self.key, move |cx, holder| {
+            if holder.as_deref() == Some(owner.as_str()) {
+                kv.del(cx, &key, move |cx, existed| cb(cx, existed));
+            } else {
+                cb(cx, false);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use nodefz_rt::{EventLoop, LoopConfig};
+
+    fn harness(seed: u64) -> (EventLoop, Kv) {
+        let mut el = EventLoop::new(LoopConfig::seeded(seed));
+        let kv = el.enter(|cx| Kv::connect(cx, 2).expect("pool"));
+        (el, kv)
+    }
+
+    #[test]
+    fn acquire_free_lock_first_try() {
+        let (mut el, kv) = harness(1);
+        let outcome = Rc::new(RefCell::new(None));
+        let o = outcome.clone();
+        let lock = KvLock::new(&kv, "lock:q", "w1", LockConfig::default());
+        el.enter(move |cx| {
+            lock.acquire(cx, move |_cx, r| *o.borrow_mut() = Some(r));
+        });
+        el.run();
+        assert_eq!(*outcome.borrow(), Some(LockResult::Acquired));
+        assert_eq!(kv.get_sync("lock:q").as_deref(), Some("w1"));
+    }
+
+    #[test]
+    fn contended_lock_times_out_with_attempt_count() {
+        let (mut el, kv) = harness(2);
+        kv.set_sync("lock:q", "someone-else");
+        let outcome = Rc::new(RefCell::new(None));
+        let o = outcome.clone();
+        let lock = KvLock::new(
+            &kv,
+            "lock:q",
+            "w2",
+            LockConfig {
+                max_attempts: 3,
+                ..LockConfig::default()
+            },
+        );
+        el.enter(move |cx| {
+            lock.acquire(cx, move |_cx, r| *o.borrow_mut() = Some(r));
+        });
+        el.run();
+        assert_eq!(
+            *outcome.borrow(),
+            Some(LockResult::TimedOut { attempts: 3 })
+        );
+    }
+
+    #[test]
+    fn retry_succeeds_once_the_holder_releases() {
+        let (mut el, kv) = harness(3);
+        let outcome = Rc::new(RefCell::new(None));
+        let o = outcome.clone();
+        let holder = KvLock::new(&kv, "lock:q", "w1", LockConfig::default());
+        let waiter = KvLock::new(
+            &kv,
+            "lock:q",
+            "w2",
+            LockConfig {
+                retry_every: VDur::millis(2),
+                max_attempts: 10,
+                ..LockConfig::default()
+            },
+        );
+        el.enter(move |cx| {
+            let holder2 = holder.clone();
+            holder.acquire(cx, move |cx, r| {
+                assert_eq!(r, LockResult::Acquired);
+                // Release after a while.
+                cx.set_timeout(VDur::millis(6), move |cx| {
+                    holder2.release(cx, |_cx, released| assert!(released));
+                });
+            });
+            waiter.acquire(cx, move |_cx, r| *o.borrow_mut() = Some(r));
+        });
+        el.run();
+        assert_eq!(*outcome.borrow(), Some(LockResult::Acquired));
+        assert_eq!(kv.get_sync("lock:q").as_deref(), Some("w2"));
+    }
+
+    #[test]
+    fn release_is_owner_checked() {
+        let (mut el, kv) = harness(4);
+        kv.set_sync("lock:q", "rightful-owner");
+        let lock = KvLock::new(&kv, "lock:q", "impostor", LockConfig::default());
+        el.enter(move |cx| {
+            lock.release(cx, |_cx, released| assert!(!released));
+        });
+        el.run();
+        assert_eq!(kv.get_sync("lock:q").as_deref(), Some("rightful-owner"));
+    }
+
+    #[test]
+    fn ttl_expiry_frees_a_leaked_lock() {
+        let (mut el, kv) = harness(5);
+        let outcome = Rc::new(RefCell::new(None));
+        let o = outcome.clone();
+        let leaker = KvLock::new(
+            &kv,
+            "lock:q",
+            "leaker",
+            LockConfig {
+                ttl: VDur::millis(5),
+                ..LockConfig::default()
+            },
+        );
+        let waiter = KvLock::new(
+            &kv,
+            "lock:q",
+            "waiter",
+            LockConfig {
+                retry_every: VDur::millis(3),
+                max_attempts: 10,
+                ..LockConfig::default()
+            },
+        );
+        el.enter(move |cx| {
+            leaker.acquire(cx, |_cx, r| assert_eq!(r, LockResult::Acquired));
+            // The leaker never releases; the waiter wins via TTL expiry.
+            waiter.acquire(cx, move |_cx, r| *o.borrow_mut() = Some(r));
+        });
+        el.run();
+        assert_eq!(*outcome.borrow(), Some(LockResult::Acquired));
+    }
+}

@@ -1,0 +1,752 @@
+//! The event loop driver.
+//!
+//! [`EventLoop::run`] executes libuv's iteration structure in virtual time:
+//! timers → pending → idle → prepare → poll → check → close, consulting the
+//! installed [`Scheduler`] at every point of legal nondeterminism. The loop
+//! terminates when nothing can keep it alive (no timers, no ref'd
+//! descriptors, no queued work, no scheduled environment events), when a
+//! callback calls [`Ctx::stop`]/[`Ctx::crash`], or at a configured safety
+//! cap.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::ctx::{Ctx, HandleId};
+use crate::envq::{EnvAction, EnvQueue};
+use crate::error::AppError;
+use crate::poll::{Fd, FdKind, PollState};
+use crate::pool::{CompletedTask, PoolState, PoolStats, RunningTask, TaskId, WorkCtx};
+use crate::proc::ProcTable;
+use crate::rng::Rng;
+use crate::sched::{PoolMode, Scheduler, TimerVerdict, VanillaScheduler};
+use crate::signal::SignalState;
+use crate::time::{VDur, VTime};
+use crate::timers::TimerHeap;
+use crate::trace::{CbKind, TraceRecorder, TypeSchedule};
+
+/// A one-shot queued callback.
+pub(crate) type Job = Box<dyn FnOnce(&mut Ctx<'_>)>;
+
+type RepeatCb = Rc<RefCell<dyn FnMut(&mut Ctx<'_>)>>;
+
+/// Registry for idle/prepare/check handles.
+#[derive(Default)]
+pub(crate) struct RepeatHandles {
+    items: Vec<(HandleId, RepeatCb)>,
+    next: u64,
+}
+
+impl RepeatHandles {
+    pub fn add(&mut self, cb: RepeatCb) -> HandleId {
+        let id = HandleId(self.next);
+        self.next += 1;
+        self.items.push((id, cb));
+        id
+    }
+
+    pub fn remove(&mut self, id: HandleId) -> bool {
+        let before = self.items.len();
+        self.items.retain(|(hid, _)| *hid != id);
+        self.items.len() != before
+    }
+
+    pub fn active(&self) -> usize {
+        self.items.len()
+    }
+
+    fn snapshot(&self) -> Vec<RepeatCb> {
+        self.items.iter().map(|(_, cb)| cb.clone()).collect()
+    }
+}
+
+/// Event loop configuration.
+#[derive(Clone, Debug)]
+pub struct LoopConfig {
+    /// Seed for the environment RNG (latencies, durations, costs).
+    pub env_seed: u64,
+    /// Per-process descriptor limit (`ulimit -n` analog).
+    pub fd_limit: usize,
+    /// Jitter fraction applied to worker-task cost hints.
+    pub pool_cost_jitter: f64,
+    /// Nominal virtual execution cost of one callback.
+    pub cb_cost_base: VDur,
+    /// Jitter fraction applied to callback costs.
+    pub cb_cost_jitter: f64,
+    /// Safety cap on loop iterations.
+    pub max_iterations: u64,
+    /// Safety cap on virtual time.
+    pub max_vtime: VTime,
+    /// Cap on microtasks drained after one callback (storm guard).
+    pub microtask_limit: usize,
+    /// Whether to record the full type schedule (counts are always kept).
+    pub trace: bool,
+}
+
+impl Default for LoopConfig {
+    fn default() -> LoopConfig {
+        LoopConfig {
+            env_seed: 0,
+            fd_limit: 10_240,
+            pool_cost_jitter: 0.4,
+            cb_cost_base: VDur::micros(20),
+            cb_cost_jitter: 0.5,
+            max_iterations: 10_000_000,
+            max_vtime: VTime::ZERO + VDur::secs(3_600),
+            microtask_limit: 10_000,
+            trace: true,
+        }
+    }
+}
+
+impl LoopConfig {
+    /// Default configuration with the given environment seed.
+    pub fn seeded(env_seed: u64) -> LoopConfig {
+        LoopConfig {
+            env_seed,
+            ..LoopConfig::default()
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// Nothing left to do: no live handles, work, or environment events.
+    Quiescent,
+    /// A callback called [`Ctx::stop`] or [`Ctx::crash`].
+    Stopped,
+    /// The iteration safety cap was hit.
+    IterationCap,
+    /// The virtual-time safety cap was hit.
+    VTimeCap,
+    /// The loop is alive (e.g. a ref'd descriptor is open) but no event can
+    /// ever arrive: a real libuv loop would block in epoll forever. This is
+    /// how "request hangs" impacts manifest.
+    Hung,
+}
+
+/// The outcome of one [`EventLoop::run`].
+#[derive(Debug)]
+pub struct RunReport {
+    /// Loop iterations executed.
+    pub iterations: u64,
+    /// Final virtual time.
+    pub end_time: VTime,
+    /// Total callbacks dispatched.
+    pub dispatched: u64,
+    /// Application errors reported during the run.
+    pub errors: Vec<AppError>,
+    /// The recorded type schedule (empty if tracing was disabled).
+    pub schedule: TypeSchedule,
+    /// Worker pool statistics.
+    pub pool: PoolStats,
+    /// Why the run ended.
+    pub termination: Termination,
+}
+
+impl RunReport {
+    /// Whether any error with the given code was reported.
+    pub fn has_error(&self, code: &str) -> bool {
+        self.errors.iter().any(|e| e.code == code)
+    }
+
+    /// Whether any fatal error (crash) was reported.
+    pub fn crashed(&self) -> bool {
+        self.errors.iter().any(|e| e.fatal)
+    }
+}
+
+pub(crate) struct LoopState {
+    pub cfg: LoopConfig,
+    pub now: VTime,
+    pub rng_env: Rng,
+    pub rng_cost: Rng,
+    pub timers: TimerHeap,
+    pub micro: std::collections::VecDeque<Job>,
+    pub immediates: std::collections::VecDeque<Job>,
+    pub pending: std::collections::VecDeque<Job>,
+    pub closing: std::collections::VecDeque<Job>,
+    pub idle: RepeatHandles,
+    pub prepare: RepeatHandles,
+    pub check: RepeatHandles,
+    pub poll: PollState,
+    pub pool: PoolState,
+    pub env: EnvQueue,
+    pub signals: SignalState,
+    pub procs: ProcTable,
+    pub trace: TraceRecorder,
+    pub errors: Vec<AppError>,
+    pub stopped: bool,
+    pub hung: bool,
+    pub demux_done: bool,
+    pub iter: u64,
+}
+
+impl LoopState {
+    fn new(cfg: LoopConfig, demux_done: bool) -> LoopState {
+        let mut root = Rng::new(cfg.env_seed);
+        let rng_env = root.fork();
+        let rng_cost = root.fork();
+        let rng_pool = root.fork();
+        LoopState {
+            now: VTime::ZERO,
+            rng_env,
+            rng_cost,
+            timers: TimerHeap::default(),
+            micro: Default::default(),
+            immediates: Default::default(),
+            pending: Default::default(),
+            closing: Default::default(),
+            idle: RepeatHandles::default(),
+            prepare: RepeatHandles::default(),
+            check: RepeatHandles::default(),
+            poll: PollState::new(cfg.fd_limit),
+            pool: PoolState::new(rng_pool, cfg.pool_cost_jitter),
+            env: EnvQueue::default(),
+            signals: SignalState::default(),
+            procs: ProcTable::default(),
+            trace: TraceRecorder::new(cfg.trace),
+            errors: Vec::new(),
+            stopped: false,
+            hung: false,
+            demux_done,
+            iter: 0,
+            cfg,
+        }
+    }
+
+    pub fn stats_submitted(&mut self) {
+        self.pool.stats.submitted += 1;
+    }
+
+    fn cb_cost(&mut self) -> VDur {
+        let base = self.cfg.cb_cost_base;
+        self.rng_cost.jitter(base, self.cfg.cb_cost_jitter)
+    }
+
+    fn alive(&self) -> bool {
+        self.timers.len() > 0
+            || self.poll.any_refd()
+            || self.poll.has_pending()
+            || self.pool.busy()
+            || !self.env.is_empty()
+            || !self.micro.is_empty()
+            || !self.pending.is_empty()
+            || !self.immediates.is_empty()
+            || !self.closing.is_empty()
+            || self.idle.active() > 0
+            || self.prepare.active() > 0
+            || self.check.active() > 0
+    }
+}
+
+/// A deterministic, virtual-time event loop with a pluggable scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use nodefz_rt::{EventLoop, LoopConfig, VDur};
+///
+/// let mut el = EventLoop::new(LoopConfig::seeded(1));
+/// el.enter(|cx| {
+///     cx.set_timeout(VDur::millis(5), |cx| {
+///         cx.report_error("done", "timer fired");
+///     });
+/// });
+/// let report = el.run();
+/// assert!(report.has_error("done"));
+/// ```
+pub struct EventLoop {
+    st: LoopState,
+    sched: Box<dyn Scheduler>,
+    pool_mode: PoolMode,
+}
+
+impl EventLoop {
+    /// Creates a loop with the faithful [`VanillaScheduler`].
+    pub fn new(cfg: LoopConfig) -> EventLoop {
+        EventLoop::with_scheduler(cfg, Box::new(VanillaScheduler::new()))
+    }
+
+    /// Creates a loop driven by the given scheduler.
+    pub fn with_scheduler(cfg: LoopConfig, sched: Box<dyn Scheduler>) -> EventLoop {
+        let pool_mode = sched.pool_mode();
+        let demux = sched.demux_done();
+        EventLoop {
+            st: LoopState::new(cfg, demux),
+            sched,
+            pool_mode,
+        }
+    }
+
+    /// Name of the installed scheduler.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
+    }
+
+    /// Runs a setup closure with a loop context before (or between) runs.
+    pub fn enter<R>(&mut self, f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
+        let mut cx = Ctx { st: &mut self.st };
+        let r = f(&mut cx);
+        self.drain_micro();
+        r
+    }
+
+    /// Runs the loop to completion and returns the run report.
+    pub fn run(&mut self) -> RunReport {
+        // A previous run's hang verdict does not carry over: re-entering
+        // may have scheduled new work.
+        self.st.hung = false;
+        let termination = loop {
+            if self.st.stopped {
+                break Termination::Stopped;
+            }
+            if !self.st.alive() {
+                break Termination::Quiescent;
+            }
+            if self.st.hung {
+                break Termination::Hung;
+            }
+            if self.st.iter >= self.st.cfg.max_iterations {
+                break Termination::IterationCap;
+            }
+            if self.st.now > self.st.cfg.max_vtime {
+                break Termination::VTimeCap;
+            }
+            self.iterate();
+        };
+        RunReport {
+            iterations: self.st.iter,
+            end_time: self.st.now,
+            dispatched: self.st.trace.dispatched(),
+            errors: self.st.errors.clone(),
+            schedule: self.st.trace.schedule().clone(),
+            pool: self.st.pool.stats,
+            termination,
+        }
+    }
+
+    // ---- Internals -----------------------------------------------------------
+
+    fn iterate(&mut self) {
+        self.st.iter += 1;
+        self.timer_phase();
+        if self.st.stopped {
+            return;
+        }
+        self.pending_phase();
+        self.repeat_phase(CbKind::Idle);
+        self.repeat_phase(CbKind::Prepare);
+        if self.st.stopped {
+            return;
+        }
+        self.poll_phase();
+        if self.st.stopped {
+            return;
+        }
+        self.check_phase();
+        self.repeat_phase(CbKind::Check);
+        if self.st.stopped {
+            return;
+        }
+        self.close_phase();
+    }
+
+    fn run_traced_job(&mut self, kind: CbKind, job: Job) {
+        self.st.trace.record(kind);
+        {
+            let mut cx = Ctx { st: &mut self.st };
+            job(&mut cx);
+        }
+        let cost = self.st.cb_cost();
+        self.st.now += cost;
+        self.drain_micro();
+    }
+
+    fn run_traced_repeat(&mut self, kind: CbKind, cb: RepeatCb) {
+        self.st.trace.record(kind);
+        {
+            let mut cx = Ctx { st: &mut self.st };
+            (cb.borrow_mut())(&mut cx);
+        }
+        let cost = self.st.cb_cost();
+        self.st.now += cost;
+        self.drain_micro();
+    }
+
+    fn drain_micro(&mut self) {
+        let mut drained = 0usize;
+        while let Some(job) = self.st.micro.pop_front() {
+            {
+                let mut cx = Ctx { st: &mut self.st };
+                job(&mut cx);
+            }
+            drained += 1;
+            if drained > self.st.cfg.microtask_limit {
+                let at = self.st.now;
+                self.st.errors.push(AppError {
+                    at,
+                    code: "microtask-storm".into(),
+                    message: format!("more than {} microtasks drained", drained),
+                    fatal: true,
+                });
+                self.st.stopped = true;
+                self.st.micro.clear();
+                return;
+            }
+            if self.st.stopped {
+                return;
+            }
+        }
+    }
+
+    fn timer_phase(&mut self) {
+        loop {
+            if self.st.stopped {
+                return;
+            }
+            let Some(entry) = self.st.timers.pop_due(self.st.now) else {
+                return;
+            };
+            match self.sched.on_timer() {
+                TimerVerdict::Run => {
+                    let cb = entry.cb.clone();
+                    if let Some(period) = entry.period {
+                        let next = self.st.now + period;
+                        self.st.timers.reinsert(entry, next);
+                    }
+                    self.run_traced_repeat(CbKind::Timer, cb);
+                }
+                TimerVerdict::Defer { delay } => {
+                    // Short-circuit: put the timer back untouched (keeping
+                    // its seq via reinsert_deferred) and stop timer
+                    // processing for this iteration, injecting the delay.
+                    let deadline = entry.deadline;
+                    self.st.timers.reinsert_deferred(entry, deadline);
+                    self.st.now += delay;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn pending_phase(&mut self) {
+        let n = self.st.pending.len();
+        for _ in 0..n {
+            if self.st.stopped {
+                return;
+            }
+            let Some(job) = self.st.pending.pop_front() else {
+                return;
+            };
+            self.run_traced_job(CbKind::Pending, job);
+        }
+    }
+
+    fn check_phase(&mut self) {
+        // Snapshot: immediates queued during the check phase run on the next
+        // iteration (Node.js `setImmediate` semantics).
+        let n = self.st.immediates.len();
+        for _ in 0..n {
+            if self.st.stopped {
+                return;
+            }
+            let Some(job) = self.st.immediates.pop_front() else {
+                return;
+            };
+            self.run_traced_job(CbKind::Check, job);
+        }
+    }
+
+    fn repeat_phase(&mut self, kind: CbKind) {
+        let handles = match kind {
+            CbKind::Idle => self.st.idle.snapshot(),
+            CbKind::Prepare => self.st.prepare.snapshot(),
+            CbKind::Check => self.st.check.snapshot(),
+            _ => unreachable!("repeat_phase called with {kind:?}"),
+        };
+        for cb in handles {
+            if self.st.stopped {
+                return;
+            }
+            self.run_traced_repeat(kind, cb);
+        }
+    }
+
+    fn close_phase(&mut self) {
+        let n = self.st.closing.len();
+        for _ in 0..n {
+            if self.st.stopped {
+                return;
+            }
+            let Some(job) = self.st.closing.pop_front() else {
+                return;
+            };
+            if self.sched.defer_close() {
+                self.st.closing.push_back(job);
+                continue;
+            }
+            self.run_traced_job(CbKind::Close, job);
+        }
+    }
+
+    /// Delivers every environment event due at or before the current time.
+    fn drain_env(&mut self) {
+        while let Some(entry) = self.st.env.pop_due(self.st.now) {
+            debug_assert!(entry.at <= self.st.now);
+            match entry.action {
+                EnvAction::TaskFinish(id) => self.finish_task(id),
+                EnvAction::PoolWakeup => { /* pump below */ }
+                EnvAction::Custom(job) => {
+                    let mut cx = Ctx { st: &mut self.st };
+                    job(&mut cx);
+                }
+            }
+        }
+        self.pump_pool();
+    }
+
+    /// Executes a finished task's body and stages its done callback.
+    fn finish_task(&mut self, id: TaskId) {
+        let Some(task) = self.st.pool.take_running(id) else {
+            return;
+        };
+        let RunningTask {
+            id,
+            work,
+            done,
+            demux_fd,
+            ..
+        } = task;
+        self.st.trace.record(CbKind::PoolTask);
+        let result = {
+            let mut wcx = WorkCtx {
+                now: self.st.now,
+                rng: &mut self.st.pool.rng,
+            };
+            work(&mut wcx)
+        };
+        self.st.pool.stats.executed += 1;
+        let completed = CompletedTask { id, done, result };
+        match demux_fd {
+            Some(fd) => {
+                // De-multiplexed: private descriptor per task (§4.3.3).
+                if self.st.poll.is_open(fd) {
+                    self.st.pool.done_demux.insert(fd, completed);
+                    let now = self.st.now;
+                    let _ = self.st.poll.mark_ready(fd, now);
+                }
+            }
+            None => {
+                // Multiplexed: shared descriptor, drained in one event.
+                self.st.pool.done_mux.push_back(completed);
+                let fd = self.ensure_pool_fd();
+                if !self.st.pool.pool_fd_armed {
+                    self.st.pool.pool_fd_armed = true;
+                    let now = self.st.now;
+                    let _ = self.st.poll.mark_ready(fd, now);
+                }
+            }
+        }
+    }
+
+    fn ensure_pool_fd(&mut self) -> Fd {
+        if let Some(fd) = self.st.pool.pool_fd {
+            return fd;
+        }
+        let fd = self
+            .st
+            .poll
+            .alloc(FdKind::PoolDone)
+            .expect("descriptor limit too low for the worker pool descriptor");
+        // The shared pool descriptor never keeps the loop alive by itself.
+        let _ = self.st.poll.set_refd(fd, false);
+        self.st.pool.pool_fd = Some(fd);
+        fd
+    }
+
+    /// Starts queued tasks according to the pool mode.
+    fn pump_pool(&mut self) {
+        match self.pool_mode {
+            PoolMode::Concurrent { workers } => {
+                while self.st.pool.running.len() < workers && !self.st.pool.queue.is_empty() {
+                    self.start_task(0);
+                }
+            }
+            PoolMode::Serialized {
+                lookahead,
+                max_delay,
+            } => {
+                if !self.st.pool.running.is_empty() {
+                    return;
+                }
+                if self.st.pool.queue.is_empty() {
+                    self.st.pool.wait_since = None;
+                    return;
+                }
+                let filled = self.st.pool.queue.len() >= lookahead;
+                if !filled {
+                    let since = *self.st.pool.wait_since.get_or_insert(self.st.now);
+                    let deadline = since + max_delay;
+                    if self.st.now < deadline {
+                        self.st.env.schedule(deadline, EnvAction::PoolWakeup);
+                        return;
+                    }
+                }
+                self.st.pool.wait_since = None;
+                let window = lookahead.min(self.st.pool.queue.len()).max(1);
+                let idx = self.sched.pick_task(window);
+                debug_assert!(idx < window);
+                self.start_task(idx.min(self.st.pool.queue.len() - 1));
+            }
+        }
+    }
+
+    fn start_task(&mut self, idx: usize) {
+        let Some(task) = self.st.pool.queue.remove(idx) else {
+            return;
+        };
+        let cost = self.st.pool.rng.jitter(task.cost, self.st.pool.cost_jitter);
+        let finish = self.st.now + cost;
+        self.st.env.schedule(finish, EnvAction::TaskFinish(task.id));
+        self.st.pool.running.push(RunningTask {
+            id: task.id,
+            work: task.work,
+            done: task.done,
+            demux_fd: task.demux_fd,
+            finish,
+        });
+    }
+
+    fn poll_phase(&mut self) {
+        self.drain_env();
+        // Block (advance virtual time) only when nothing is ready and no
+        // other phase has queued work; an active idle handle forces a
+        // zero-timeout poll, as in libuv.
+        let can_block = !self.st.poll.has_pending()
+            && self.st.idle.active() == 0
+            && self.st.micro.is_empty()
+            && self.st.pending.is_empty()
+            && self.st.immediates.is_empty()
+            && self.st.closing.is_empty();
+        if can_block {
+            self.advance_to_next_wakeup();
+            // If nothing became ready and no future wakeup exists, the loop
+            // would block in epoll forever: report a hang instead of
+            // spinning.
+            if !self.st.poll.has_pending()
+                && self.st.env.is_empty()
+                && self.st.timers.len() == 0
+                && !self.st.pool.busy()
+                && self.st.micro.is_empty()
+                && self.st.pending.is_empty()
+                && self.st.immediates.is_empty()
+                && self.st.closing.is_empty()
+                && self.st.idle.active() == 0
+                && self.st.prepare.active() == 0
+                && self.st.check.active() == 0
+            {
+                self.st.hung = true;
+                return;
+            }
+        }
+        if self.st.stopped {
+            return;
+        }
+        let mut list = self.st.poll.take_ready();
+        if list.len() > 1 {
+            self.sched.shuffle_ready(&mut list);
+        }
+        for entry in list {
+            if self.st.stopped {
+                return;
+            }
+            if !self.st.poll.is_open(entry.fd) {
+                continue;
+            }
+            if self.sched.defer_ready(&entry) {
+                self.st.poll.defer(entry);
+                continue;
+            }
+            self.dispatch_fd(entry.fd);
+            self.drain_env();
+        }
+    }
+
+    /// Advances virtual time to the next environment event or timer
+    /// deadline, delivering environment events until something is ready.
+    fn advance_to_next_wakeup(&mut self) {
+        loop {
+            if self.st.poll.has_pending() || self.st.stopped {
+                return;
+            }
+            let te = self.st.env.next_time();
+            let td = self.st.timers.next_deadline();
+            match (te, td) {
+                (None, None) => return,
+                (Some(te), Some(td)) if td < te => {
+                    self.st.now = self.st.now.max(td);
+                    return;
+                }
+                (Some(te), _) => {
+                    self.st.now = self.st.now.max(te);
+                    self.drain_env();
+                }
+                (None, Some(td)) => {
+                    self.st.now = self.st.now.max(td);
+                    return;
+                }
+            }
+            if self.st.now > self.st.cfg.max_vtime {
+                return;
+            }
+        }
+    }
+
+    fn dispatch_fd(&mut self, fd: Fd) {
+        match self.st.poll.fd_kind(fd) {
+            Some(FdKind::PoolDone) => {
+                // Drain the multiplexed done queue back-to-back: this is the
+                // atomicity the fuzzer's de-multiplexing breaks (§4.3.1).
+                self.st.pool.pool_fd_armed = false;
+                while let Some(task) = self.st.pool.done_mux.pop_front() {
+                    if self.st.stopped {
+                        return;
+                    }
+                    self.run_done(task);
+                }
+            }
+            Some(FdKind::TaskDone) => {
+                if let Some(task) = self.st.pool.done_demux.remove(&fd) {
+                    let _ = self.st.poll.close(fd);
+                    self.run_done(task);
+                }
+            }
+            _ => {
+                let kind = self.st.poll.event_kind(fd);
+                if let Some(cb) = self.st.poll.watcher_cb(fd) {
+                    self.st.trace.record(kind);
+                    {
+                        let mut cx = Ctx { st: &mut self.st };
+                        (cb.borrow_mut())(&mut cx, fd);
+                    }
+                    let cost = self.st.cb_cost();
+                    self.st.now += cost;
+                    self.drain_micro();
+                }
+            }
+        }
+    }
+
+    fn run_done(&mut self, task: CompletedTask) {
+        self.st.pool.stats.completed += 1;
+        self.st.trace.record(CbKind::PoolDone);
+        {
+            let mut cx = Ctx { st: &mut self.st };
+            (task.done)(&mut cx, task.result);
+        }
+        let cost = self.st.cb_cost();
+        self.st.now += cost;
+        self.drain_micro();
+    }
+}

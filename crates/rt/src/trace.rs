@@ -1,0 +1,291 @@
+//! Callback-type schedule recording (§5.3 of the paper).
+//!
+//! The paper approximates a libuv schedule by the sequence of *types* of the
+//! callbacks it executes ("timer", "network read", "worker pool task", …) and
+//! measures schedule diversity as the Levenshtein distance between such type
+//! schedules. The runtime records a [`CbKind`] per dispatched callback; the
+//! distance computations live in the `nodefz-trace` crate.
+
+use std::fmt;
+
+/// The type of a dispatched callback, as recorded in a type schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CbKind {
+    /// An expired timer callback.
+    Timer,
+    /// A pending-phase callback.
+    Pending,
+    /// An idle-handle callback.
+    Idle,
+    /// A prepare-handle callback.
+    Prepare,
+    /// A check-phase (`set_immediate`) callback.
+    Check,
+    /// A close callback.
+    Close,
+    /// A new inbound connection was accepted.
+    NetAccept,
+    /// Data arrived on a connection.
+    NetRead,
+    /// A connection was torn down by the peer.
+    NetClose,
+    /// A worker-pool task body executed (on a worker).
+    PoolTask,
+    /// A worker-pool completion ("done") callback executed on the loop.
+    PoolDone,
+    /// A simulated file-system operation completed.
+    FsDone,
+    /// A key-value store reply was delivered.
+    KvReply,
+    /// A signal watcher fired.
+    Signal,
+    /// Output or exit from a child process.
+    ChildIo,
+    /// An internal wakeup (scheduler bookkeeping).
+    Wakeup,
+    /// Any other I/O readiness event.
+    IoOther,
+}
+
+impl CbKind {
+    /// Returns a compact one-byte code used by distance computations.
+    pub fn code(self) -> u8 {
+        match self {
+            CbKind::Timer => b'T',
+            CbKind::Pending => b'p',
+            CbKind::Idle => b'i',
+            CbKind::Prepare => b'r',
+            CbKind::Check => b'c',
+            CbKind::Close => b'X',
+            CbKind::NetAccept => b'A',
+            CbKind::NetRead => b'N',
+            CbKind::NetClose => b'n',
+            CbKind::PoolTask => b'W',
+            CbKind::PoolDone => b'D',
+            CbKind::FsDone => b'F',
+            CbKind::KvReply => b'K',
+            CbKind::Signal => b'S',
+            CbKind::ChildIo => b'P',
+            CbKind::Wakeup => b'w',
+            CbKind::IoOther => b'o',
+        }
+    }
+
+    /// Returns a human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CbKind::Timer => "timer",
+            CbKind::Pending => "pending",
+            CbKind::Idle => "idle",
+            CbKind::Prepare => "prepare",
+            CbKind::Check => "check",
+            CbKind::Close => "close",
+            CbKind::NetAccept => "net-accept",
+            CbKind::NetRead => "net-read",
+            CbKind::NetClose => "net-close",
+            CbKind::PoolTask => "pool-task",
+            CbKind::PoolDone => "pool-done",
+            CbKind::FsDone => "fs-done",
+            CbKind::KvReply => "kv-reply",
+            CbKind::Signal => "signal",
+            CbKind::ChildIo => "child-io",
+            CbKind::Wakeup => "wakeup",
+            CbKind::IoOther => "io",
+        }
+    }
+
+    /// All recordable kinds, in code order.
+    pub fn all() -> &'static [CbKind] {
+        &[
+            CbKind::Timer,
+            CbKind::Pending,
+            CbKind::Idle,
+            CbKind::Prepare,
+            CbKind::Check,
+            CbKind::Close,
+            CbKind::NetAccept,
+            CbKind::NetRead,
+            CbKind::NetClose,
+            CbKind::PoolTask,
+            CbKind::PoolDone,
+            CbKind::FsDone,
+            CbKind::KvReply,
+            CbKind::Signal,
+            CbKind::ChildIo,
+            CbKind::Wakeup,
+            CbKind::IoOther,
+        ]
+    }
+}
+
+impl fmt::Display for CbKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A recorded sequence of callback types for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TypeSchedule {
+    codes: Vec<u8>,
+}
+
+impl TypeSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> TypeSchedule {
+        TypeSchedule::default()
+    }
+
+    /// Appends one callback-type observation.
+    pub fn push(&mut self, kind: CbKind) {
+        self.codes.push(kind.code());
+    }
+
+    /// Returns the raw one-byte-per-callback encoding.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Returns the number of recorded callbacks.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Returns a schedule truncated to the first `n` callbacks.
+    ///
+    /// The paper truncates schedules to 20 K callbacks before computing
+    /// Levenshtein distances (§5.3).
+    pub fn truncated(&self, n: usize) -> TypeSchedule {
+        TypeSchedule {
+            codes: self.codes.iter().copied().take(n).collect(),
+        }
+    }
+
+    /// Appends every observation from `other`.
+    pub fn extend(&mut self, other: &TypeSchedule) {
+        self.codes.extend_from_slice(&other.codes);
+    }
+
+    /// Counts how many callbacks of `kind` were recorded.
+    pub fn count(&self, kind: CbKind) -> usize {
+        let c = kind.code();
+        self.codes.iter().filter(|&&b| b == c).count()
+    }
+}
+
+/// Per-run recorder for type schedules and dispatch counts.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    enabled: bool,
+    schedule: TypeSchedule,
+    dispatched: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder; when `enabled` is false only counts are kept.
+    pub fn new(enabled: bool) -> TraceRecorder {
+        TraceRecorder {
+            enabled,
+            ..TraceRecorder::default()
+        }
+    }
+
+    /// Records the dispatch of one callback of the given kind.
+    pub fn record(&mut self, kind: CbKind) {
+        self.dispatched += 1;
+        if self.enabled {
+            self.schedule.push(kind);
+        }
+    }
+
+    /// Returns the total number of dispatched callbacks.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Consumes the recorder, returning the recorded schedule.
+    pub fn into_schedule(self) -> TypeSchedule {
+        self.schedule
+    }
+
+    /// Returns the schedule recorded so far.
+    pub fn schedule(&self) -> &TypeSchedule {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in CbKind::all() {
+            assert!(seen.insert(k.code()), "duplicate code for {k:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in CbKind::all() {
+            assert!(seen.insert(k.label()), "duplicate label for {k:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_push_and_count() {
+        let mut s = TypeSchedule::new();
+        s.push(CbKind::Timer);
+        s.push(CbKind::NetRead);
+        s.push(CbKind::Timer);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count(CbKind::Timer), 2);
+        assert_eq!(s.count(CbKind::NetRead), 1);
+        assert_eq!(s.count(CbKind::Close), 0);
+    }
+
+    #[test]
+    fn schedule_truncation() {
+        let mut s = TypeSchedule::new();
+        for _ in 0..10 {
+            s.push(CbKind::Check);
+        }
+        assert_eq!(s.truncated(4).len(), 4);
+        assert_eq!(s.truncated(100).len(), 10);
+        assert!(s.truncated(0).is_empty());
+    }
+
+    #[test]
+    fn schedule_extend() {
+        let mut a = TypeSchedule::new();
+        a.push(CbKind::Timer);
+        let mut b = TypeSchedule::new();
+        b.push(CbKind::Close);
+        a.extend(&b);
+        assert_eq!(a.codes(), &[CbKind::Timer.code(), CbKind::Close.code()]);
+    }
+
+    #[test]
+    fn recorder_disabled_keeps_counts_only() {
+        let mut r = TraceRecorder::new(false);
+        r.record(CbKind::Timer);
+        r.record(CbKind::Timer);
+        assert_eq!(r.dispatched(), 2);
+        assert!(r.schedule().is_empty());
+    }
+
+    #[test]
+    fn recorder_enabled_records_schedule() {
+        let mut r = TraceRecorder::new(true);
+        r.record(CbKind::PoolDone);
+        assert_eq!(r.dispatched(), 1);
+        assert_eq!(r.into_schedule().count(CbKind::PoolDone), 1);
+    }
+}

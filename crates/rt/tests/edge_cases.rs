@@ -1,0 +1,234 @@
+//! Edge-case tests for the runtime: reentrant cancellation, close-phase
+//! corners, pool pressure, and descriptor lifecycle.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nodefz_rt::{EventLoop, FdKind, LoopConfig, Termination, VDur, VTime};
+
+#[test]
+fn timer_can_cancel_another_expired_timer() {
+    // Two timers with the same deadline: the first cancels the second
+    // before it runs — even though both were already expired.
+    let fired = Rc::new(RefCell::new(Vec::new()));
+    let mut el = EventLoop::new(LoopConfig::seeded(1));
+    let f = fired.clone();
+    el.enter(move |cx| {
+        let f2 = f.clone();
+        let victim = Rc::new(RefCell::new(None));
+        let v = victim.clone();
+        let first = cx.set_timeout(VDur::millis(1), move |cx| {
+            f2.borrow_mut().push("first");
+            if let Some(id) = *v.borrow() {
+                assert!(cx.clear_timer(id));
+            }
+        });
+        let _ = first;
+        let f3 = f.clone();
+        let second = cx.set_timeout(VDur::millis(1), move |_| {
+            f3.borrow_mut().push("second");
+        });
+        *victim.borrow_mut() = Some(second);
+    });
+    el.run();
+    assert_eq!(*fired.borrow(), vec!["first"]);
+}
+
+#[test]
+fn interval_cancelling_itself_on_first_tick() {
+    let ticks = Rc::new(RefCell::new(0u32));
+    let mut el = EventLoop::new(LoopConfig::seeded(2));
+    let t = ticks.clone();
+    el.enter(move |cx| {
+        let id = Rc::new(RefCell::new(None));
+        let id2 = id.clone();
+        let t2 = t.clone();
+        let tid = cx.set_interval(VDur::millis(1), move |cx| {
+            *t2.borrow_mut() += 1;
+            cx.clear_timer(id2.borrow().expect("set below"));
+        });
+        *id.borrow_mut() = Some(tid);
+    });
+    let report = el.run();
+    assert_eq!(*ticks.borrow(), 1);
+    assert_eq!(report.termination, Termination::Quiescent);
+}
+
+#[test]
+fn close_callback_enqueuing_another_close() {
+    let order = Rc::new(RefCell::new(Vec::new()));
+    let mut el = EventLoop::new(LoopConfig::seeded(3));
+    let o = order.clone();
+    el.enter(move |cx| {
+        let o1 = o.clone();
+        cx.enqueue_close(move |cx| {
+            o1.borrow_mut().push("outer");
+            let o2 = o1.clone();
+            cx.enqueue_close(move |_| o2.borrow_mut().push("inner"));
+        });
+    });
+    let report = el.run();
+    assert_eq!(*order.borrow(), vec!["outer", "inner"]);
+    assert_eq!(report.termination, Termination::Quiescent);
+}
+
+#[test]
+fn pool_task_submitting_more_tasks() {
+    // A task's done callback submits two more, three levels deep.
+    let count = Rc::new(RefCell::new(0u32));
+    let mut el = EventLoop::new(LoopConfig::seeded(4));
+    let c = count.clone();
+    fn spawn(cx: &mut nodefz_rt::Ctx<'_>, depth: u32, count: Rc<RefCell<u32>>) {
+        cx.submit_work(
+            VDur::micros(100),
+            |_| (),
+            move |cx, ()| {
+                *count.borrow_mut() += 1;
+                if depth > 0 {
+                    spawn(cx, depth - 1, count.clone());
+                    spawn(cx, depth - 1, count.clone());
+                }
+            },
+        )
+        .unwrap();
+    }
+    el.enter(move |cx| spawn(cx, 3, c));
+    let report = el.run();
+    // 1 + 2 + 4 + 8 = 15 completions.
+    assert_eq!(*count.borrow(), 15);
+    assert_eq!(report.pool.completed, 15);
+}
+
+#[test]
+fn closing_an_fd_inside_its_own_watcher() {
+    let hits = Rc::new(RefCell::new(0u32));
+    let mut el = EventLoop::new(LoopConfig::seeded(5));
+    let h = hits.clone();
+    el.enter(move |cx| {
+        let fd = cx.alloc_fd(FdKind::Other).unwrap();
+        let h2 = h.clone();
+        cx.register_watcher(fd, move |cx, fd| {
+            *h2.borrow_mut() += 1;
+            cx.close_fd(fd).unwrap();
+        })
+        .unwrap();
+        // Two marks: only the first dispatch survives; the second entry
+        // was dropped when the fd closed.
+        cx.schedule_env(VDur::millis(1), move |cx| {
+            let _ = cx.mark_ready(fd);
+            let _ = cx.mark_ready(fd);
+        });
+    });
+    let report = el.run();
+    assert_eq!(*hits.borrow(), 1);
+    assert_eq!(report.termination, Termination::Quiescent);
+}
+
+#[test]
+fn stop_inside_microtask_halts_promptly() {
+    let after = Rc::new(RefCell::new(false));
+    let mut el = EventLoop::new(LoopConfig::seeded(6));
+    let a = after.clone();
+    el.enter(move |cx| {
+        let a2 = a.clone();
+        cx.set_timeout(VDur::millis(1), move |cx| {
+            cx.next_tick(|cx| cx.stop());
+            let a3 = a2.clone();
+            cx.next_tick(move |_| *a3.borrow_mut() = true);
+        });
+    });
+    let report = el.run();
+    assert_eq!(report.termination, Termination::Stopped);
+    assert!(!*after.borrow(), "microtasks after stop() do not run");
+}
+
+#[test]
+fn zero_delay_timer_runs_once_not_hot() {
+    let mut el = EventLoop::new(LoopConfig::seeded(7));
+    el.enter(|cx| {
+        cx.set_timeout(VDur::ZERO, |cx| cx.report_error("fired", ""));
+    });
+    let report = el.run();
+    assert!(report.has_error("fired"));
+    assert_eq!(report.schedule.count(nodefz_rt::CbKind::Timer), 1);
+    assert!(report.iterations <= 3, "no hot spin: {}", report.iterations);
+}
+
+#[test]
+fn zero_period_interval_is_a_busy_timer_not_a_hang() {
+    let mut el = EventLoop::new(LoopConfig::seeded(8));
+    el.enter(|cx| {
+        let ticks = Rc::new(RefCell::new(0u32));
+        let t = ticks.clone();
+        let id = Rc::new(RefCell::new(None));
+        let id2 = id.clone();
+        let tid = cx.set_interval(VDur::ZERO, move |cx| {
+            let mut n = t.borrow_mut();
+            *n += 1;
+            if *n >= 100 {
+                cx.clear_timer(id2.borrow().expect("set below"));
+            }
+        });
+        *id.borrow_mut() = Some(tid);
+    });
+    let report = el.run();
+    assert_eq!(report.termination, Termination::Quiescent);
+    assert_eq!(report.schedule.count(nodefz_rt::CbKind::Timer), 100);
+}
+
+#[test]
+fn env_event_scheduled_in_the_past_runs_now() {
+    let mut el = EventLoop::new(LoopConfig::seeded(9));
+    el.enter(|cx| {
+        cx.set_timeout(VDur::millis(5), |cx| {
+            let earlier = VTime::ZERO + VDur::millis(1);
+            // Absolute time already passed: clamped to "now".
+            cx.schedule_env_at(earlier, |cx| cx.report_error("ran", ""));
+        });
+    });
+    let report = el.run();
+    assert!(report.has_error("ran"));
+}
+
+#[test]
+fn report_counts_match_dispatches() {
+    let mut el = EventLoop::new(LoopConfig::seeded(10));
+    el.enter(|cx| {
+        for i in 1..6u64 {
+            cx.set_timeout(VDur::millis(i), |_| {});
+        }
+        for _ in 0..4 {
+            cx.submit_work(VDur::micros(50), |_| (), |_, ()| {})
+                .unwrap();
+        }
+        cx.set_immediate(|_| {});
+        cx.defer_pending(|_| {});
+    });
+    let report = el.run();
+    let s = &report.schedule;
+    assert_eq!(s.count(nodefz_rt::CbKind::Timer), 5);
+    assert_eq!(s.count(nodefz_rt::CbKind::PoolDone), 4);
+    assert_eq!(s.count(nodefz_rt::CbKind::PoolTask), 4);
+    assert_eq!(s.count(nodefz_rt::CbKind::Check), 1);
+    assert_eq!(s.count(nodefz_rt::CbKind::Pending), 1);
+    // PoolTask entries are traced but are not loop callbacks; dispatched
+    // counts every traced entry.
+    assert_eq!(report.dispatched as usize, s.len());
+}
+
+#[test]
+fn enter_between_runs_extends_the_program() {
+    let mut el = EventLoop::new(LoopConfig::seeded(11));
+    el.enter(|cx| {
+        cx.set_timeout(VDur::millis(1), |cx| cx.report_error("phase1", ""));
+    });
+    let r1 = el.run();
+    assert!(r1.has_error("phase1"));
+    // The loop can be re-entered and run again.
+    el.enter(|cx| {
+        cx.set_timeout(VDur::millis(1), |cx| cx.report_error("phase2", ""));
+    });
+    let r2 = el.run();
+    assert!(r2.has_error("phase2"));
+    assert!(r2.end_time >= r1.end_time);
+}

@@ -1,0 +1,244 @@
+//! Tests for the simulated UNIX signals and child processes (§4.2.1's
+//! "Misc." nondeterminism sources).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nodefz_rt::{ChildSpec, Errno, EventLoop, LoopConfig, Signal, Termination, VDur};
+
+#[test]
+fn signal_watcher_receives_raised_signal() {
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let mut el = EventLoop::new(LoopConfig::seeded(1));
+    let g = got.clone();
+    el.enter(move |cx| {
+        cx.on_signal(Signal::Hup, move |cx, sig| {
+            g.borrow_mut().push((sig, cx.now()));
+        })
+        .unwrap();
+        cx.raise_signal_after(VDur::millis(3), Signal::Hup);
+        // Something must keep the loop alive until then (watchers do not).
+        cx.set_timeout(VDur::millis(10), |_| {});
+    });
+    let report = el.run();
+    let got = got.borrow();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, Signal::Hup);
+    assert_eq!(report.schedule.count(nodefz_rt::CbKind::Signal), 1);
+}
+
+#[test]
+fn signals_fan_out_to_all_watchers() {
+    let count = Rc::new(RefCell::new(0u32));
+    let mut el = EventLoop::new(LoopConfig::seeded(2));
+    let c = count.clone();
+    el.enter(move |cx| {
+        for _ in 0..3 {
+            let c = c.clone();
+            cx.on_signal(Signal::Usr1, move |_, _| *c.borrow_mut() += 1)
+                .unwrap();
+        }
+        assert_eq!(cx.signal_watchers(Signal::Usr1), 3);
+        cx.raise_signal_after(VDur::millis(1), Signal::Usr1);
+        cx.set_timeout(VDur::millis(5), |_| {});
+    });
+    el.run();
+    assert_eq!(*count.borrow(), 3);
+}
+
+#[test]
+fn unwatched_signal_goes_nowhere() {
+    let mut el = EventLoop::new(LoopConfig::seeded(3));
+    el.enter(|cx| {
+        let fd = cx
+            .on_signal(Signal::Int, |cx, _| cx.crash("boom", ""))
+            .unwrap();
+        cx.remove_signal_watcher(fd).unwrap();
+        assert_eq!(
+            cx.remove_signal_watcher(fd),
+            Err(Errno::Ebadf),
+            "double removal"
+        );
+        cx.raise_signal_after(VDur::millis(1), Signal::Int);
+        cx.set_timeout(VDur::millis(5), |_| {});
+    });
+    let report = el.run();
+    assert!(!report.crashed());
+}
+
+#[test]
+fn signal_watchers_do_not_keep_the_loop_alive() {
+    let mut el = EventLoop::new(LoopConfig::seeded(4));
+    el.enter(|cx| {
+        cx.on_signal(Signal::Term, |_, _| {}).unwrap();
+    });
+    let report = el.run();
+    assert_eq!(report.termination, Termination::Quiescent);
+}
+
+#[test]
+fn child_emits_output_then_exit() {
+    let events = Rc::new(RefCell::new(Vec::new()));
+    let mut el = EventLoop::new(LoopConfig::seeded(5));
+    let e = events.clone();
+    el.enter(move |cx| {
+        let spec = ChildSpec::sleeper(VDur::millis(6))
+            .with_output(VDur::millis(1), b"line1".to_vec())
+            .with_output(VDur::millis(3), b"line2".to_vec())
+            .with_exit_code(7);
+        let e1 = e.clone();
+        let e2 = e.clone();
+        cx.spawn_child(
+            spec,
+            move |_, bytes| {
+                e1.borrow_mut()
+                    .push(format!("out:{}", String::from_utf8_lossy(bytes)))
+            },
+            move |_, code| e2.borrow_mut().push(format!("exit:{code}")),
+        )
+        .unwrap();
+    });
+    let report = el.run();
+    assert_eq!(report.termination, Termination::Quiescent);
+    assert_eq!(
+        *events.borrow(),
+        vec!["out:line1".to_string(), "out:line2".into(), "exit:7".into()]
+    );
+    assert_eq!(report.schedule.count(nodefz_rt::CbKind::ChildIo), 3);
+}
+
+#[test]
+fn child_keeps_the_loop_alive_until_exit() {
+    let mut el = EventLoop::new(LoopConfig::seeded(6));
+    let exit_at = Rc::new(RefCell::new(None));
+    let e = exit_at.clone();
+    el.enter(move |cx| {
+        cx.spawn_child(
+            ChildSpec::sleeper(VDur::millis(20)),
+            |_, _| {},
+            move |cx, _| {
+                *e.borrow_mut() = Some(cx.now());
+            },
+        )
+        .unwrap();
+    });
+    let report = el.run();
+    assert!(exit_at.borrow().is_some());
+    assert!(report.end_time >= nodefz_rt::VTime::ZERO + VDur::millis(10));
+}
+
+#[test]
+fn kill_child_reports_code_137() {
+    let exit = Rc::new(RefCell::new(None));
+    let mut el = EventLoop::new(LoopConfig::seeded(7));
+    let e = exit.clone();
+    el.enter(move |cx| {
+        let pid = cx
+            .spawn_child(
+                ChildSpec::sleeper(VDur::secs(100)),
+                |_, _| {},
+                move |_, code| {
+                    *e.borrow_mut() = Some(code);
+                },
+            )
+            .unwrap();
+        cx.set_timeout(VDur::millis(2), move |cx| {
+            cx.kill_child(pid).unwrap();
+            // The child is dead: killing again is ESRCH.
+            assert_eq!(cx.kill_child(pid), Err(Errno::Esrch));
+        });
+    });
+    let report = el.run();
+    assert_eq!(report.termination, Termination::Quiescent);
+    assert_eq!(*exit.borrow(), Some(137));
+}
+
+#[test]
+fn sigchld_is_raised_on_child_exit() {
+    let order = Rc::new(RefCell::new(Vec::new()));
+    let mut el = EventLoop::new(LoopConfig::seeded(8));
+    let o = order.clone();
+    el.enter(move |cx| {
+        let o1 = o.clone();
+        cx.on_signal(Signal::Chld, move |_, _| o1.borrow_mut().push("sigchld"))
+            .unwrap();
+        let o2 = o.clone();
+        cx.spawn_child(
+            ChildSpec::sleeper(VDur::millis(2)),
+            |_, _| {},
+            move |_, _| {
+                o2.borrow_mut().push("exit-cb");
+            },
+        )
+        .unwrap();
+    });
+    el.run();
+    let order = order.borrow();
+    assert!(order.contains(&"sigchld"));
+    assert!(order.contains(&"exit-cb"));
+}
+
+#[test]
+fn output_after_kill_is_suppressed() {
+    let outputs = Rc::new(RefCell::new(0u32));
+    let mut el = EventLoop::new(LoopConfig::seeded(9));
+    let o = outputs.clone();
+    el.enter(move |cx| {
+        let spec =
+            ChildSpec::sleeper(VDur::millis(50)).with_output(VDur::millis(30), b"late".to_vec());
+        let pid = cx
+            .spawn_child(spec, move |_, _| *o.borrow_mut() += 1, |_, _| {})
+            .unwrap();
+        cx.set_timeout(VDur::millis(1), move |cx| {
+            let _ = cx.kill_child(pid);
+        });
+    });
+    el.run();
+    assert_eq!(
+        *outputs.borrow(),
+        0,
+        "output scheduled after kill is dropped"
+    );
+}
+
+#[test]
+fn running_children_counter() {
+    let mut el = EventLoop::new(LoopConfig::seeded(10));
+    el.enter(|cx| {
+        assert_eq!(cx.running_children(), 0);
+        cx.spawn_child(ChildSpec::sleeper(VDur::millis(5)), |_, _| {}, |_, _| {})
+            .unwrap();
+        cx.spawn_child(ChildSpec::sleeper(VDur::millis(9)), |_, _| {}, |_, _| {})
+            .unwrap();
+        assert_eq!(cx.running_children(), 2);
+        cx.set_timeout(VDur::millis(30), |cx| {
+            assert_eq!(cx.running_children(), 0);
+        });
+    });
+    el.run();
+}
+
+#[test]
+fn signals_are_fuzzable_events() {
+    // Under the fuzz-style schedulers the signal still arrives exactly once
+    // (a §4.4-style legality check at the rt level with a deferring
+    // scheduler is done in the core crate; here: vanilla determinism).
+    let run = |seed: u64| {
+        let hits = Rc::new(RefCell::new(0u32));
+        let mut el = EventLoop::new(LoopConfig::seeded(seed));
+        let h = hits.clone();
+        el.enter(move |cx| {
+            cx.on_signal(Signal::Usr2, move |_, _| *h.borrow_mut() += 1)
+                .unwrap();
+            cx.raise_signal_after(VDur::millis(2), Signal::Usr2);
+            cx.raise_signal_after(VDur::millis(4), Signal::Usr2);
+            cx.set_timeout(VDur::millis(8), |_| {});
+        });
+        el.run();
+        let n = *hits.borrow();
+        n
+    };
+    for seed in 0..10 {
+        assert_eq!(run(seed), 2, "seed {seed}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Human-oriented schedule diffing.
+//!
+//! When a replayed or re-seeded run does not behave like the original, the
+//! first question is *where the schedules diverged*. [`schedule_diff`]
+//! locates the first divergence between two type schedules and renders a
+//! context window around it.
+
+use nodefz_rt::TypeSchedule;
+
+/// The relationship between two schedules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleDiff {
+    /// Byte-for-byte identical.
+    Identical,
+    /// One is a strict prefix of the other.
+    Prefix {
+        /// Length of the shared prefix (= length of the shorter schedule).
+        shared: usize,
+    },
+    /// The schedules diverge at an interior position.
+    DivergesAt {
+        /// Index of the first differing callback.
+        index: usize,
+        /// The callback code in the first schedule.
+        left: u8,
+        /// The callback code in the second schedule.
+        right: u8,
+    },
+}
+
+/// Compares two schedules.
+pub fn schedule_diff(a: &TypeSchedule, b: &TypeSchedule) -> ScheduleDiff {
+    let (ca, cb) = (a.codes(), b.codes());
+    for (i, (&x, &y)) in ca.iter().zip(cb.iter()).enumerate() {
+        if x != y {
+            return ScheduleDiff::DivergesAt {
+                index: i,
+                left: x,
+                right: y,
+            };
+        }
+    }
+    if ca.len() == cb.len() {
+        ScheduleDiff::Identical
+    } else {
+        ScheduleDiff::Prefix {
+            shared: ca.len().min(cb.len()),
+        }
+    }
+}
+
+/// Renders a context window around the divergence point, with a caret
+/// marking the first differing callback.
+///
+/// # Examples
+///
+/// ```
+/// use nodefz_rt::{CbKind, TypeSchedule};
+/// use nodefz_trace::render_divergence;
+///
+/// let mut a = TypeSchedule::new();
+/// let mut b = TypeSchedule::new();
+/// for k in [CbKind::Timer, CbKind::NetRead, CbKind::Close] {
+///     a.push(k);
+/// }
+/// for k in [CbKind::Timer, CbKind::Close, CbKind::NetRead] {
+///     b.push(k);
+/// }
+/// let text = render_divergence(&a, &b, 4);
+/// assert!(text.contains('^'));
+/// ```
+pub fn render_divergence(a: &TypeSchedule, b: &TypeSchedule, context: usize) -> String {
+    let window = |codes: &[u8], at: usize| -> String {
+        let start = at.saturating_sub(context);
+        let end = (at + context + 1).min(codes.len());
+        let mut out = String::new();
+        if start > 0 {
+            out.push('…');
+        }
+        out.extend(codes[start..end].iter().map(|&b| b as char));
+        if end < codes.len() {
+            out.push('…');
+        }
+        out
+    };
+    match schedule_diff(a, b) {
+        ScheduleDiff::Identical => format!("identical ({} callbacks)", a.len()),
+        ScheduleDiff::Prefix { shared } => format!(
+            "one schedule extends the other after {shared} shared callbacks\n  a: {}\n  b: {}",
+            window(a.codes(), shared),
+            window(b.codes(), shared),
+        ),
+        ScheduleDiff::DivergesAt { index, .. } => {
+            let caret_pos = index.min(context) + usize::from(index > context);
+            format!(
+                "diverges at callback {index}\n  a: {}\n  b: {}\n     {}^",
+                window(a.codes(), index),
+                window(b.codes(), index),
+                " ".repeat(caret_pos),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_rt::CbKind;
+
+    fn sched(kinds: &[CbKind]) -> TypeSchedule {
+        let mut s = TypeSchedule::new();
+        for &k in kinds {
+            s.push(k);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_schedules() {
+        let a = sched(&[CbKind::Timer, CbKind::Close]);
+        assert_eq!(schedule_diff(&a, &a.clone()), ScheduleDiff::Identical);
+        assert!(render_divergence(&a, &a.clone(), 3).contains("identical"));
+    }
+
+    #[test]
+    fn prefix_relationship() {
+        let a = sched(&[CbKind::Timer, CbKind::Close]);
+        let b = sched(&[CbKind::Timer, CbKind::Close, CbKind::NetRead]);
+        assert_eq!(schedule_diff(&a, &b), ScheduleDiff::Prefix { shared: 2 });
+        assert_eq!(schedule_diff(&b, &a), ScheduleDiff::Prefix { shared: 2 });
+    }
+
+    #[test]
+    fn interior_divergence() {
+        let a = sched(&[CbKind::Timer, CbKind::NetRead, CbKind::Close]);
+        let b = sched(&[CbKind::Timer, CbKind::Close, CbKind::NetRead]);
+        assert_eq!(
+            schedule_diff(&a, &b),
+            ScheduleDiff::DivergesAt {
+                index: 1,
+                left: CbKind::NetRead.code(),
+                right: CbKind::Close.code(),
+            }
+        );
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let empty = TypeSchedule::new();
+        let some = sched(&[CbKind::Timer]);
+        assert_eq!(
+            schedule_diff(&empty, &empty.clone()),
+            ScheduleDiff::Identical
+        );
+        assert_eq!(
+            schedule_diff(&empty, &some),
+            ScheduleDiff::Prefix { shared: 0 }
+        );
+    }
+
+    #[test]
+    fn render_marks_the_divergence() {
+        let a = sched(&[CbKind::Timer; 10]);
+        let mut kinds = [CbKind::Timer; 10];
+        kinds[6] = CbKind::Close;
+        let b = sched(&kinds);
+        let text = render_divergence(&a, &b, 2);
+        assert!(text.contains("diverges at callback 6"), "{text}");
+        assert!(text.contains('…'), "long schedules are elided: {text}");
+        assert!(text.contains('^'));
+    }
+}

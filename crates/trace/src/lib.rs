@@ -1,0 +1,19 @@
+//! # nodefz-trace — schedule analysis for Node.fz experiments
+//!
+//! Tools for quantifying how much of the schedule space a set of runs
+//! explored (§5.3 of the paper): exact and banded Levenshtein distances over
+//! recorded [`TypeSchedule`]s, the paper's mean-pairwise-normalized-distance
+//! metric (Figure 7), and auxiliary diversity summaries.
+//!
+//! [`TypeSchedule`]: nodefz_rt::TypeSchedule
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diff;
+mod levenshtein;
+mod stats;
+
+pub use diff::{render_divergence, schedule_diff, ScheduleDiff};
+pub use levenshtein::{levenshtein, levenshtein_banded, normalized_levenshtein};
+pub use stats::{kind_histogram, pairwise_normalized_ld, DiversitySummary, PAPER_TRUNCATION};

@@ -1,0 +1,97 @@
+//! Property-based tests of the Levenshtein metrics.
+
+use proptest::prelude::*;
+
+use nodefz_trace::{levenshtein, levenshtein_banded, normalized_levenshtein};
+
+fn schedule() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet, like real type schedules.
+    prop::collection::vec(
+        prop::sample::select(vec![b'T', b'N', b'D', b'W', b'c', b'X']),
+        0..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn identity_is_zero(a in schedule()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(normalized_levenshtein(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetry(a in schedule(), b in schedule()) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn bounds(a in schedule(), b in schedule()) {
+        let d = levenshtein(&a, &b);
+        // Lower bound: length difference. Upper bound: longer length.
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        prop_assert!(d <= a.len().max(b.len()));
+        let n = normalized_levenshtein(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+
+    #[test]
+    fn triangle_inequality(a in schedule(), b in schedule(), c in schedule()) {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+    }
+
+    #[test]
+    fn single_edit_costs_at_most_one(a in schedule(), idx: usize, byte in 0u8..4) {
+        // Substitution.
+        if !a.is_empty() {
+            let mut b = a.clone();
+            let i = idx % b.len();
+            b[i] = byte + b'a';
+            prop_assert!(levenshtein(&a, &b) <= 1);
+        }
+        // Insertion.
+        let mut b = a.clone();
+        b.insert(idx % (a.len() + 1), byte + b'a');
+        prop_assert_eq!(levenshtein(&a, &b), 1);
+        // Deletion.
+        if !a.is_empty() {
+            let mut b = a.clone();
+            b.remove(idx % b.len());
+            prop_assert_eq!(levenshtein(&a, &b), 1);
+        }
+    }
+
+    #[test]
+    fn k_edits_cost_at_most_k(a in schedule(), edits in prop::collection::vec((any::<usize>(), 0u8..4), 0..10)) {
+        let mut b = a.clone();
+        let k = edits.len();
+        for (pos, byte) in edits {
+            match byte % 3 {
+                0 => b.insert(pos % (b.len() + 1), byte + b'a'),
+                1 if !b.is_empty() => {
+                    let i = pos % b.len();
+                    b[i] = byte + b'a';
+                }
+                _ if !b.is_empty() => {
+                    b.remove(pos % b.len());
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(levenshtein(&a, &b) <= k);
+    }
+
+    #[test]
+    fn banded_agrees_with_exact(a in schedule(), b in schedule()) {
+        let exact = levenshtein(&a, &b);
+        // A band at least as large as the true distance must agree.
+        prop_assert_eq!(levenshtein_banded(&a, &b, exact), Some(exact));
+        prop_assert_eq!(levenshtein_banded(&a, &b, exact + 7), Some(exact));
+        // A band strictly smaller must refuse.
+        if exact > 0 {
+            prop_assert_eq!(levenshtein_banded(&a, &b, exact - 1), None);
+        }
+    }
+}

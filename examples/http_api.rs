@@ -1,0 +1,123 @@
+//! A REST-ish API server with a read-modify-write race on a counter
+//! resource, hunted with Node.fz through the HTTP layer.
+//!
+//! `POST /counters/:name/incr` reads the counter from the database, then
+//! writes back `value + 1` — a lost-update atomicity violation when two
+//! increments interleave.
+//!
+//! ```sh
+//! cargo run -p nodefz-bench --example http_api
+//! ```
+
+use nodefz::Mode;
+use nodefz_http::{HttpClient, HttpServer, Response, Router};
+use nodefz_kv::{Kv, KvTiming};
+use nodefz_net::{LatencyModel, SimNet};
+use nodefz_rt::{EventLoop, LoopConfig, VDur};
+
+fn scenario(el: &mut EventLoop, atomic: bool) -> Kv {
+    let net = SimNet::with_latency(LatencyModel {
+        base: VDur::millis(2),
+        jitter: 0.05,
+    });
+    let kv = el.enter(|cx| {
+        Kv::connect_with(
+            cx,
+            2,
+            KvTiming {
+                latency: VDur::millis(1),
+                latency_jitter: 0.05,
+                proc: VDur::micros(200),
+                proc_jitter: 0.1,
+            },
+        )
+        .expect("kv pool")
+    });
+    kv.set_sync("counter:hits", "0");
+    let kv_srv = kv.clone();
+    let n = net.clone();
+    el.enter(move |cx| {
+        let mut router = Router::new();
+        router.post("/counters/:name/incr", move |cx, req, responder| {
+            let key = format!("counter:{}", req.param("name").expect("route param"));
+            let kv = kv_srv.clone();
+            if atomic {
+                // FIX: one atomic server-side increment.
+                kv.incr(cx, &key, move |cx, value| {
+                    responder.send(cx, Response::ok(value.to_string()));
+                });
+            } else {
+                // RACY: read…
+                let kv2 = kv.clone();
+                let key2 = key.clone();
+                kv.get(cx, &key, move |cx, value| {
+                    let current: i64 = value.as_deref().and_then(|v| v.parse().ok()).unwrap_or(0);
+                    // …then write back. Interleavable.
+                    let next = current + 1;
+                    kv2.set(cx, &key2, &next.to_string(), move |cx, ()| {
+                        responder.send(cx, Response::ok(next.to_string()));
+                    });
+                });
+            }
+        });
+        HttpServer::listen(cx, &n, 80, router).expect("listen");
+        // Periodic server work: deferral opportunities for the fuzzer.
+        cx.set_interval(VDur::micros(800), |cx| {
+            cx.busy(VDur::micros(30));
+            if cx.now() > nodefz_rt::VTime::ZERO + VDur::millis(14) {
+                cx.stop();
+            }
+        });
+    });
+    el.enter(|cx| {
+        for delay_us in [0u64, 3_800] {
+            let c = HttpClient::connect(cx, &net, 80);
+            c.request_after(
+                cx,
+                VDur::micros(delay_us),
+                nodefz_http::Method::Post,
+                "/counters/hits/incr",
+                b"",
+            );
+            c.close_after(cx, VDur::millis(20));
+        }
+        net.close_all_listeners_after(cx, VDur::millis(30));
+    });
+    kv
+}
+
+fn final_count(kv: &Kv) -> i64 {
+    kv.get_sync("counter:hits")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    println!("hunting a lost update behind a REST endpoint\n");
+    let mut el = Mode::Vanilla.build_loop(LoopConfig::seeded(1), 0);
+    let kv = scenario(&mut el, false);
+    el.run();
+    println!(
+        "nodeV  seed 1: two increments -> counter = {}",
+        final_count(&kv)
+    );
+
+    for seed in 0..200 {
+        let mut el = Mode::Fuzz.build_loop(LoopConfig::seeded(seed), seed);
+        let kv = scenario(&mut el, false);
+        el.run();
+        let count = final_count(&kv);
+        if count < 2 {
+            println!("nodeFZ seed {seed}: two increments -> counter = {count}  (LOST UPDATE)");
+            // The atomic version survives the same seed.
+            let mut el = Mode::Fuzz.build_loop(LoopConfig::seeded(seed), seed);
+            let kv = scenario(&mut el, true);
+            el.run();
+            let fixed = final_count(&kv);
+            println!("fixed  seed {seed}: two increments -> counter = {fixed}");
+            assert_eq!(fixed, 2);
+            return;
+        }
+    }
+    panic!("the lost update should manifest within 200 fuzzed seeds");
+}

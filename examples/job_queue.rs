@@ -1,0 +1,80 @@
+//! A retryable job queue with the KUE ordering violation (Figure 3 of the
+//! paper), and its fix.
+//!
+//! `mark_failed` must leave a retryable job in state `delayed`; the buggy
+//! version launches the `failed` and `delayed` updates concurrently, so
+//! they can land in either order. The example measures how often each
+//! variant ends in the wrong state under Node.fz.
+//!
+//! ```sh
+//! cargo run -p nodefz-bench --example job_queue
+//! ```
+
+use nodefz::Mode;
+use nodefz_kv::Kv;
+use nodefz_rt::{Ctx, EventLoop, LoopConfig, VDur};
+
+fn mark_failed(cx: &mut Ctx<'_>, kv: &Kv, ordered: bool) {
+    // update(): fetch the job, then write state `failed`.
+    let update = {
+        let kv = kv.clone();
+        move |cx: &mut Ctx<'_>, then: Box<dyn FnOnce(&mut Ctx<'_>)>| {
+            let kv2 = kv.clone();
+            kv.get(cx, "job:7:state", move |cx, _| {
+                kv2.set(cx, "job:7:state", "failed", move |cx, ()| then(cx));
+            });
+        }
+    };
+    // delayed(): fetch the job, then write state `delayed` and enqueue it.
+    let delayed = {
+        let kv = kv.clone();
+        move |cx: &mut Ctx<'_>| {
+            let kv2 = kv.clone();
+            kv.get(cx, "job:7:state", move |cx, _| {
+                let kv3 = kv2.clone();
+                kv2.set(cx, "job:7:state", "delayed", move |cx, ()| {
+                    kv3.lpush(cx, "q:delayed", "job:7", |_cx, _| {});
+                });
+            });
+        }
+    };
+    if ordered {
+        // The upstream fix: delayed() runs in update()'s callback.
+        update(cx, Box::new(move |cx| delayed(cx)));
+    } else {
+        // The bug: `self.update().delayed()` — unordered chains.
+        update(cx, Box::new(|_cx| {}));
+        delayed(cx);
+    }
+}
+
+fn run_once(seed: u64, ordered: bool) -> Option<String> {
+    let mut el = Mode::Fuzz.build_loop(LoopConfig::seeded(seed), seed ^ 0xABCD);
+    let kv = el.enter(|cx| Kv::connect(cx, 2).expect("kv"));
+    let k = kv.clone();
+    el.enter(move |cx| {
+        k.set_sync("job:7:state", "active");
+        cx.set_timeout(VDur::millis(1), move |cx| mark_failed(cx, &k, ordered));
+    });
+    el.run();
+    kv.get_sync("job:7:state")
+}
+
+fn main() {
+    println!("KUE #483: a job must end `delayed`, never `failed`+queued\n");
+    let runs = 100;
+    for (label, ordered) in [
+        ("buggy (concurrent updates)", false),
+        ("fixed (ordered chains)", true),
+    ] {
+        let wrong = (0..runs)
+            .filter(|&seed| run_once(seed, ordered).as_deref() != Some("delayed"))
+            .count();
+        println!("{label:<28} wrong final state in {wrong}/{runs} fuzzed runs");
+        if ordered {
+            assert_eq!(wrong, 0, "the ordered version must always be correct");
+        }
+    }
+    println!("\nOrdering the chains (Figure 3's patch) eliminates the violation.");
+    let _ = EventLoop::new(LoopConfig::default());
+}

@@ -1,0 +1,57 @@
+//! The MKD file-system race: two concurrent `mkdir -p` calls sharing a
+//! prefix, with the EEXIST-mishandling bug of mkdirp issue #2.
+//!
+//! Demonstrates a race on *file-system state* rather than memory — the
+//! class of bug the paper shows memory-only race detectors cannot see
+//! (§3.3.2).
+//!
+//! ```sh
+//! cargo run -p nodefz-bench --example mkdirp_race
+//! ```
+
+use nodefz::Mode;
+use nodefz_apps::common::{BugCase, RunCfg, Variant};
+use nodefz_apps::Mkd;
+
+fn main() {
+    println!("MKD #2: mkdirp('build/cache/js') racing mkdirp('build/cache/css')\n");
+
+    // Vanilla schedules keep the two recursions apart.
+    let mut vanilla_hits = 0;
+    for seed in 0..50 {
+        if Mkd
+            .run(&RunCfg::new(Mode::Vanilla, seed), Variant::Buggy)
+            .manifested
+        {
+            vanilla_hits += 1;
+        }
+    }
+    println!("nodeV : {vanilla_hits}/50 runs returned success without the directory");
+
+    // Node.fz interleaves the recursions: one call sees EEXIST on a parent
+    // the other just created and returns prematurely.
+    let mut fuzz_hits = 0;
+    let mut first_evidence = None;
+    for seed in 0..50 {
+        let out = Mkd.run(&RunCfg::new(Mode::Fuzz, seed), Variant::Buggy);
+        if out.manifested {
+            fuzz_hits += 1;
+            first_evidence.get_or_insert((seed, out.detail));
+        }
+    }
+    println!("nodeFZ: {fuzz_hits}/50 runs returned success without the directory");
+    if let Some((seed, detail)) = first_evidence {
+        println!("\nfirst manifestation (seed {seed}): {detail}");
+    }
+
+    // The patched errno handling survives the same fuzzing.
+    let fixed_hits = (0..50)
+        .filter(|&seed| {
+            Mkd.run(&RunCfg::new(Mode::Fuzz, seed), Variant::Fixed)
+                .manifested
+        })
+        .count();
+    println!("\nfixed mkdirp under nodeFZ: {fixed_hits}/50 manifestations");
+    assert_eq!(fixed_hits, 0);
+    assert!(fuzz_hits > vanilla_hits);
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a tiny event-driven app and run it under the vanilla
+//! scheduler and under Node.fz.
+//!
+//! ```sh
+//! cargo run -p nodefz-bench --example quickstart
+//! ```
+
+use nodefz::Mode;
+use nodefz_rt::{CbKind, LoopConfig, VDur};
+
+fn main() {
+    println!("nodefz quickstart: one program, two schedulers\n");
+    for mode in [Mode::Vanilla, Mode::Fuzz] {
+        // `env_seed` fixes the modelled environment; the second argument
+        // seeds the fuzzer's decisions.
+        let mut el = mode.build_loop(LoopConfig::seeded(7), 42);
+
+        el.enter(|cx| {
+            // A timer, some offloaded work, and an immediate — the three
+            // kinds of asynchrony a Node.js program mixes.
+            cx.set_timeout(VDur::millis(5), |cx| {
+                println!("  [{}] timer fired", cx.now());
+            });
+            for task in 0..3u32 {
+                cx.submit_work(
+                    VDur::millis(2),
+                    move |_worker| task * task,
+                    move |cx, squared| {
+                        println!("  [{}] worker task {task} done -> {squared}", cx.now());
+                    },
+                )
+                .expect("submit");
+            }
+            cx.set_immediate(|cx| {
+                println!("  [{}] immediate ran", cx.now());
+            });
+        });
+
+        let report = el.run();
+        println!(
+            "{}: {} callbacks, {} pool tasks, finished at {} ({:?})",
+            mode.label(),
+            report.dispatched,
+            report.pool.completed,
+            report.end_time,
+            report.termination,
+        );
+        println!(
+            "  type schedule: {}\n",
+            report
+                .schedule
+                .codes()
+                .iter()
+                .map(|&b| b as char)
+                .collect::<String>()
+        );
+        assert_eq!(report.schedule.count(CbKind::Timer), 1);
+        assert_eq!(report.pool.completed, 3);
+    }
+    println!("Same program, same environment seed — different legal schedules.");
+}

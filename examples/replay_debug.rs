@@ -1,0 +1,80 @@
+//! Record-and-replay debugging: catch a race with the random fuzzer once,
+//! then replay the exact manifesting schedule deterministically, forever.
+//!
+//! The program under test has an NES-style NW–Timer atomicity violation: a
+//! heartbeat timer dereferences a slot that a teardown event may already
+//! have cleared.
+//!
+//! ```sh
+//! cargo run -p nodefz-bench --example replay_debug
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nodefz::{DecisionTrace, FuzzParams, FuzzScheduler, RecordingScheduler, ReplayScheduler};
+use nodefz_rt::{EventLoop, LoopConfig, Scheduler, VDur};
+
+/// The buggy program: returns whether the null-deref fired.
+fn run_with(scheduler: Box<dyn Scheduler>, env_seed: u64) -> (bool, nodefz_rt::RunReport) {
+    let mut el = EventLoop::with_scheduler(LoopConfig::seeded(env_seed), scheduler);
+    let slot: Rc<RefCell<Option<u32>>> = Rc::new(RefCell::new(Some(7)));
+    let s_timer = slot.clone();
+    let s_clear = slot.clone();
+    el.enter(move |cx| {
+        // Heartbeat: uses the slot without checking it (the bug).
+        cx.set_timeout(VDur::millis(4), move |cx| {
+            if s_timer.borrow().is_none() {
+                cx.crash("null-deref", "heartbeat after teardown");
+            }
+        });
+        // Teardown arrives from the environment shortly after the
+        // heartbeat's deadline.
+        cx.schedule_env(VDur::micros(4_500), move |_cx| {
+            *s_clear.borrow_mut() = None;
+        });
+        // Suite noise: a few other timers so deferral decisions exist.
+        for i in 1..6u64 {
+            cx.set_interval(VDur::micros(700 * i), move |cx| {
+                cx.busy(VDur::micros(120));
+                if cx.now() > nodefz_rt::VTime::ZERO + VDur::millis(10) {
+                    cx.stop();
+                }
+            });
+        }
+    });
+    let report = el.run();
+    (report.has_error("null-deref"), report)
+}
+
+fn main() {
+    println!("phase 1: hunt the race with the random fuzzer, recording decisions\n");
+    let mut caught: Option<(u64, DecisionTrace)> = None;
+    for seed in 0..500 {
+        let fuzz = FuzzScheduler::new(FuzzParams::standard(), seed);
+        let (recorder, handle) = RecordingScheduler::new(fuzz);
+        let (manifested, _) = run_with(Box::new(recorder), seed);
+        if manifested {
+            println!("  manifested at sched_seed {seed}");
+            caught = Some((seed, handle.snapshot()));
+            break;
+        }
+    }
+    let (seed, trace) = caught.expect("the race should manifest within 500 seeds");
+    println!("  recorded {} scheduling decisions\n", trace.len());
+
+    println!("phase 2: replay the trace — deterministic re-manifestation\n");
+    for attempt in 0..5 {
+        let replayer = ReplayScheduler::new(trace.clone());
+        let (manifested, report) = run_with(Box::new(replayer), seed);
+        assert!(
+            manifested,
+            "replay attempt {attempt} must reproduce the bug"
+        );
+        println!(
+            "  replay {attempt}: crash reproduced at {} ({} callbacks)",
+            report.end_time, report.dispatched
+        );
+    }
+    println!("\nThe flaky manifestation is now a deterministic regression test.");
+}

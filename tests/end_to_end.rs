@@ -1,0 +1,79 @@
+//! End-to-end smoke tests over the experiment harness: the figure
+//! generators run, produce sane values, and reproduce the paper's headline
+//! *shapes* at reduced run counts.
+
+use nodefz_bench::{fig6, fig7, fig8, table2_evidence};
+
+#[test]
+fn fig6_runs_and_rates_are_probabilities() {
+    let rows = fig6(5);
+    assert_eq!(rows.len(), 13, "the Figure 6 set has 13 bars");
+    for row in &rows {
+        for rate in [row.vanilla, row.nofuzz, row.fuzz, row.guided] {
+            assert!((0.0..=1.0).contains(&rate), "{row:?}");
+        }
+    }
+}
+
+#[test]
+fn fig6_fuzz_beats_vanilla_in_aggregate() {
+    let rows = fig6(10);
+    let mean =
+        |f: fn(&nodefz_bench::Fig6Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let vanilla = mean(|r| r.vanilla);
+    let fuzz = mean(|r| r.fuzz);
+    assert!(
+        fuzz > vanilla + 0.1,
+        "nodeFZ ({fuzz:.2}) must clearly beat nodeV ({vanilla:.2})"
+    );
+    // Most bugs are exposed ONLY by the fuzzer.
+    let only_fuzz = rows
+        .iter()
+        .filter(|r| r.vanilla == 0.0 && r.fuzz > 0.0)
+        .count();
+    assert!(
+        only_fuzz * 2 >= rows.len(),
+        "at least half the bugs should need nodeFZ, got {only_fuzz}/{}",
+        rows.len()
+    );
+}
+
+#[test]
+fn fig7_fuzz_expands_the_schedule_space() {
+    let rows = fig7(4, 5_000);
+    for row in &rows {
+        assert!((0.0..=1.0).contains(&row.nofuzz_ld));
+        assert!((0.0..=1.0).contains(&row.fuzz_ld));
+    }
+    let increased = rows.iter().filter(|r| r.fuzz_ld > r.nofuzz_ld).count();
+    assert!(
+        increased * 4 >= rows.len() * 3,
+        "nodeFZ should increase LD for (nearly) every suite: {increased}/{}",
+        rows.len()
+    );
+}
+
+#[test]
+fn fig8_overheads_are_moderate() {
+    let rows = fig8(3);
+    for row in &rows {
+        assert!(row.vanilla_s > 0.0);
+        assert!(
+            row.fuzz_rel < 25.0,
+            "{}: implausible overhead {:.1}x",
+            row.abbr,
+            row.fuzz_rel
+        );
+    }
+}
+
+#[test]
+fn table2_finds_evidence_for_most_bugs() {
+    let evidence = table2_evidence(60);
+    let found = evidence.iter().filter(|e| e.first_seed.is_some()).count();
+    assert!(
+        found >= evidence.len() - 1,
+        "evidence found for only {found}/{} bugs",
+        evidence.len()
+    );
+}
