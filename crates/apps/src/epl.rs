@@ -62,7 +62,6 @@ impl BugCase for Epl {
                     latency_jitter: 0.05,
                     proc: VDur::micros(200),
                     proc_jitter: 0.1,
-                    ..KvTiming::default()
                 },
             )
             .expect("kv pool");

@@ -67,3 +67,19 @@ pub fn registry() -> Vec<Box<dyn BugCase>> {
         Box::new(KueTimer),
     ]
 }
+
+/// The abbreviations of every reproduced bug, in Table 2 order.
+///
+/// `Box<dyn BugCase>` is not `Send` (bug cases drive `Rc`-based loops), so
+/// multi-threaded drivers ship abbreviations across threads and instantiate
+/// cases locally via [`by_abbr`].
+pub fn abbrs() -> Vec<&'static str> {
+    registry().iter().map(|c| c.info().abbr).collect()
+}
+
+/// Looks up a bug case by its Table 2 abbreviation (case-insensitive).
+pub fn by_abbr(abbr: &str) -> Option<Box<dyn BugCase>> {
+    registry()
+        .into_iter()
+        .find(|c| c.info().abbr.eq_ignore_ascii_case(abbr))
+}

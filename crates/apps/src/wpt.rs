@@ -22,13 +22,10 @@ pub struct Wpt;
 
 const STEPS: u32 = 3;
 
+type DoneFn = Rc<dyn Fn(&mut Ctx<'_>, bool)>;
+
 /// Runs one waterfall step asynchronously, then continues.
-fn run_step(
-    cx: &mut Ctx<'_>,
-    step: u32,
-    counter: Rc<RefCell<i64>>,
-    done: Rc<dyn Fn(&mut Ctx<'_>, bool)>,
-) {
+fn run_step(cx: &mut Ctx<'_>, step: u32, counter: Rc<RefCell<i64>>, done: DoneFn) {
     // Alternate the async hop kind: check-phase immediates and worker-pool
     // tasks, like a real plugin mix.
     let cont = move |cx: &mut Ctx<'_>| {
@@ -46,7 +43,7 @@ fn run_step(
             run_step(cx, step + 1, counter, done);
         }
     };
-    if step % 2 == 0 {
+    if step.is_multiple_of(2) {
         cx.set_immediate(cont);
     } else {
         let _ = cx.submit_work(VDur::micros(150), |_| (), move |cx, ()| cont(cx));
@@ -94,17 +91,16 @@ impl BugCase for Wpt {
                         Variant::Fixed => Rc::new(RefCell::new(STEPS as i64)),
                     };
                     let me = conn.clone();
-                    let done: Rc<dyn Fn(&mut Ctx<'_>, bool)> =
-                        Rc::new(move |cx: &mut Ctx<'_>, ok: bool| {
-                            if ok {
-                                let _ = me.write(cx, b"built".to_vec());
-                            } else {
-                                cx.report_error(
-                                    "waterfall-corrupt",
-                                    "plugin waterfall counter went negative",
-                                );
-                            }
-                        });
+                    let done: DoneFn = Rc::new(move |cx: &mut Ctx<'_>, ok: bool| {
+                        if ok {
+                            let _ = me.write(cx, b"built".to_vec());
+                        } else {
+                            cx.report_error(
+                                "waterfall-corrupt",
+                                "plugin waterfall counter went negative",
+                            );
+                        }
+                    });
                     run_step(cx, 0, counter, done);
                 });
             })

@@ -11,8 +11,8 @@ fn main() {
         .unwrap_or(100);
     println!("=== Figure 6: bug reproduction rate over {runs} runs ===\n");
     println!(
-        "{:<6} {:>7} {:>8} {:>7} {:>7}   {}",
-        "bug", "nodeV", "nodeNFZ", "nodeFZ", "guided", "nodeFZ rate"
+        "{:<6} {:>7} {:>8} {:>7} {:>7}   nodeFZ rate",
+        "bug", "nodeV", "nodeNFZ", "nodeFZ", "guided"
     );
     let rows = nodefz_bench::fig6(runs);
     for r in &rows {

@@ -16,8 +16,8 @@ fn main() {
         .unwrap_or(nodefz_trace::PAPER_TRUNCATION);
     println!("=== Figure 7: pairwise normalized LD over {runs} suite runs (truncated to {truncate}) ===\n");
     println!(
-        "{:<6} {:>8} {:>8} {:>9}   {}",
-        "suite", "nodeNFZ", "nodeFZ", "mean len", "nodeFZ LD"
+        "{:<6} {:>8} {:>8} {:>9}   nodeFZ LD",
+        "suite", "nodeNFZ", "nodeFZ", "mean len"
     );
     let rows = nodefz_bench::fig7(runs, truncate);
     let mut increased = 0;

@@ -11,8 +11,8 @@ fn main() {
         .unwrap_or(30);
     println!("=== Figure 8: normalized suite wall-clock over {iters} runs (nodeV = 1.0) ===\n");
     println!(
-        "{:<6} {:>10} {:>8} {:>7}   {}",
-        "suite", "nodeV (ms)", "nodeNFZ", "nodeFZ", "nodeFZ overhead"
+        "{:<6} {:>10} {:>8} {:>7}   nodeFZ overhead",
+        "suite", "nodeV (ms)", "nodeNFZ", "nodeFZ"
     );
     let rows = nodefz_bench::fig8(iters);
     for r in &rows {

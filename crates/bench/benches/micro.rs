@@ -1,99 +1,101 @@
-//! Criterion micro-benchmarks of the runtime and analysis kernels:
-//! event-loop dispatch throughput under each scheduler, worker-pool
-//! throughput, network echo throughput, and Levenshtein distance.
+//! Micro-benchmarks of the runtime and analysis kernels: event-loop
+//! dispatch throughput under each scheduler, worker-pool throughput,
+//! network echo throughput, and Levenshtein distance.
+//!
+//! Hand-rolled timing harness (median of `reps` timed runs after a warmup)
+//! so the workspace carries no external bench dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use nodefz::Mode;
 use nodefz_net::{Client, SimNet};
 use nodefz_rt::{LoopConfig, VDur};
 use nodefz_trace::{levenshtein, levenshtein_banded};
 
-fn bench_timer_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("timer_dispatch_1k");
+/// Times `f` over `reps` runs (after one warmup) and prints the median.
+fn bench(name: &str, reps: usize, mut f: impl FnMut()) {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!("{name:<40} median {median:9.3} ms   (min {min:.3}, max {max:.3}, n={reps})");
+}
+
+fn bench_timer_dispatch() {
     for mode in [Mode::Vanilla, Mode::NoFuzz, Mode::Fuzz] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.label()),
-            &mode,
-            |b, mode| {
-                b.iter(|| {
-                    let mut el = mode.build_loop(LoopConfig::seeded(1), 7);
-                    el.enter(|cx| {
-                        for i in 0..1_000u64 {
-                            cx.set_timeout(VDur::micros(i), |_| {});
-                        }
-                    });
-                    let report = el.run();
-                    assert!(report.dispatched >= 1_000);
-                    report.dispatched
-                });
-            },
-        );
+        let label = format!("timer_dispatch_1k/{}", mode.label());
+        let mode2 = mode.clone();
+        bench(&label, 15, move || {
+            let mut el = mode2.build_loop(LoopConfig::seeded(1), 7);
+            el.enter(|cx| {
+                for i in 0..1_000u64 {
+                    cx.set_timeout(VDur::micros(i), |_| {});
+                }
+            });
+            let report = el.run();
+            assert!(report.dispatched >= 1_000);
+        });
     }
-    group.finish();
 }
 
-fn bench_pool_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pool_500_tasks");
+fn bench_pool_throughput() {
     for mode in [Mode::Vanilla, Mode::Fuzz] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.label()),
-            &mode,
-            |b, mode| {
-                b.iter(|| {
-                    let mut el = mode.build_loop(LoopConfig::seeded(2), 9);
-                    el.enter(|cx| {
-                        for _ in 0..500 {
-                            cx.submit_work(VDur::micros(50), |_| (), |_, ()| {})
-                                .unwrap();
-                        }
-                    });
-                    let report = el.run();
-                    assert_eq!(report.pool.completed, 500);
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_net_echo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net_echo_100_msgs");
-    for mode in [Mode::Vanilla, Mode::Fuzz] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.label()),
-            &mode,
-            |b, mode| {
-                b.iter(|| {
-                    let mut el = mode.build_loop(LoopConfig::seeded(3), 11);
-                    let net = SimNet::new();
-                    let n = net.clone();
-                    el.enter(move |cx| {
-                        n.listen(cx, 80, |_cx, conn| {
-                            conn.on_data(|cx, conn, msg| {
-                                let _ = conn.write(cx, msg.clone());
-                            });
-                        })
+        let label = format!("pool_500_tasks/{}", mode.label());
+        let mode2 = mode.clone();
+        bench(&label, 15, move || {
+            let mut el = mode2.build_loop(LoopConfig::seeded(2), 9);
+            el.enter(|cx| {
+                for _ in 0..500 {
+                    cx.submit_work(VDur::micros(50), |_| (), |_, ()| {})
                         .unwrap();
-                    });
-                    let client = el.enter(|cx| {
-                        let c = Client::connect(cx, &net, 80);
-                        for i in 0..100u8 {
-                            c.send(cx, vec![i]);
-                        }
-                        c.close_after(cx, VDur::millis(500));
-                        c
-                    });
-                    el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(600)));
-                    el.run();
-                    assert_eq!(client.received().len(), 100);
-                });
-            },
-        );
+                }
+            });
+            let report = el.run();
+            assert_eq!(report.pool.completed, 500);
+        });
     }
-    group.finish();
 }
 
-fn bench_levenshtein(c: &mut Criterion) {
+fn bench_net_echo() {
+    for mode in [Mode::Vanilla, Mode::Fuzz] {
+        let label = format!("net_echo_100_msgs/{}", mode.label());
+        let mode2 = mode.clone();
+        bench(&label, 15, move || {
+            let mut el = mode2.build_loop(LoopConfig::seeded(3), 11);
+            let net = SimNet::new();
+            let n = net.clone();
+            el.enter(move |cx| {
+                n.listen(cx, 80, |_cx, conn| {
+                    conn.on_data(|cx, conn, msg| {
+                        let _ = conn.write(cx, msg.clone());
+                    });
+                })
+                .unwrap();
+            });
+            let client = el.enter(|cx| {
+                let c = Client::connect(cx, &net, 80);
+                for i in 0..100u8 {
+                    c.send(cx, vec![i]);
+                }
+                c.close_after(cx, VDur::millis(500));
+                c
+            });
+            el.enter(|cx| net.close_all_listeners_after(cx, VDur::millis(600)));
+            el.run();
+            assert_eq!(client.received().len(), 100);
+        });
+    }
+}
+
+fn bench_levenshtein() {
     // Deterministic pseudo-random schedules.
     let mut x: u64 = 42;
     let mut next = move || {
@@ -104,23 +106,21 @@ fn bench_levenshtein(c: &mut Criterion) {
     };
     let a: Vec<u8> = (0..2_000).map(|_| next()).collect();
     let b: Vec<u8> = (0..2_000).map(|_| next()).collect();
-    c.bench_function("levenshtein_2k_exact", |bench| {
-        bench.iter(|| levenshtein(&a, &b));
+    bench("levenshtein_2k_exact", 9, || {
+        let _ = levenshtein(&a, &b);
     });
     let mut c2 = a.clone();
     for slot in c2.iter_mut().step_by(40) {
         *slot = b'z';
     }
-    c.bench_function("levenshtein_2k_banded", |bench| {
-        bench.iter(|| levenshtein_banded(&a, &c2, 128).expect("within band"));
+    bench("levenshtein_2k_banded", 9, || {
+        let _ = levenshtein_banded(&a, &c2, 128).expect("within band");
     });
 }
 
-criterion_group!(
-    benches,
-    bench_timer_dispatch,
-    bench_pool_throughput,
-    bench_net_echo,
-    bench_levenshtein
-);
-criterion_main!(benches);
+fn main() {
+    bench_timer_dispatch();
+    bench_pool_throughput();
+    bench_net_echo();
+    bench_levenshtein();
+}

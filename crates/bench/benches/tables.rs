@@ -7,10 +7,7 @@ use nodefz::FuzzParams;
 
 fn table1() {
     println!("=== Table 1: software used in the bug study ===\n");
-    println!(
-        "{:<6} {:<32} {:<12} {}",
-        "Abbr.", "Name", "Bug ref", "Race type"
-    );
+    println!("{:<6} {:<32} {:<12} Race type", "Abbr.", "Name", "Bug ref");
     for case in nodefz_bench::registry() {
         let info = case.info();
         println!(
@@ -33,8 +30,8 @@ fn table2() {
         "=== Table 2: bug characteristics + observed evidence (nodeFZ, <= {budget} seeds) ===\n"
     );
     println!(
-        "{:<6} {:<6} {:<10} {:<12} {:<44} {}",
-        "Abbr.", "Type", "Events", "Race on", "Impact", "Fix"
+        "{:<6} {:<6} {:<10} {:<12} {:<44} Fix",
+        "Abbr.", "Type", "Events", "Race on", "Impact"
     );
     let registry = nodefz_bench::registry();
     for case in &registry {

@@ -212,6 +212,51 @@ pub fn registry() -> Vec<Box<dyn BugCase>> {
     nodefz_apps::registry()
 }
 
+/// One row of the campaign-scaling experiment.
+#[derive(Clone, Debug)]
+pub struct CampaignScalingRow {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_s: f64,
+    /// Fuzz runs completed per second.
+    pub runs_per_s: f64,
+    /// Distinct bugs found (after dedup).
+    pub unique_bugs: usize,
+}
+
+/// Runs a fig6-style campaign sweep: the same fuzzing campaign (identical
+/// apps, budget and base seed) at each thread count, reporting wall-clock
+/// scaling and the deduplicated bug count.
+///
+/// The finding set is seed-determined, so every row should report the same
+/// `unique_bugs`; only the wall clock should move.
+pub fn campaign_scaling(
+    apps: &[&str],
+    budget: u64,
+    thread_counts: &[usize],
+) -> Vec<CampaignScalingRow> {
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let cfg = nodefz_campaign::CampaignConfig {
+                threads,
+                budget,
+                apps: apps.iter().map(|a| a.to_string()).collect(),
+                ..nodefz_campaign::CampaignConfig::default()
+            };
+            let report = nodefz_campaign::run(&cfg).expect("campaign config is valid");
+            let wall_s = report.elapsed.as_secs_f64();
+            CampaignScalingRow {
+                threads,
+                wall_s,
+                runs_per_s: report.runs as f64 / wall_s.max(1e-9),
+                unique_bugs: report.unique_bugs(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

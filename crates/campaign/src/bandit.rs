@@ -1,0 +1,175 @@
+//! Budget allocation across (app, preset) arms.
+//!
+//! A campaign does not know in advance which application / parameterization
+//! pairs will keep yielding bugs, so it treats allocation as a multi-armed
+//! bandit: each arm's *recent* yield (new unique bugs per run) is tracked
+//! with an exponential moving average, and arms are chosen by an upper
+//! confidence bound so unexplored arms still get pulled. Everything is
+//! deterministic — ties break by arm order — so a campaign with a fixed
+//! seed schedule is reproducible.
+
+/// One (app, preset) pair the campaign can spend runs on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arm {
+    /// Bug abbreviation ("KUE", …).
+    pub app: String,
+    /// Index into [`crate::config::PRESETS`].
+    pub preset: usize,
+}
+
+#[derive(Clone, Debug)]
+struct ArmState {
+    arm: Arm,
+    pulls: u64,
+    /// EMA of reward (1.0 = new unique bug, 0.0 = nothing new).
+    yield_ema: f64,
+}
+
+/// Deterministic UCB/EMA budget allocator.
+#[derive(Debug)]
+pub struct Bandit {
+    arms: Vec<ArmState>,
+    total_pulls: u64,
+    /// EMA decay: weight of the newest observation.
+    alpha: f64,
+    /// Exploration strength.
+    c: f64,
+}
+
+impl Bandit {
+    /// Creates an allocator over `arms` with standard exploration settings.
+    pub fn new(arms: Vec<Arm>) -> Bandit {
+        assert!(!arms.is_empty(), "bandit needs at least one arm");
+        Bandit {
+            arms: arms
+                .into_iter()
+                .map(|arm| ArmState {
+                    arm,
+                    pulls: 0,
+                    // Optimistic start: every arm looks promising until
+                    // evidence says otherwise.
+                    yield_ema: 1.0,
+                })
+                .collect(),
+            total_pulls: 0,
+            alpha: 0.2,
+            c: 0.5,
+        }
+    }
+
+    /// Number of arms.
+    pub fn arm_count(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Picks the next arm to spend a run on and counts the pull.
+    pub fn pick(&mut self) -> Arm {
+        self.total_pulls += 1;
+        let t = self.total_pulls as f64;
+        let (best, _) = self
+            .arms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let score = if a.pulls == 0 {
+                    // Unpulled arms go first, in order.
+                    f64::INFINITY
+                } else {
+                    a.yield_ema + self.c * (t.ln() / a.pulls as f64).sqrt()
+                };
+                (i, score)
+            })
+            // max_by on (index, score): later arms win ties only if strictly
+            // better, so ties break toward the earlier arm.
+            .max_by(|(_, x), (_, y)| x.partial_cmp(y).expect("scores are not NaN"))
+            .expect("at least one arm");
+        self.arms[best].pulls += 1;
+        self.arms[best].arm.clone()
+    }
+
+    /// Reports the outcome of a run on `arm`: `new_bugs` is how many
+    /// previously unseen signatures that run surfaced.
+    pub fn reward(&mut self, arm: &Arm, new_bugs: u64) {
+        let observed = if new_bugs > 0 { 1.0 } else { 0.0 };
+        if let Some(a) = self.arms.iter_mut().find(|a| &a.arm == arm) {
+            a.yield_ema = (1.0 - self.alpha) * a.yield_ema + self.alpha * observed;
+        }
+    }
+
+    /// (arm, pulls, recent-yield EMA) for every arm, for the final report.
+    pub fn summary(&self) -> Vec<(Arm, u64, f64)> {
+        self.arms
+            .iter()
+            .map(|a| (a.arm.clone(), a.pulls, a.yield_ema))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arms(n: usize) -> Vec<Arm> {
+        (0..n)
+            .map(|i| Arm {
+                app: format!("A{i}"),
+                preset: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_arm_is_tried_before_any_repeats() {
+        let mut b = Bandit::new(arms(4));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            assert!(seen.insert(b.pick().app));
+        }
+    }
+
+    #[test]
+    fn budget_shifts_toward_the_yielding_arm() {
+        let mut b = Bandit::new(arms(3));
+        let mut pulls = [0u64; 3];
+        for _ in 0..300 {
+            let arm = b.pick();
+            let i: usize = arm.app[1..].parse().unwrap();
+            pulls[i] += 1;
+            // Arm A1 keeps yielding; the others never do.
+            b.reward(&arm, u64::from(i == 1));
+        }
+        assert!(
+            pulls[1] > pulls[0] + pulls[2],
+            "yielding arm should dominate: {pulls:?}"
+        );
+        assert!(pulls[0] > 0 && pulls[2] > 0, "exploration never stops");
+    }
+
+    #[test]
+    fn dry_arms_decay_and_recover() {
+        let mut b = Bandit::new(arms(1));
+        let arm = b.pick();
+        for _ in 0..50 {
+            b.reward(&arm, 0);
+        }
+        let dry = b.summary()[0].2;
+        assert!(dry < 0.01, "long-dry arm decays, got {dry}");
+        b.reward(&arm, 3);
+        assert!(b.summary()[0].2 > dry, "a hit recovers the EMA");
+    }
+
+    #[test]
+    fn picks_are_deterministic() {
+        let run = || {
+            let mut b = Bandit::new(arms(3));
+            (0..40)
+                .map(|i| {
+                    let arm = b.pick();
+                    b.reward(&arm, u64::from(i % 7 == 0));
+                    arm.app
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,192 @@
+//! Command-line front end for fuzzing campaigns.
+//!
+//! ```text
+//! campaign [--threads N] [--budget N] [--apps KUE,MKD,...] [--corpus DIR]
+//!          [--deadline-secs S] [--no-shrink] [--replay-checks N]
+//!          [--seed N] [--verify DIR] [--list]
+//! ```
+//!
+//! Plain `std::env::args` parsing — no argument-parsing dependency.
+
+use std::process::ExitCode;
+
+use nodefz_campaign::{report, run_with_progress, CampaignConfig, Corpus, Event};
+
+const USAGE: &str = "usage: campaign [options]
+  --threads N        worker threads (default 4)
+  --budget N         total fuzz runs (default 400)
+  --apps A,B,C       bug abbreviations to target (default: the fig6 set)
+  --corpus DIR       persist minimized repros into DIR
+  --deadline-secs S  wall-clock budget; drain gracefully when exceeded
+  --no-shrink        skip delta-debugging of new findings
+  --replay-checks N  acceptance replays per repro (default 10)
+  --seed N           base environment seed (default 1)
+  --verify DIR       replay every corpus entry in DIR and exit
+  --list             list known bug abbreviations and exit";
+
+fn parse_args(args: &[String]) -> Result<(CampaignConfig, Option<String>, bool), String> {
+    let mut cfg = CampaignConfig::default();
+    let mut verify = None;
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads: not a number".to_string())?;
+            }
+            "--budget" => {
+                cfg.budget = value("--budget")?
+                    .parse()
+                    .map_err(|_| "--budget: not a number".to_string())?;
+            }
+            "--apps" => {
+                cfg.apps = value("--apps")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--corpus" => cfg.corpus_dir = Some(value("--corpus")?.into()),
+            "--deadline-secs" => {
+                let secs: u64 = value("--deadline-secs")?
+                    .parse()
+                    .map_err(|_| "--deadline-secs: not a number".to_string())?;
+                cfg.deadline = Some(std::time::Duration::from_secs(secs));
+            }
+            "--no-shrink" => cfg.shrink = false,
+            "--replay-checks" => {
+                cfg.replay_checks = value("--replay-checks")?
+                    .parse()
+                    .map_err(|_| "--replay-checks: not a number".to_string())?;
+            }
+            "--seed" => {
+                cfg.base_seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: not a number".to_string())?;
+            }
+            "--verify" => verify = Some(value("--verify")?),
+            "--list" => list = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok((cfg, verify, list))
+}
+
+/// The fig6 experiment set: every reproduced bug the paper fuzzes.
+fn default_apps() -> Vec<String> {
+    nodefz_apps::registry()
+        .iter()
+        .map(|c| c.info())
+        .filter(|i| i.in_fig6)
+        .map(|i| i.abbr.to_string())
+        .collect()
+}
+
+fn verify_corpus(dir: &str) -> ExitCode {
+    // Opening would create a missing directory, and an empty corpus
+    // verifies vacuously — so a typo'd path must not look like a pass.
+    if !std::path::Path::new(dir).is_dir() {
+        eprintln!("campaign: corpus {dir} does not exist");
+        return ExitCode::FAILURE;
+    }
+    let corpus = match Corpus::open(std::path::Path::new(dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("campaign: cannot open corpus {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match corpus.load_all() {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("campaign: cannot load corpus {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0;
+    for entry in &entries {
+        match nodefz_campaign::verify_entry(entry) {
+            Ok(()) => println!("ok   {}", entry.file_name()),
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {e}");
+            }
+        }
+    }
+    println!(
+        "verified {}/{} entries",
+        entries.len() - failures,
+        entries.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mut cfg, verify, list) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if list {
+        for case in nodefz_apps::registry() {
+            let info = case.info();
+            println!("{:<4} {:<16} {}", info.abbr, info.name, info.bug_ref);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(dir) = verify {
+        return verify_corpus(&dir);
+    }
+    if cfg.apps.is_empty() {
+        cfg.apps = default_apps();
+    }
+
+    println!(
+        "campaign: {} runs over {} apps on {} threads{}",
+        cfg.budget,
+        cfg.apps.len(),
+        cfg.threads,
+        cfg.corpus_dir
+            .as_ref()
+            .map(|d| format!(", corpus {}", d.display()))
+            .unwrap_or_default(),
+    );
+    let outcome = run_with_progress(&cfg, |event| {
+        if let Event::Run { completed, budget } = event {
+            // Sample run ticks so a large budget does not flood the console.
+            let step = (budget / 20).max(1);
+            if completed % step == 0 || completed == budget {
+                println!("  {completed}/{budget} runs");
+            }
+            return;
+        }
+        if let Some(line) = report::render_event(event) {
+            println!("{line}");
+        }
+    });
+    match outcome {
+        Ok(report_data) => {
+            print!("{}", report::render_summary(&report_data));
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("campaign: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Campaign configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The fuzz parameterizations a campaign cycles through, by preset index.
+///
+/// Each (app, preset) pair is one bandit arm; the allocator shifts budget
+/// toward the arms that keep yielding new bugs.
+pub const PRESETS: [&str; 3] = ["standard", "aggressive", "guided"];
+
+/// Resolves a preset index to its [`nodefz::FuzzParams`].
+pub fn preset_params(preset: usize) -> nodefz::FuzzParams {
+    match preset % PRESETS.len() {
+        0 => nodefz::FuzzParams::standard(),
+        1 => nodefz::FuzzParams::aggressive(),
+        _ => nodefz::FuzzParams::guided_accurate_timers(),
+    }
+}
+
+/// Everything a campaign needs to run.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Worker threads running fuzz and shrink jobs.
+    pub threads: usize,
+    /// Total fuzz runs to spend across all arms.
+    pub budget: u64,
+    /// Bug abbreviations to target (Table 2 names, e.g. `["KUE", "MKD"]`).
+    pub apps: Vec<String>,
+    /// Wall-clock deadline; the campaign drains gracefully when it passes.
+    pub deadline: Option<Duration>,
+    /// Whether to delta-debug each new finding's decision trace.
+    pub shrink: bool,
+    /// How many replays must re-manifest a shrunk repro before it is
+    /// accepted into the corpus.
+    pub replay_checks: u32,
+    /// Directory to persist minimized repros into (`None` = in-memory only).
+    pub corpus_dir: Option<PathBuf>,
+    /// Base environment seed; per-run seeds are derived deterministically.
+    pub base_seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            threads: 4,
+            budget: 400,
+            apps: Vec::new(),
+            deadline: None,
+            shrink: true,
+            replay_checks: 10,
+            corpus_dir: None,
+            base_seed: 1,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
+        if self.budget == 0 {
+            return Err("budget must be at least 1 run".into());
+        }
+        if self.apps.is_empty() {
+            return Err("at least one app must be targeted".into());
+        }
+        for app in &self.apps {
+            if nodefz_apps::by_abbr(app).is_none() {
+                return Err(format!(
+                    "unknown app '{app}' (known: {})",
+                    nodefz_apps::abbrs().join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_invalid_until_apps_are_set() {
+        let mut cfg = CampaignConfig::default();
+        assert!(cfg.validate().is_err());
+        cfg.apps = vec!["KUE".into()];
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_app_is_named_in_the_error() {
+        let cfg = CampaignConfig {
+            apps: vec!["NOPE".into()],
+            ..CampaignConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("NOPE"), "{err}");
+    }
+
+    #[test]
+    fn presets_resolve() {
+        for i in 0..PRESETS.len() {
+            preset_params(i).validate().unwrap();
+        }
+    }
+}

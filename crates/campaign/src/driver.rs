@@ -1,0 +1,597 @@
+//! The parallel campaign driver.
+//!
+//! The event-loop simulator is single-threaded by design (`Rc` handles,
+//! deterministic virtual time), so a campaign parallelizes across *runs*:
+//! worker OS threads pull jobs from a work-stealing queue, instantiate the
+//! bug case locally (via [`nodefz_apps::by_abbr`] — `Box<dyn BugCase>` is
+//! not `Send`), and report results back over a channel. The controller
+//! thread owns the bandit, the deduplicator, and the corpus:
+//!
+//! ```text
+//! controller ── bandit picks (app, preset) ──► seed queue ──► workers
+//!      ▲                                                        │
+//!      └──── findings / shrink results ◄───── channel ◄─────────┘
+//! ```
+//!
+//! A new signature triggers a shrink job (delta debugging + acceptance
+//! replays) routed back through the same queue; the shrunk repro is then
+//! persisted. The campaign drains gracefully when the run budget is spent
+//! or the wall-clock deadline passes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nodefz::{DecisionTrace, Mode, ReplayStatusHandle, TraceHandle};
+use nodefz_apps::common::{RunCfg, Variant};
+use nodefz_trace::BugSignature;
+
+use crate::bandit::{Arm, Bandit};
+use crate::config::{preset_params, CampaignConfig, PRESETS};
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::dedup::{BugRecord, Deduper, Finding};
+use crate::shrink::shrink;
+
+/// One unit of worker work.
+enum Job {
+    /// Run the app once under a recording fuzz scheduler.
+    Fuzz {
+        app: String,
+        preset: usize,
+        env_seed: u64,
+    },
+    /// Minimize a manifesting trace, then acceptance-replay it.
+    Shrink {
+        app: String,
+        env_seed: u64,
+        trace: DecisionTrace,
+        signature: BugSignature,
+        do_shrink: bool,
+        replay_checks: u32,
+    },
+}
+
+/// Worker → controller messages.
+enum Msg {
+    FuzzDone {
+        app: String,
+        preset: usize,
+        finding: Option<Finding>,
+    },
+    ShrinkDone {
+        signature: BugSignature,
+        shrunk: DecisionTrace,
+        original_len: usize,
+        replays_ok: u32,
+    },
+}
+
+/// Per-worker deques with stealing: a worker pops its own queue front and,
+/// when empty, steals the back half of the first non-empty peer queue.
+struct SeedQueue {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+}
+
+impl SeedQueue {
+    fn new(workers: usize) -> SeedQueue {
+        SeedQueue {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    fn push(&self, slot: usize, job: Job) {
+        self.queues[slot % self.queues.len()]
+            .lock()
+            .expect("queue lock")
+            .push_back(job);
+    }
+
+    fn pop(&self, me: usize) -> Option<Job> {
+        if let Some(job) = self.queues[me].lock().expect("queue lock").pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            let mut stolen = {
+                let mut v = self.queues[victim].lock().expect("queue lock");
+                let len = v.len();
+                if len == 0 {
+                    continue;
+                }
+                v.split_off(len - len.div_ceil(2))
+            };
+            let job = stolen.pop_front();
+            if !stolen.is_empty() {
+                self.queues[me].lock().expect("queue lock").extend(stolen);
+            }
+            return job;
+        }
+        None
+    }
+}
+
+/// Progress events, for live reporting.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A fuzz run finished.
+    Run {
+        /// Runs completed so far.
+        completed: u64,
+        /// Total run budget.
+        budget: u64,
+    },
+    /// A previously unseen bug signature manifested.
+    NewBug {
+        /// The new bug's dedup key.
+        signature: BugSignature,
+        /// Environment seed of the manifesting run.
+        env_seed: u64,
+    },
+    /// A bug's trace finished shrinking.
+    Shrunk {
+        /// Which bug.
+        signature: BugSignature,
+        /// Decisions before shrinking.
+        from: usize,
+        /// Decisions after shrinking.
+        to: usize,
+        /// Acceptance replays that re-manifested it.
+        replays_ok: u32,
+    },
+    /// The wall-clock deadline passed; the campaign is draining.
+    DeadlineHit,
+}
+
+/// Summary of one deduplicated bug, for the final report.
+#[derive(Clone, Debug)]
+pub struct BugSummary {
+    /// Bug abbreviation.
+    pub app: String,
+    /// Normalized failure site.
+    pub site: String,
+    /// Manifestations observed.
+    pub hits: u64,
+    /// Environment seed of the first manifestation.
+    pub first_seed: u64,
+    /// Decisions in the first manifesting trace.
+    pub original_len: usize,
+    /// Decisions after shrinking (== `original_len` when shrinking is off).
+    pub shrunk_len: usize,
+    /// Acceptance replays that re-manifested the bug.
+    pub replays_ok: u32,
+}
+
+/// What a finished campaign reports.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Fuzz runs completed.
+    pub runs: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// One summary per deduplicated bug, in stable signature order.
+    pub bugs: Vec<BugSummary>,
+    /// (app, preset name, pulls, recent-yield EMA) per bandit arm.
+    pub arms: Vec<(String, &'static str, u64, f64)>,
+    /// Whether the deadline cut the campaign short.
+    pub hit_deadline: bool,
+}
+
+impl CampaignReport {
+    /// Number of distinct bugs found.
+    pub fn unique_bugs(&self) -> usize {
+        self.bugs.len()
+    }
+}
+
+/// Runs one fuzz job: the buggy variant under a recording fuzz scheduler.
+fn run_fuzz(app: &str, preset: usize, env_seed: u64) -> Option<Finding> {
+    let case = nodefz_apps::by_abbr(app)?;
+    let handle = TraceHandle::fresh();
+    let mode = Mode::Record(preset_params(preset), handle.clone());
+    let out = case.run(&RunCfg::new(mode, env_seed), Variant::Buggy);
+    if !out.manifested {
+        return None;
+    }
+    Some(Finding {
+        app: app.to_string(),
+        preset,
+        env_seed,
+        signature: BugSignature::new(app, &out.detail, &out.report.schedule),
+        detail: out.detail,
+        trace: handle.snapshot(),
+    })
+}
+
+/// Replays `trace` against `app` under `env_seed`; returns whether the run
+/// manifested with signature `expected`.
+fn replays_to(app: &str, env_seed: u64, trace: &DecisionTrace, expected: &BugSignature) -> bool {
+    let case = match nodefz_apps::by_abbr(app) {
+        Some(c) => c,
+        None => return false,
+    };
+    let mode = Mode::Replay(trace.clone(), ReplayStatusHandle::fresh());
+    let out = case.run(&RunCfg::new(mode, env_seed), Variant::Buggy);
+    out.manifested && &BugSignature::new(app, &out.detail, &out.report.schedule) == expected
+}
+
+/// Replays a corpus entry and checks it still manifests its recorded bug.
+///
+/// This is the regression path: a corpus saved by one campaign can be
+/// verified by any later build.
+///
+/// # Errors
+///
+/// Describes the mismatch (no manifestation, or a different signature).
+pub fn verify_entry(entry: &CorpusEntry) -> Result<(), String> {
+    let expected = entry.signature();
+    if replays_to(&entry.app, entry.env_seed, &entry.trace, &expected) {
+        Ok(())
+    } else {
+        Err(format!(
+            "corpus entry {} did not re-manifest {expected}",
+            entry.file_name()
+        ))
+    }
+}
+
+fn worker_loop(queue: Arc<SeedQueue>, me: usize, stop: Arc<AtomicBool>, tx: mpsc::Sender<Msg>) {
+    loop {
+        match queue.pop(me) {
+            Some(Job::Fuzz {
+                app,
+                preset,
+                env_seed,
+            }) => {
+                let finding = run_fuzz(&app, preset, env_seed);
+                if tx
+                    .send(Msg::FuzzDone {
+                        app,
+                        preset,
+                        finding,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Some(Job::Shrink {
+                app,
+                env_seed,
+                trace,
+                signature,
+                do_shrink,
+                replay_checks,
+            }) => {
+                let original_len = trace.decisions.len();
+                let shrunk = if do_shrink {
+                    shrink(&trace, |t| replays_to(&app, env_seed, t, &signature)).trace
+                } else {
+                    trace
+                };
+                let replays_ok = (0..replay_checks)
+                    .filter(|_| replays_to(&app, env_seed, &shrunk, &signature))
+                    .count() as u32;
+                if tx
+                    .send(Msg::ShrinkDone {
+                        signature,
+                        shrunk,
+                        original_len,
+                        replays_ok,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            None => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// Derives the i-th environment seed of a campaign (splitmix64 step).
+fn derive_seed(base: u64, i: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds an arm into the campaign base seed so each arm probes its own
+/// deterministic seed sequence. Worker completion order then only decides
+/// *how many* seeds of each arm's sequence get probed, not which ones —
+/// same-seed campaigns reproduce the same findings.
+fn arm_base(base: u64, arm: &Arm) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in arm.app.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base ^ h ^ ((arm.preset as u64) << 56)
+}
+
+/// Runs a campaign, invoking `on_event` for live progress.
+///
+/// # Errors
+///
+/// Fails on an invalid configuration or a corpus I/O error.
+pub fn run_with_progress(
+    cfg: &CampaignConfig,
+    mut on_event: impl FnMut(&Event),
+) -> Result<CampaignReport, String> {
+    cfg.validate()?;
+    let corpus = match &cfg.corpus_dir {
+        Some(dir) => Some(Corpus::open(dir).map_err(|e| format!("corpus: {e}"))?),
+        None => None,
+    };
+
+    let arms: Vec<Arm> = cfg
+        .apps
+        .iter()
+        .flat_map(|app| {
+            (0..PRESETS.len()).map(move |preset| Arm {
+                app: app.clone(),
+                preset,
+            })
+        })
+        .collect();
+    let mut bandit = Bandit::new(arms);
+    let mut deduper = Deduper::new();
+
+    let queue = Arc::new(SeedQueue::new(cfg.threads));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<Msg>();
+    let workers: Vec<_> = (0..cfg.threads)
+        .map(|me| {
+            let queue = queue.clone();
+            let stop = stop.clone();
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("campaign-{me}"))
+                .spawn(move || worker_loop(queue, me, stop, tx))
+                .expect("spawn worker")
+        })
+        .collect();
+    drop(tx);
+
+    let start = Instant::now();
+    let mut hit_deadline = false;
+    let mut dispatched = 0u64;
+    let mut completed = 0u64;
+    let mut shrinks_pending = 0u64;
+    let mut next_slot = 0usize;
+    // (original trace length, for the final summary) keyed by signature.
+    let mut originals: Vec<(BugSignature, usize)> = Vec::new();
+
+    // Deep enough that sub-millisecond runs never starve a worker while a
+    // completion round-trips through the controller; shallow enough that
+    // the bandit still steers most of the budget.
+    let max_inflight = (cfg.threads as u64) * 8;
+    let mut arm_pulls: std::collections::HashMap<(String, usize), u64> =
+        std::collections::HashMap::new();
+    let mut dispatch = |bandit: &mut Bandit, dispatched: &mut u64, next_slot: &mut usize| {
+        let arm = bandit.pick();
+        let pull = arm_pulls.entry((arm.app.clone(), arm.preset)).or_insert(0);
+        let env_seed = derive_seed(arm_base(cfg.base_seed, &arm), *pull);
+        *pull += 1;
+        queue.push(
+            *next_slot,
+            Job::Fuzz {
+                app: arm.app,
+                preset: arm.preset,
+                env_seed,
+            },
+        );
+        *next_slot += 1;
+        *dispatched += 1;
+    };
+
+    while dispatched < cfg.budget.min(max_inflight) {
+        dispatch(&mut bandit, &mut dispatched, &mut next_slot);
+    }
+
+    loop {
+        let deadline_passed = cfg.deadline.is_some_and(|d| start.elapsed() >= d);
+        if deadline_passed && !hit_deadline {
+            hit_deadline = true;
+            on_event(&Event::DeadlineHit);
+        }
+        if completed >= dispatched
+            && shrinks_pending == 0
+            && (completed >= cfg.budget || hit_deadline)
+        {
+            break;
+        }
+        let msg = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(msg) => msg,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        match msg {
+            Msg::FuzzDone {
+                app,
+                preset,
+                finding,
+            } => {
+                completed += 1;
+                let arm = Arm { app, preset };
+                let mut new_bugs = 0;
+                if let Some(finding) = finding {
+                    let env_seed = finding.env_seed;
+                    let signature = finding.signature.clone();
+                    let trace = finding.trace.clone();
+                    if deduper.insert(finding) {
+                        new_bugs = 1;
+                        on_event(&Event::NewBug {
+                            signature: signature.clone(),
+                            env_seed,
+                        });
+                        originals.push((signature.clone(), trace.decisions.len()));
+                        queue.push(
+                            next_slot,
+                            Job::Shrink {
+                                app: arm.app.clone(),
+                                env_seed,
+                                trace,
+                                signature,
+                                do_shrink: cfg.shrink,
+                                replay_checks: cfg.replay_checks,
+                            },
+                        );
+                        next_slot += 1;
+                        shrinks_pending += 1;
+                    }
+                }
+                bandit.reward(&arm, new_bugs);
+                on_event(&Event::Run {
+                    completed,
+                    budget: cfg.budget,
+                });
+                if !hit_deadline && dispatched < cfg.budget {
+                    dispatch(&mut bandit, &mut dispatched, &mut next_slot);
+                }
+            }
+            Msg::ShrinkDone {
+                signature,
+                shrunk,
+                original_len,
+                replays_ok,
+            } => {
+                shrinks_pending -= 1;
+                on_event(&Event::Shrunk {
+                    signature: signature.clone(),
+                    from: original_len,
+                    to: shrunk.decisions.len(),
+                    replays_ok,
+                });
+                deduper.attach_shrunk(&signature, shrunk, replays_ok);
+            }
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        let _ = w.join();
+    }
+
+    if let Some(corpus) = &corpus {
+        for record in deduper.records() {
+            let entry = record_to_entry(record);
+            corpus.save(&entry).map_err(|e| format!("corpus: {e}"))?;
+        }
+    }
+
+    let bugs = deduper
+        .records()
+        .into_iter()
+        .map(|record| {
+            let original_len = originals
+                .iter()
+                .find(|(sig, _)| sig == &record.first.signature)
+                .map_or(record.first.trace.decisions.len(), |(_, len)| *len);
+            BugSummary {
+                app: record.first.app.clone(),
+                site: record.first.signature.site.clone(),
+                hits: record.hits,
+                first_seed: record.first.env_seed,
+                original_len,
+                shrunk_len: record
+                    .shrunk
+                    .as_ref()
+                    .map_or(original_len, |t| t.decisions.len()),
+                replays_ok: record.replays_ok,
+            }
+        })
+        .collect();
+    let arms = bandit
+        .summary()
+        .into_iter()
+        .map(|(arm, pulls, ema)| (arm.app, PRESETS[arm.preset % PRESETS.len()], pulls, ema))
+        .collect();
+    Ok(CampaignReport {
+        runs: completed,
+        elapsed: start.elapsed(),
+        bugs,
+        arms,
+        hit_deadline,
+    })
+}
+
+/// Runs a campaign without progress reporting.
+///
+/// # Errors
+///
+/// Fails on an invalid configuration or a corpus I/O error.
+pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
+    run_with_progress(cfg, |_| {})
+}
+
+fn record_to_entry(record: &BugRecord) -> CorpusEntry {
+    CorpusEntry {
+        app: record.first.app.clone(),
+        env_seed: record.first.env_seed,
+        site: record.first.signature.site.clone(),
+        kinds: record.first.signature.kinds,
+        hits: record.hits,
+        replays_ok: record.replays_ok,
+        trace: record
+            .shrunk
+            .clone()
+            .unwrap_or_else(|| record.first.trace.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(1, i)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(derive_seed(1, 5), derive_seed(1, 5));
+        assert_ne!(derive_seed(1, 5), derive_seed(2, 5));
+    }
+
+    #[test]
+    fn seed_queue_pops_own_work_first_then_steals() {
+        let q = SeedQueue::new(2);
+        for i in 0..4 {
+            q.push(
+                0,
+                Job::Fuzz {
+                    app: "KUE".into(),
+                    preset: 0,
+                    env_seed: i,
+                },
+            );
+        }
+        // Worker 1 has nothing: it steals from worker 0.
+        let stolen = q.pop(1).expect("steals from the loaded peer");
+        match stolen {
+            Job::Fuzz { env_seed, .. } => assert_eq!(env_seed, 2, "steals the back half"),
+            Job::Shrink { .. } => panic!("unexpected job kind"),
+        }
+        // Worker 0 still pops its own front.
+        match q.pop(0).expect("own work remains") {
+            Job::Fuzz { env_seed, .. } => assert_eq!(env_seed, 0),
+            Job::Shrink { .. } => panic!("unexpected job kind"),
+        }
+    }
+
+    #[test]
+    fn empty_queues_pop_none() {
+        let q = SeedQueue::new(3);
+        assert!(q.pop(0).is_none());
+        assert!(q.pop(2).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # nodefz-campaign — parallel fuzzing-campaign orchestration
+//!
+//! The paper runs each bug's test case hundreds of times under `nodeFZ`
+//! and counts manifestations (§5.1). This crate turns that loop into a
+//! campaign: worker threads fan seeds across (app, parameterization) arms,
+//! a bandit shifts budget toward the arms that keep yielding new bugs,
+//! manifestations are deduplicated by failure signature, each new bug's
+//! decision trace is minimized by delta debugging, and the minimized repro
+//! is persisted to a text corpus whose entries replay deterministically.
+//!
+//! ```text
+//! seeds ──► driver (N threads) ──► dedup ──► shrink ──► corpus
+//!              ▲                                           │
+//!              └───── bandit budget reallocation ◄─────────┘
+//! ```
+//!
+//! See [`run`] / [`run_with_progress`] for the entry points and the
+//! `campaign` binary for the command-line front end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandit;
+pub mod config;
+pub mod corpus;
+pub mod dedup;
+pub mod report;
+pub mod shrink;
+
+mod driver;
+
+pub use config::{preset_params, CampaignConfig, PRESETS};
+pub use corpus::{Corpus, CorpusDecodeError, CorpusEntry};
+pub use dedup::{BugRecord, Deduper, Finding};
+pub use driver::{run, run_with_progress, verify_entry, BugSummary, CampaignReport, Event};
+pub use shrink::{shrink, ShrinkResult};

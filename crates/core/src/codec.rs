@@ -1,0 +1,341 @@
+//! Self-contained text encoding for [`DecisionTrace`].
+//!
+//! A corpus of minimized repros must survive process restarts, tool
+//! upgrades, and casual inspection in an editor, so traces are persisted as
+//! a line-oriented plain-text format with an explicit version header —
+//! hand-rolled encode/decode, no serialization dependency. The grammar:
+//!
+//! ```text
+//! nodefz-trace v1
+//! pool concurrent <workers>            # or: pool serialized <lookahead|inf> <max_delay_ns>
+//! demux <0|1>
+//! t run                                # Decision::Timer(None)
+//! t defer <delay_ns>                   # Decision::Timer(Some(ns))
+//! s [<i> <j> ...]                      # Decision::Shuffle(perm)
+//! r <0|1>                              # Decision::DeferReady
+//! c <0|1>                              # Decision::DeferClose
+//! p <index>                            # Decision::PickTask
+//! end
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored by the decoder, so
+//! corpus files may carry human annotations.
+
+use std::fmt;
+
+use nodefz_rt::{PoolMode, VDur};
+
+use crate::replay::{Decision, DecisionTrace};
+
+/// Why a trace document failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The document does not start with the `nodefz-trace v1` header.
+    MissingHeader,
+    /// The header names a version this build does not understand.
+    UnsupportedVersion(String),
+    /// The `pool …` line is missing or malformed.
+    BadPool(String),
+    /// The `demux …` line is missing or malformed.
+    BadDemux(String),
+    /// A decision line could not be parsed (1-based line number, content).
+    BadDecision(usize, String),
+    /// The document ended without the `end` terminator line.
+    MissingEnd,
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::MissingHeader => {
+                write!(f, "missing 'nodefz-trace' header")
+            }
+            TraceDecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version '{v}' (expected v1)")
+            }
+            TraceDecodeError::BadPool(line) => write!(f, "bad pool line: '{line}'"),
+            TraceDecodeError::BadDemux(line) => write!(f, "bad demux line: '{line}'"),
+            TraceDecodeError::BadDecision(no, line) => {
+                write!(f, "bad decision at line {no}: '{line}'")
+            }
+            TraceDecodeError::MissingEnd => write!(f, "missing 'end' terminator"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+/// Encodes a trace as the `nodefz-trace v1` text document.
+pub fn encode_trace(trace: &DecisionTrace) -> String {
+    let mut out = String::with_capacity(32 + trace.decisions.len() * 8);
+    out.push_str("nodefz-trace v1\n");
+    match trace.pool_mode {
+        PoolMode::Concurrent { workers } => {
+            out.push_str(&format!("pool concurrent {workers}\n"));
+        }
+        PoolMode::Serialized {
+            lookahead,
+            max_delay,
+        } => {
+            if lookahead == usize::MAX {
+                out.push_str(&format!("pool serialized inf {}\n", max_delay.as_nanos()));
+            } else {
+                out.push_str(&format!(
+                    "pool serialized {lookahead} {}\n",
+                    max_delay.as_nanos()
+                ));
+            }
+        }
+    }
+    out.push_str(&format!("demux {}\n", u8::from(trace.demux_done)));
+    for d in &trace.decisions {
+        match d {
+            Decision::Timer(None) => out.push_str("t run\n"),
+            Decision::Timer(Some(ns)) => out.push_str(&format!("t defer {ns}\n")),
+            Decision::Shuffle(perm) => {
+                out.push('s');
+                for idx in perm {
+                    out.push(' ');
+                    out.push_str(&idx.to_string());
+                }
+                out.push('\n');
+            }
+            Decision::DeferReady(d) => out.push_str(&format!("r {}\n", u8::from(*d))),
+            Decision::DeferClose(d) => out.push_str(&format!("c {}\n", u8::from(*d))),
+            Decision::PickTask(i) => out.push_str(&format!("p {i}\n")),
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn parse_bool(token: &str) -> Option<bool> {
+    match token {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// Decodes a `nodefz-trace v1` text document.
+///
+/// # Errors
+///
+/// Returns a [`TraceDecodeError`] naming the first offending line.
+pub fn decode_trace(text: &str) -> Result<DecisionTrace, TraceDecodeError> {
+    // Meaningful lines with their 1-based line numbers.
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    match lines.next() {
+        Some((_, "nodefz-trace v1")) => {}
+        Some((_, header)) if header.starts_with("nodefz-trace") => {
+            return Err(TraceDecodeError::UnsupportedVersion(
+                header.trim_start_matches("nodefz-trace").trim().to_string(),
+            ));
+        }
+        _ => return Err(TraceDecodeError::MissingHeader),
+    }
+
+    let (_, pool_line) = lines
+        .next()
+        .ok_or_else(|| TraceDecodeError::BadPool("<missing>".into()))?;
+    let pool_err = || TraceDecodeError::BadPool(pool_line.to_string());
+    let mut toks = pool_line.split_whitespace();
+    if toks.next() != Some("pool") {
+        return Err(pool_err());
+    }
+    let pool_mode = match toks.next() {
+        Some("concurrent") => {
+            let workers = toks
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .filter(|&w| w > 0)
+                .ok_or_else(pool_err)?;
+            PoolMode::Concurrent { workers }
+        }
+        Some("serialized") => {
+            let lookahead = match toks.next() {
+                Some("inf") => usize::MAX,
+                Some(t) => t.parse::<usize>().map_err(|_| pool_err())?,
+                None => return Err(pool_err()),
+            };
+            let max_delay = toks
+                .next()
+                .and_then(|t| t.parse::<u64>().ok())
+                .map(VDur::nanos)
+                .ok_or_else(pool_err)?;
+            PoolMode::Serialized {
+                lookahead,
+                max_delay,
+            }
+        }
+        _ => return Err(pool_err()),
+    };
+    if toks.next().is_some() {
+        return Err(pool_err());
+    }
+
+    let (_, demux_line) = lines
+        .next()
+        .ok_or_else(|| TraceDecodeError::BadDemux("<missing>".into()))?;
+    let demux_done = demux_line
+        .strip_prefix("demux ")
+        .and_then(parse_bool)
+        .ok_or_else(|| TraceDecodeError::BadDemux(demux_line.to_string()))?;
+
+    let mut decisions = Vec::new();
+    let mut terminated = false;
+    for (no, line) in lines {
+        if line == "end" {
+            terminated = true;
+            break;
+        }
+        let bad = || TraceDecodeError::BadDecision(no, line.to_string());
+        let mut toks = line.split_whitespace();
+        let decision = match toks.next() {
+            Some("t") => match (toks.next(), toks.next()) {
+                (Some("run"), None) => Decision::Timer(None),
+                (Some("defer"), Some(ns)) => {
+                    Decision::Timer(Some(ns.parse::<u64>().map_err(|_| bad())?))
+                }
+                _ => return Err(bad()),
+            },
+            Some("s") => {
+                let perm = toks
+                    .by_ref()
+                    .map(|t| t.parse::<u32>().map_err(|_| bad()))
+                    .collect::<Result<Vec<u32>, _>>()?;
+                Decision::Shuffle(perm)
+            }
+            Some("r") => Decision::DeferReady(toks.next().and_then(parse_bool).ok_or_else(bad)?),
+            Some("c") => Decision::DeferClose(toks.next().and_then(parse_bool).ok_or_else(bad)?),
+            Some("p") => Decision::PickTask(
+                toks.next()
+                    .and_then(|t| t.parse::<u32>().ok())
+                    .ok_or_else(bad)?,
+            ),
+            _ => return Err(bad()),
+        };
+        // Trailing tokens after a fully-parsed decision are malformed,
+        // except for `s`, whose parser consumes the whole line.
+        if !matches!(decision, Decision::Shuffle(_)) && toks.next().is_some() {
+            return Err(bad());
+        }
+        decisions.push(decision);
+    }
+    if !terminated {
+        return Err(TraceDecodeError::MissingEnd);
+    }
+
+    Ok(DecisionTrace {
+        pool_mode,
+        demux_done,
+        decisions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionTrace {
+        DecisionTrace {
+            pool_mode: PoolMode::Serialized {
+                lookahead: usize::MAX,
+                max_delay: VDur::micros(100),
+            },
+            demux_done: true,
+            decisions: vec![
+                Decision::Timer(None),
+                Decision::Timer(Some(5_000_000)),
+                Decision::Shuffle(vec![2, 0, 1]),
+                Decision::Shuffle(vec![]),
+                Decision::DeferReady(true),
+                Decision::DeferClose(false),
+                Decision::PickTask(3),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample();
+        let text = encode_trace(&trace);
+        assert_eq!(decode_trace(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn roundtrip_concurrent_pool() {
+        let trace = DecisionTrace {
+            pool_mode: PoolMode::Concurrent { workers: 4 },
+            demux_done: false,
+            decisions: vec![],
+        };
+        assert_eq!(decode_trace(&encode_trace(&trace)).unwrap(), trace);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a repro\n\nnodefz-trace v1\npool concurrent 2\n\n# header done\ndemux 0\nt run\n\nend\n";
+        let trace = decode_trace(text).unwrap();
+        assert_eq!(trace.decisions, vec![Decision::Timer(None)]);
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert_eq!(
+            decode_trace("pool concurrent 4\ndemux 0\nend\n"),
+            Err(TraceDecodeError::MissingHeader)
+        );
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        assert_eq!(
+            decode_trace("nodefz-trace v9\npool concurrent 4\ndemux 0\nend\n"),
+            Err(TraceDecodeError::UnsupportedVersion("v9".into()))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let text = "nodefz-trace v1\npool concurrent 4\ndemux 1\nt run\nq nonsense\nend\n";
+        assert_eq!(
+            decode_trace(text),
+            Err(TraceDecodeError::BadDecision(5, "q nonsense".into()))
+        );
+    }
+
+    #[test]
+    fn truncated_document_is_rejected() {
+        let mut text = encode_trace(&sample());
+        text.truncate(text.len() - "end\n".len());
+        assert_eq!(decode_trace(&text), Err(TraceDecodeError::MissingEnd));
+    }
+
+    #[test]
+    fn bad_pool_and_demux_are_rejected() {
+        assert!(matches!(
+            decode_trace("nodefz-trace v1\npool weird 4\ndemux 0\nend\n"),
+            Err(TraceDecodeError::BadPool(_))
+        ));
+        assert!(matches!(
+            decode_trace("nodefz-trace v1\npool concurrent 0\ndemux 0\nend\n"),
+            Err(TraceDecodeError::BadPool(_))
+        ));
+        assert!(matches!(
+            decode_trace("nodefz-trace v1\npool concurrent 4\ndemux yes\nend\n"),
+            Err(TraceDecodeError::BadDemux(_))
+        ));
+    }
+
+    #[test]
+    fn errors_render_a_description() {
+        let err = TraceDecodeError::BadDecision(7, "x".into());
+        assert!(err.to_string().contains("line 7"));
+    }
+}

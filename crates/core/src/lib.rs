@@ -44,14 +44,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 mod mode;
 mod params;
 mod replay;
 mod scheduler;
 mod systematic;
 
+pub use codec::{decode_trace, encode_trace, TraceDecodeError};
 pub use mode::Mode;
 pub use params::FuzzParams;
-pub use replay::{Decision, DecisionTrace, RecordingScheduler, ReplayScheduler, TraceHandle};
+pub use replay::{
+    Decision, DecisionTrace, RecordingScheduler, ReplayDivergence, ReplayError, ReplayScheduler,
+    ReplayStatusHandle, TraceHandle,
+};
 pub use scheduler::{FuzzScheduler, FuzzStats};
 pub use systematic::{explore, SystematicScheduler};

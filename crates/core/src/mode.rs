@@ -10,6 +10,9 @@
 use nodefz_rt::{EventLoop, LoopConfig, Scheduler, VanillaScheduler};
 
 use crate::params::FuzzParams;
+use crate::replay::{
+    DecisionTrace, RecordingScheduler, ReplayScheduler, ReplayStatusHandle, TraceHandle,
+};
 use crate::scheduler::FuzzScheduler;
 
 /// Which runtime build executes a program.
@@ -26,6 +29,13 @@ pub enum Mode {
     Guided,
     /// Node.fz with explicit parameters (sweeps, ablations).
     Custom(FuzzParams),
+    /// Node.fz with explicit parameters, recording every scheduling
+    /// decision into the shared [`TraceHandle`] for later replay or
+    /// shrinking (§6, systematic exploration).
+    Record(FuzzParams, TraceHandle),
+    /// Re-applies a recorded [`DecisionTrace`] decision-for-decision,
+    /// reporting divergence through the shared [`ReplayStatusHandle`].
+    Replay(DecisionTrace, ReplayStatusHandle),
 }
 
 impl Mode {
@@ -37,6 +47,8 @@ impl Mode {
             Mode::Fuzz => "nodeFZ",
             Mode::Guided => "nodeFZ(guided)",
             Mode::Custom(_) => "nodeFZ(custom)",
+            Mode::Record(..) => "nodeFZ(record)",
+            Mode::Replay(..) => "replay",
         }
     }
 
@@ -48,14 +60,25 @@ impl Mode {
             Mode::Fuzz => Some(FuzzParams::standard()),
             Mode::Guided => Some(FuzzParams::guided_accurate_timers()),
             Mode::Custom(p) => Some(p.clone()),
+            Mode::Record(p, _) => Some(p.clone()),
+            Mode::Replay(..) => None,
         }
     }
 
     /// Builds the scheduler for this mode.
     pub fn scheduler(&self, sched_seed: u64) -> Box<dyn Scheduler> {
-        match self.params() {
-            None => Box::new(VanillaScheduler::new()),
-            Some(p) => Box::new(FuzzScheduler::new(p, sched_seed)),
+        match self {
+            Mode::Record(p, handle) => Box::new(RecordingScheduler::with_handle(
+                FuzzScheduler::new(p.clone(), sched_seed),
+                handle,
+            )),
+            Mode::Replay(trace, status) => {
+                Box::new(ReplayScheduler::attached(trace.clone(), status.clone()))
+            }
+            _ => match self.params() {
+                None => Box::new(VanillaScheduler::new()),
+                Some(p) => Box::new(FuzzScheduler::new(p, sched_seed)),
+            },
         }
     }
 
@@ -121,5 +144,43 @@ mod tests {
     fn scheduler_names() {
         assert_eq!(Mode::Vanilla.scheduler(0).name(), "vanilla");
         assert_eq!(Mode::Fuzz.scheduler(0).name(), "nodefz");
+        let handle = crate::TraceHandle::fresh();
+        assert_eq!(
+            Mode::Record(FuzzParams::standard(), handle)
+                .scheduler(0)
+                .name(),
+            "recording"
+        );
+    }
+
+    #[test]
+    fn record_mode_then_replay_mode_reproduces_the_schedule() {
+        fn program(el: &mut EventLoop) {
+            el.enter(|cx| {
+                for i in 1..6u64 {
+                    cx.set_timeout(VDur::micros(i * 173), move |cx| {
+                        cx.submit_work(VDur::micros(90), |_| (), |_, ()| {})
+                            .unwrap();
+                    });
+                }
+            });
+        }
+        let handle = crate::TraceHandle::fresh();
+        let mode = Mode::Record(FuzzParams::standard(), handle.clone());
+        let mut el = mode.build_loop(LoopConfig::seeded(7), 21);
+        program(&mut el);
+        let original = el.run();
+
+        let status = crate::ReplayStatusHandle::fresh();
+        let mode = Mode::Replay(handle.snapshot(), status.clone());
+        assert_eq!(mode.label(), "replay");
+        assert_eq!(mode.params(), None);
+        let mut el = mode.build_loop(LoopConfig::seeded(7), 0);
+        program(&mut el);
+        let replayed = el.run();
+
+        assert_eq!(original.schedule, replayed.schedule);
+        assert_eq!(original.end_time, replayed.end_time);
+        status.verdict().expect("faithful replay");
     }
 }

@@ -10,8 +10,20 @@
 //! Replaying a trace against the *same program and environment seed*
 //! reproduces the exact schedule — which turns a once-in-a-hundred-runs
 //! manifestation into a deterministic regression test.
+//!
+//! ## Divergence handling
+//!
+//! Replay never panics mid-run, whatever the trace contains. A consultation
+//! past the end of the trace, of a different kind than recorded, or against
+//! a malformed recorded value (out-of-window pick, non-permutation shuffle)
+//! falls back to the inert choice (run / identity / no-defer / head) and is
+//! recorded as a [`ReplayDivergence`]. Callers that need a verdict rather
+//! than a best-effort schedule attach a [`ReplayStatusHandle`] (see
+//! [`ReplayScheduler::with_status`]) and call
+//! [`ReplayStatusHandle::verdict`] after the run.
 
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
 
 use nodefz_rt::{PoolMode, ReadyEntry, Scheduler, TimerVerdict, VDur};
@@ -30,6 +42,19 @@ pub enum Decision {
     DeferClose(bool),
     /// The queue index picked by the worker.
     PickTask(u32),
+}
+
+impl Decision {
+    /// Short label of the decision kind ("timer", "shuffle", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Decision::Timer(_) => "timer",
+            Decision::Shuffle(_) => "shuffle",
+            Decision::DeferReady(_) => "defer-ready",
+            Decision::DeferClose(_) => "defer-close",
+            Decision::PickTask(_) => "pick-task",
+        }
+    }
 }
 
 /// A complete record of one run's scheduling decisions.
@@ -62,9 +87,35 @@ pub struct TraceHandle {
 }
 
 impl TraceHandle {
+    /// Creates a handle around an empty trace, to be filled by a
+    /// [`RecordingScheduler`] built later (see
+    /// [`RecordingScheduler::with_handle`] and [`crate::Mode::Record`]).
+    pub fn fresh() -> TraceHandle {
+        TraceHandle {
+            inner: Rc::new(RefCell::new(DecisionTrace {
+                pool_mode: PoolMode::Concurrent { workers: 4 },
+                demux_done: false,
+                decisions: Vec::new(),
+            })),
+        }
+    }
+
     /// Takes a snapshot of the decisions recorded so far.
     pub fn snapshot(&self) -> DecisionTrace {
         self.inner.borrow().clone()
+    }
+}
+
+impl PartialEq for TraceHandle {
+    /// Handles are equal when they share the same underlying trace.
+    fn eq(&self, other: &TraceHandle) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceHandle({} decisions)", self.inner.borrow().len())
     }
 }
 
@@ -78,15 +129,27 @@ impl<S: Scheduler> RecordingScheduler<S> {
     /// Wraps `inner`; returns the scheduler and a handle to read the trace
     /// after (or during) the run.
     pub fn new(inner: S) -> (RecordingScheduler<S>, TraceHandle) {
-        let trace = Rc::new(RefCell::new(DecisionTrace {
+        let handle = TraceHandle::fresh();
+        let recorder = RecordingScheduler::with_handle(inner, &handle);
+        (recorder, handle)
+    }
+
+    /// Wraps `inner`, recording into an externally supplied handle.
+    ///
+    /// Any decisions already in the handle are discarded and its header
+    /// (pool mode, demux flag) is reset from `inner`, so a handle can be
+    /// created first and wired through configuration (see
+    /// [`crate::Mode::Record`]).
+    pub fn with_handle(inner: S, handle: &TraceHandle) -> RecordingScheduler<S> {
+        *handle.inner.borrow_mut() = DecisionTrace {
             pool_mode: inner.pool_mode(),
             demux_done: inner.demux_done(),
             decisions: Vec::new(),
-        }));
-        let handle = TraceHandle {
-            inner: trace.clone(),
         };
-        (RecordingScheduler { inner, trace }, handle)
+        RecordingScheduler {
+            trace: handle.inner.clone(),
+            inner,
+        }
     }
 }
 
@@ -160,41 +223,198 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
     }
 }
 
+/// The first point where a replay could not follow its trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayDivergence {
+    /// Zero-based index of the diverging consultation.
+    pub at: usize,
+    /// What the trace held at that point ("timer", "shuffle", …, or
+    /// "end of trace").
+    pub recorded: &'static str,
+    /// The kind of consultation the run actually made, with detail for
+    /// malformed recorded values ("shuffle (non-permutation)", …).
+    pub consulted: &'static str,
+}
+
+impl fmt::Display for ReplayDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay diverged at decision {}: trace holds {}, run consulted {}",
+            self.at, self.recorded, self.consulted
+        )
+    }
+}
+
+/// A failed replay: how many consultations diverged, and where it started.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Total diverging consultations.
+    pub mismatches: u64,
+    /// The first divergence.
+    pub first: ReplayDivergence,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} total mismatches)", self.first, self.mismatches)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+#[derive(Default)]
+struct ReplayStatus {
+    mismatches: u64,
+    first: Option<ReplayDivergence>,
+}
+
+/// Shared view of a [`ReplayScheduler`]'s divergence state, readable after
+/// the event loop has consumed the boxed scheduler.
+#[derive(Clone, Default)]
+pub struct ReplayStatusHandle {
+    inner: Rc<RefCell<ReplayStatus>>,
+}
+
+impl ReplayStatusHandle {
+    /// Creates a fresh, unattached handle (all-zero state until a
+    /// [`ReplayScheduler`] built from it runs).
+    pub fn fresh() -> ReplayStatusHandle {
+        ReplayStatusHandle::default()
+    }
+
+    /// How many consultations did not match the recorded decision.
+    pub fn mismatches(&self) -> u64 {
+        self.inner.borrow().mismatches
+    }
+
+    /// The first divergence, if any.
+    pub fn first_divergence(&self) -> Option<ReplayDivergence> {
+        self.inner.borrow().first.clone()
+    }
+
+    /// `Ok(())` for a faithful replay, the divergence report otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayError`] naming the first diverging consultation.
+    pub fn verdict(&self) -> Result<(), ReplayError> {
+        let status = self.inner.borrow();
+        match &status.first {
+            None => Ok(()),
+            Some(first) => Err(ReplayError {
+                mismatches: status.mismatches,
+                first: first.clone(),
+            }),
+        }
+    }
+
+    fn reset(&self) {
+        *self.inner.borrow_mut() = ReplayStatus::default();
+    }
+}
+
+impl PartialEq for ReplayStatusHandle {
+    /// Handles are equal when they share the same underlying status.
+    fn eq(&self, other: &ReplayStatusHandle) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for ReplayStatusHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ReplayStatusHandle({} mismatches)",
+            self.inner.borrow().mismatches
+        )
+    }
+}
+
 /// Replays a [`DecisionTrace`] decision-for-decision.
 ///
 /// Must be used with the same program and environment seed that produced
-/// the trace; consultations beyond the end of the trace (or of a mismatched
-/// kind) fall back to the inert choice (run / identity / no-defer / head),
-/// and the mismatch counter records that the replay diverged.
+/// the trace; consultations beyond the end of the trace, of a mismatched
+/// kind, or against malformed recorded values fall back to the inert choice
+/// (run / identity / no-defer / head) — the documented fallback — and the
+/// divergence is reported through the status handle.
 pub struct ReplayScheduler {
     trace: DecisionTrace,
     cursor: usize,
-    mismatches: u64,
+    status: ReplayStatusHandle,
 }
 
 impl ReplayScheduler {
     /// Creates a replayer for `trace`.
     pub fn new(trace: DecisionTrace) -> ReplayScheduler {
+        ReplayScheduler::attached(trace, ReplayStatusHandle::fresh())
+    }
+
+    /// Creates a replayer plus a status handle that outlives it, for
+    /// inspecting divergence after the event loop consumed the scheduler.
+    pub fn with_status(trace: DecisionTrace) -> (ReplayScheduler, ReplayStatusHandle) {
+        let status = ReplayStatusHandle::fresh();
+        let replayer = ReplayScheduler::attached(trace, status.clone());
+        (replayer, status)
+    }
+
+    /// Creates a replayer reporting into an externally supplied handle.
+    ///
+    /// The handle's previous state is cleared, so one handle can be reused
+    /// across runs (see [`crate::Mode::Replay`]).
+    pub fn attached(trace: DecisionTrace, status: ReplayStatusHandle) -> ReplayScheduler {
+        status.reset();
         ReplayScheduler {
             trace,
             cursor: 0,
-            mismatches: 0,
+            status,
         }
     }
 
     /// How many consultations did not match the recorded kind (0 for a
     /// faithful replay).
     pub fn mismatches(&self) -> u64 {
-        self.mismatches
+        self.status.mismatches()
     }
 
-    fn next(&mut self) -> Option<&Decision> {
-        let d = self.trace.decisions.get(self.cursor);
+    fn diverge(&mut self, recorded: &'static str, consulted: &'static str) {
+        let mut status = self.status.inner.borrow_mut();
+        status.mismatches += 1;
+        if status.first.is_none() {
+            status.first = Some(ReplayDivergence {
+                // `next()` advanced the cursor for in-trace divergences;
+                // point at the consultation that diverged either way.
+                at: self
+                    .cursor
+                    .saturating_sub(usize::from(recorded != "end of trace")),
+                recorded,
+                consulted,
+            });
+        }
+    }
+
+    fn next(&mut self) -> Option<Decision> {
+        let d = self.trace.decisions.get(self.cursor).cloned();
         if d.is_some() {
             self.cursor += 1;
         }
         d
     }
+}
+
+/// Checks that `perm` is a permutation of `0..len`.
+fn is_permutation(perm: &[u32], len: usize) -> bool {
+    if perm.len() != len {
+        return false;
+    }
+    let mut seen = vec![false; len];
+    for &src in perm {
+        match seen.get_mut(src as usize) {
+            Some(slot @ false) => *slot = true,
+            _ => return false,
+        }
+    }
+    true
 }
 
 impl Scheduler for ReplayScheduler {
@@ -214,10 +434,14 @@ impl Scheduler for ReplayScheduler {
         match self.next() {
             Some(Decision::Timer(None)) => TimerVerdict::Run,
             Some(Decision::Timer(Some(ns))) => TimerVerdict::Defer {
-                delay: VDur::nanos(*ns),
+                delay: VDur::nanos(ns),
             },
-            _ => {
-                self.mismatches += 1;
+            Some(other) => {
+                self.diverge(other.kind(), "timer");
+                TimerVerdict::Run
+            }
+            None => {
+                self.diverge("end of trace", "timer");
                 TimerVerdict::Run
             }
         }
@@ -225,9 +449,19 @@ impl Scheduler for ReplayScheduler {
 
     fn shuffle_ready(&mut self, ready: &mut Vec<ReadyEntry>) {
         let perm = match self.next() {
-            Some(Decision::Shuffle(perm)) if perm.len() == ready.len() => perm.clone(),
-            _ => {
-                self.mismatches += 1;
+            Some(Decision::Shuffle(perm)) => {
+                if !is_permutation(&perm, ready.len()) {
+                    self.diverge("shuffle", "shuffle (non-permutation)");
+                    return;
+                }
+                perm
+            }
+            Some(other) => {
+                self.diverge(other.kind(), "shuffle");
+                return;
+            }
+            None => {
+                self.diverge("end of trace", "shuffle");
                 return;
             }
         };
@@ -239,9 +473,13 @@ impl Scheduler for ReplayScheduler {
 
     fn defer_ready(&mut self, _entry: &ReadyEntry) -> bool {
         match self.next() {
-            Some(Decision::DeferReady(d)) => *d,
-            _ => {
-                self.mismatches += 1;
+            Some(Decision::DeferReady(d)) => d,
+            Some(other) => {
+                self.diverge(other.kind(), "defer-ready");
+                false
+            }
+            None => {
+                self.diverge("end of trace", "defer-ready");
                 false
             }
         }
@@ -249,9 +487,13 @@ impl Scheduler for ReplayScheduler {
 
     fn defer_close(&mut self) -> bool {
         match self.next() {
-            Some(Decision::DeferClose(d)) => *d,
-            _ => {
-                self.mismatches += 1;
+            Some(Decision::DeferClose(d)) => d,
+            Some(other) => {
+                self.diverge(other.kind(), "defer-close");
+                false
+            }
+            None => {
+                self.diverge("end of trace", "defer-close");
                 false
             }
         }
@@ -259,9 +501,17 @@ impl Scheduler for ReplayScheduler {
 
     fn pick_task(&mut self, window: usize) -> usize {
         match self.next() {
-            Some(Decision::PickTask(i)) if (*i as usize) < window => *i as usize,
-            _ => {
-                self.mismatches += 1;
+            Some(Decision::PickTask(i)) if (i as usize) < window => i as usize,
+            Some(Decision::PickTask(_)) => {
+                self.diverge("pick-task", "pick-task (out of window)");
+                0
+            }
+            Some(other) => {
+                self.diverge(other.kind(), "pick-task");
+                0
+            }
+            None => {
+                self.diverge("end of trace", "pick-task");
                 0
             }
         }
@@ -272,7 +522,7 @@ impl Scheduler for ReplayScheduler {
 mod tests {
     use super::*;
     use crate::{FuzzParams, FuzzScheduler};
-    use nodefz_rt::{EventLoop, LoopConfig};
+    use nodefz_rt::{EventLoop, Fd, LoopConfig, VTime};
 
     /// A nontrivial program mixing timers, pool tasks and immediates.
     fn program(el: &mut EventLoop) {
@@ -302,7 +552,7 @@ mod tests {
         let trace = handle.snapshot();
         assert!(!trace.is_empty(), "a fuzz run makes decisions");
 
-        let replayer = ReplayScheduler::new(trace);
+        let (replayer, status) = ReplayScheduler::with_status(trace);
         let mut el = EventLoop::with_scheduler(LoopConfig::seeded(9), Box::new(replayer));
         program(&mut el);
         let replayed = el.run();
@@ -310,6 +560,7 @@ mod tests {
         assert_eq!(original.schedule, replayed.schedule);
         assert_eq!(original.end_time, replayed.end_time);
         assert_eq!(original.dispatched, replayed.dispatched);
+        status.verdict().expect("faithful replay");
     }
 
     #[test]
@@ -337,13 +588,92 @@ mod tests {
             demux_done: false,
             decisions: vec![Decision::Timer(None)],
         };
-        let mut replayer = ReplayScheduler::new(trace);
+        let (mut replayer, status) = ReplayScheduler::with_status(trace);
         assert_eq!(replayer.on_timer(), TimerVerdict::Run);
         // Trace exhausted: inert defaults, mismatches counted.
         assert_eq!(replayer.on_timer(), TimerVerdict::Run);
         assert!(!replayer.defer_close());
         assert_eq!(replayer.pick_task(3), 0);
         assert_eq!(replayer.mismatches(), 3);
+        let err = status.verdict().expect_err("diverged");
+        assert_eq!(err.mismatches, 3);
+        assert_eq!(err.first.recorded, "end of trace");
+        assert_eq!(err.first.consulted, "timer");
+        assert_eq!(err.first.at, 1);
+    }
+
+    #[test]
+    fn kind_mismatch_falls_back_inert() {
+        let trace = DecisionTrace {
+            pool_mode: PoolMode::Concurrent { workers: 4 },
+            demux_done: false,
+            decisions: vec![Decision::DeferClose(true), Decision::Timer(None)],
+        };
+        let (mut replayer, status) = ReplayScheduler::with_status(trace);
+        // Consults a timer where the trace recorded a close deferral.
+        assert_eq!(replayer.on_timer(), TimerVerdict::Run);
+        let err = status.verdict().expect_err("kind mismatch");
+        assert_eq!(err.first.at, 0);
+        assert_eq!(err.first.recorded, "defer-close");
+        assert_eq!(err.first.consulted, "timer");
+        assert!(err.to_string().contains("decision 0"), "{err}");
+    }
+
+    #[test]
+    fn malformed_shuffle_falls_back_to_identity() {
+        let entries: Vec<ReadyEntry> = (0..3)
+            .map(|i| ReadyEntry {
+                fd: Fd(i),
+                at: VTime(i as u64),
+                seq: i as u64,
+            })
+            .collect();
+        for perm in [
+            vec![0, 1],    // wrong length
+            vec![0, 1, 7], // out of range
+            vec![0, 1, 1], // duplicate
+        ] {
+            let trace = DecisionTrace {
+                pool_mode: PoolMode::Concurrent { workers: 4 },
+                demux_done: false,
+                decisions: vec![Decision::Shuffle(perm)],
+            };
+            let (mut replayer, status) = ReplayScheduler::with_status(trace);
+            let mut ready = entries.clone();
+            replayer.shuffle_ready(&mut ready);
+            assert_eq!(ready, entries, "fallback must be the identity");
+            let err = status.verdict().expect_err("malformed perm");
+            assert_eq!(err.first.consulted, "shuffle (non-permutation)");
+        }
+    }
+
+    #[test]
+    fn out_of_window_pick_falls_back_to_head() {
+        let trace = DecisionTrace {
+            pool_mode: PoolMode::Concurrent { workers: 4 },
+            demux_done: false,
+            decisions: vec![Decision::PickTask(9)],
+        };
+        let (mut replayer, status) = ReplayScheduler::with_status(trace);
+        assert_eq!(replayer.pick_task(2), 0);
+        let err = status.verdict().expect_err("pick out of window");
+        assert_eq!(err.first.consulted, "pick-task (out of window)");
+    }
+
+    #[test]
+    fn attached_handle_resets_between_runs() {
+        let status = ReplayStatusHandle::fresh();
+        let trace = DecisionTrace {
+            pool_mode: PoolMode::Concurrent { workers: 4 },
+            demux_done: false,
+            decisions: vec![],
+        };
+        let mut r1 = ReplayScheduler::attached(trace.clone(), status.clone());
+        let _ = r1.on_timer();
+        assert_eq!(status.mismatches(), 1);
+        let _r2 = ReplayScheduler::attached(trace, status.clone());
+        assert_eq!(status.mismatches(), 0, "attach resets the handle");
+        status.verdict().expect("clean after reset");
     }
 
     #[test]

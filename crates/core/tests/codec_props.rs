@@ -1,0 +1,102 @@
+//! Property tests for the `nodefz-trace v1` text codec: encode/decode must
+//! round-trip any trace built from any mix of [`Decision`] variants.
+
+use nodefz_check::{forall, Gen};
+
+use nodefz::{decode_trace, encode_trace, Decision, DecisionTrace};
+use nodefz_rt::{PoolMode, VDur};
+
+/// An arbitrary decision covering every variant, including degenerate
+/// payloads (empty shuffles, zero delays, huge indices).
+fn gen_decision(g: &mut Gen) -> Decision {
+    match g.below(5) {
+        0 => Decision::Timer(if g.bool() { None } else { Some(g.u64()) }),
+        1 => {
+            // A true permutation of a random length, Fisher-Yates.
+            let len = g.range_usize(0, 9);
+            let mut perm: Vec<u32> = (0..len as u32).collect();
+            for i in (1..len).rev() {
+                perm.swap(i, g.below(i as u64 + 1) as usize);
+            }
+            Decision::Shuffle(perm)
+        }
+        2 => Decision::DeferReady(g.bool()),
+        3 => Decision::DeferClose(g.bool()),
+        _ => Decision::PickTask(g.u64() as u32),
+    }
+}
+
+fn gen_trace(g: &mut Gen) -> DecisionTrace {
+    DecisionTrace {
+        pool_mode: if g.bool() {
+            PoolMode::Concurrent {
+                workers: g.range_usize(1, 64),
+            }
+        } else {
+            PoolMode::Serialized {
+                lookahead: if g.bool() {
+                    usize::MAX
+                } else {
+                    g.range_usize(0, 1000)
+                },
+                max_delay: VDur::nanos(g.u64()),
+            }
+        },
+        demux_done: g.bool(),
+        decisions: g.vec_with(0, 200, gen_decision),
+    }
+}
+
+#[test]
+fn encode_decode_roundtrips_every_variant_mix() {
+    forall("encode_decode_roundtrips_every_variant_mix", 192, |g| {
+        let trace = gen_trace(g);
+        let text = encode_trace(&trace);
+        let decoded = decode_trace(&text).expect("self-encoded traces decode");
+        assert_eq!(decoded, trace);
+    });
+}
+
+#[test]
+fn encoding_is_line_oriented_and_terminated() {
+    forall("encoding_is_line_oriented_and_terminated", 64, |g| {
+        let trace = gen_trace(g);
+        let text = encode_trace(&trace);
+        assert!(text.starts_with("nodefz-trace v1\n"));
+        assert!(text.ends_with("end\n"));
+        // Header (3 lines) + one line per decision + terminator.
+        assert_eq!(text.lines().count(), 4 + trace.decisions.len());
+    });
+}
+
+#[test]
+fn decoding_survives_reformatting() {
+    // Comments, blank lines and indentation — the edits a human makes to a
+    // persisted repro — must not change the decoded trace.
+    forall("decoding_survives_reformatting", 64, |g| {
+        let trace = gen_trace(g);
+        let mut reformatted = String::from("# hand-annotated\n\n");
+        for line in encode_trace(&trace).lines() {
+            reformatted.push_str("  ");
+            reformatted.push_str(line);
+            reformatted.push_str("\n\n# note\n");
+        }
+        assert_eq!(decode_trace(&reformatted).unwrap(), trace);
+    });
+}
+
+#[test]
+fn decoder_never_panics_on_garbage() {
+    forall("decoder_never_panics_on_garbage", 128, |g| {
+        let bytes = g.bytes(0, 200);
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = decode_trace(&text);
+        // Mutated valid documents must decode or error, never panic.
+        let mut doc = encode_trace(&gen_trace(g)).into_bytes();
+        if !doc.is_empty() {
+            let at = g.below(doc.len() as u64) as usize;
+            doc[at] = g.byte();
+        }
+        let _ = decode_trace(&String::from_utf8_lossy(&doc));
+    });
+}

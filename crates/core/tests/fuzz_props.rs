@@ -5,31 +5,29 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use nodefz_check::{forall, Gen};
 
 use nodefz::{FuzzParams, FuzzScheduler};
 use nodefz_rt::{EventLoop, LoopConfig, Termination, VDur, VTime};
 
 /// Arbitrary-but-legal fuzz parameters.
-fn params_strategy() -> impl Strategy<Value = FuzzParams> {
-    (
-        0.0f64..60.0,
-        0.0f64..60.0,
-        0.0f64..60.0,
-        prop::option::of(1usize..8),
-        prop::option::of(0usize..8),
-        0u64..2_000,
-    )
-        .prop_map(|(epoll, timer, close, wp_dof, epoll_dof, delay_us)| {
-            let mut p = FuzzParams::standard();
-            p.epoll_defer_pct = epoll;
-            p.timer_defer_pct = timer;
-            p.close_defer_pct = close;
-            p.wp_dof = wp_dof;
-            p.epoll_dof = epoll_dof;
-            p.timer_defer_delay = VDur::micros(delay_us);
-            p
-        })
+fn gen_params(g: &mut Gen) -> FuzzParams {
+    let mut p = FuzzParams::standard();
+    p.epoll_defer_pct = g.f64_range(0.0, 60.0);
+    p.timer_defer_pct = g.f64_range(0.0, 60.0);
+    p.close_defer_pct = g.f64_range(0.0, 60.0);
+    p.wp_dof = if g.bool() {
+        Some(g.range_usize(1, 8))
+    } else {
+        None
+    };
+    p.epoll_dof = if g.bool() {
+        Some(g.range_usize(0, 8))
+    } else {
+        None
+    };
+    p.timer_defer_delay = VDur::micros(g.below(2_000));
+    p
 }
 
 #[derive(Clone, Debug)]
@@ -39,17 +37,12 @@ struct Program {
     immediates: usize,
 }
 
-fn program_strategy() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(1u64..20_000, 0..10),
-        prop::collection::vec(1u64..5_000, 0..10),
-        0usize..5,
-    )
-        .prop_map(|(timers_us, task_costs_us, immediates)| Program {
-            timers_us,
-            task_costs_us,
-            immediates,
-        })
+fn gen_program(g: &mut Gen) -> Program {
+    Program {
+        timers_us: g.vec_with(0, 10, |g| g.range(1, 20_000)),
+        task_costs_us: g.vec_with(0, 10, |g| g.range(1, 5_000)),
+        immediates: g.range_usize(0, 5),
+    }
 }
 
 struct Observed {
@@ -105,28 +98,25 @@ fn run_program(
     (report, observed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn nothing_lost_duplicated_or_early(
-        program in program_strategy(),
-        params in params_strategy(),
-        env_seed: u64,
-        sched_seed: u64,
-    ) {
+#[test]
+fn nothing_lost_duplicated_or_early() {
+    forall("nothing_lost_duplicated_or_early", 96, |g| {
+        let program = gen_program(g);
+        let params = gen_params(g);
+        let env_seed = g.u64();
+        let sched_seed = g.u64();
         let (report, observed) = run_program(&program, params, env_seed, sched_seed);
-        prop_assert_eq!(report.termination, Termination::Quiescent);
-        prop_assert!(!report.crashed());
+        assert_eq!(report.termination, Termination::Quiescent);
+        assert!(!report.crashed());
 
         // Timers: exactly once each, never before their deadline.
-        prop_assert_eq!(observed.timers_fired.len(), program.timers_us.len());
+        assert_eq!(observed.timers_fired.len(), program.timers_us.len());
         let mut seen = vec![false; program.timers_us.len()];
         for &(idx, at) in &observed.timers_fired {
-            prop_assert!(!seen[idx], "timer {idx} fired twice");
+            assert!(!seen[idx], "timer {idx} fired twice");
             seen[idx] = true;
             let deadline = VTime::ZERO + VDur::micros(program.timers_us[idx]);
-            prop_assert!(at >= deadline, "timer {idx} fired early: {at} < {deadline}");
+            assert!(at >= deadline, "timer {idx} fired early: {at} < {deadline}");
         }
 
         // Timer dispatch respects the {timeout, registration} order even
@@ -134,7 +124,7 @@ proptest! {
         for pair in observed.timers_fired.windows(2) {
             let (a, b) = (pair[0].0, pair[1].0);
             let (da, db) = (program.timers_us[a], program.timers_us[b]);
-            prop_assert!(
+            assert!(
                 da < db || (da == db && a < b),
                 "timer order violated: {a} (deadline {da}) before {b} (deadline {db})"
             );
@@ -143,41 +133,47 @@ proptest! {
         // Pool: every task completes exactly once.
         let mut got = observed.tasks_done.clone();
         got.sort_unstable();
-        prop_assert_eq!(got, (0..program.task_costs_us.len()).collect::<Vec<_>>());
-        prop_assert_eq!(report.pool.completed, program.task_costs_us.len() as u64);
+        assert_eq!(got, (0..program.task_costs_us.len()).collect::<Vec<_>>());
+        assert_eq!(report.pool.completed, program.task_costs_us.len() as u64);
 
         // Immediates all ran.
-        prop_assert_eq!(observed.immediates_run, program.immediates);
-    }
+        assert_eq!(observed.immediates_run, program.immediates);
+    });
+}
 
-    #[test]
-    fn fuzzed_runs_replay_bit_for_bit(
-        program in program_strategy(),
-        params in params_strategy(),
-        env_seed: u64,
-        sched_seed: u64,
-    ) {
+#[test]
+fn fuzzed_runs_replay_bit_for_bit() {
+    forall("fuzzed_runs_replay_bit_for_bit", 48, |g| {
+        let program = gen_program(g);
+        let params = gen_params(g);
+        let env_seed = g.u64();
+        let sched_seed = g.u64();
         let (a, _) = run_program(&program, params.clone(), env_seed, sched_seed);
         let (b, _) = run_program(&program, params, env_seed, sched_seed);
-        prop_assert_eq!(a.schedule, b.schedule);
-        prop_assert_eq!(a.end_time, b.end_time);
-        prop_assert_eq!(a.iterations, b.iterations);
-        prop_assert_eq!(a.dispatched, b.dispatched);
-    }
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.dispatched, b.dispatched);
+    });
+}
 
-    #[test]
-    fn scheduler_seed_changes_only_the_schedule_not_the_results(
-        program in program_strategy(),
-        env_seed: u64,
-        s1: u64,
-        s2: u64,
-    ) {
-        let params = FuzzParams::aggressive();
-        let (ra, oa) = run_program(&program, params.clone(), env_seed, s1);
-        let (rb, ob) = run_program(&program, params, env_seed, s2);
-        // Same completed work either way.
-        prop_assert_eq!(ra.pool.completed, rb.pool.completed);
-        prop_assert_eq!(oa.timers_fired.len(), ob.timers_fired.len());
-        prop_assert_eq!(oa.immediates_run, ob.immediates_run);
-    }
+#[test]
+fn scheduler_seed_changes_only_the_schedule_not_the_results() {
+    forall(
+        "scheduler_seed_changes_only_the_schedule_not_the_results",
+        48,
+        |g| {
+            let program = gen_program(g);
+            let env_seed = g.u64();
+            let s1 = g.u64();
+            let s2 = g.u64();
+            let params = FuzzParams::aggressive();
+            let (ra, oa) = run_program(&program, params.clone(), env_seed, s1);
+            let (rb, ob) = run_program(&program, params, env_seed, s2);
+            // Same completed work either way.
+            assert_eq!(ra.pool.completed, rb.pool.completed);
+            assert_eq!(oa.timers_fired.len(), ob.timers_fired.len());
+            assert_eq!(oa.immediates_run, ob.immediates_run);
+        },
+    );
 }

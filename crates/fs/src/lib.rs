@@ -939,7 +939,7 @@ mod tests {
             el.run();
             let data = fs.read_sync("shared").unwrap();
             let firsts: Vec<u8> = (0..4).map(|p| data[p * PAGE_SIZE]).collect();
-            if firsts.iter().any(|&b| b == b'A') && firsts.iter().any(|&b| b == b'B') {
+            if firsts.contains(&b'A') && firsts.contains(&b'B') {
                 torn = true;
                 break;
             }

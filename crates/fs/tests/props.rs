@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use nodefz_check::{forall, Gen};
 
 use nodefz_fs::SimFs;
 use nodefz_rt::{Ctx, Errno, EventLoop, LoopConfig};
@@ -49,7 +49,7 @@ fn split(path: &str) -> Result<Vec<String>, Errno> {
 impl Model {
     fn parent_ok(&self, parts: &[String]) -> Result<(), Errno> {
         for i in 1..parts.len() {
-            match self.nodes.get(&parts[..i].to_vec()) {
+            match self.nodes.get(&parts[..i]) {
                 Some(ModelNode::Dir) => {}
                 Some(ModelNode::File(_)) => return Err(Errno::Enotdir),
                 None => return Err(Errno::Enoent),
@@ -143,26 +143,22 @@ impl Model {
     }
 }
 
-fn path_strategy() -> impl Strategy<Value = String> {
-    // A small path universe so operations collide meaningfully.
-    prop::sample::select(vec![
-        "a", "b", "a/x", "a/y", "b/x", "a/x/deep", "file", "a/file",
-    ])
-    .prop_map(str::to_string)
+/// A small path universe so operations collide meaningfully.
+fn gen_path(g: &mut Gen) -> String {
+    let paths = ["a", "b", "a/x", "a/y", "b/x", "a/x/deep", "file", "a/file"];
+    g.pick(&paths).to_string()
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        path_strategy().prop_map(Op::Mkdir),
-        (path_strategy(), prop::collection::vec(any::<u8>(), 0..8))
-            .prop_map(|(p, d)| Op::WriteFile(p, d)),
-        (path_strategy(), prop::collection::vec(any::<u8>(), 0..8))
-            .prop_map(|(p, d)| Op::Append(p, d)),
-        path_strategy().prop_map(Op::ReadFile),
-        path_strategy().prop_map(Op::Unlink),
-        path_strategy().prop_map(Op::Rmdir),
-        path_strategy().prop_map(Op::Stat),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.below(7) {
+        0 => Op::Mkdir(gen_path(g)),
+        1 => Op::WriteFile(gen_path(g), g.bytes(0, 8)),
+        2 => Op::Append(gen_path(g), g.bytes(0, 8)),
+        3 => Op::ReadFile(gen_path(g)),
+        4 => Op::Unlink(gen_path(g)),
+        5 => Op::Rmdir(gen_path(g)),
+        _ => Op::Stat(gen_path(g)),
+    }
 }
 
 /// Runs `ops` sequentially through the loop (each op in the completion
@@ -251,16 +247,13 @@ fn run_model(ops: &[Op]) -> Vec<String> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn simfs_agrees_with_the_model(
-        ops in prop::collection::vec(op_strategy(), 1..25),
-        seed: u64,
-    ) {
+#[test]
+fn simfs_agrees_with_the_model() {
+    forall("simfs_agrees_with_the_model", 64, |g| {
+        let ops = g.vec_with(1, 25, gen_op);
+        let seed = g.u64();
         let sim = run_sim(ops.clone(), seed);
         let model = run_model(&ops);
-        prop_assert_eq!(sim, model, "ops: {:?}", ops);
-    }
+        assert_eq!(sim, model, "ops: {ops:?}");
+    });
 }

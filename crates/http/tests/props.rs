@@ -1,43 +1,62 @@
 //! Property tests for the HTTP wire codec.
 
-use proptest::prelude::*;
+use nodefz_check::{forall, Gen};
 
 use nodefz_http::{
     decode_request, decode_response, encode_request, encode_response, Method, Response,
 };
 
-fn method_strategy() -> impl Strategy<Value = Method> {
-    prop::sample::select(vec![Method::Get, Method::Post, Method::Put, Method::Delete])
+fn gen_method(g: &mut Gen) -> Method {
+    *g.pick(&[Method::Get, Method::Post, Method::Put, Method::Delete])
 }
 
-fn path_strategy() -> impl Strategy<Value = String> {
-    "(/[a-z0-9:_-]{1,8}){1,4}".prop_map(|s| s)
+/// One to four segments of `/[a-z0-9:_-]{1,8}`.
+fn gen_path(g: &mut Gen) -> String {
+    let alphabet: Vec<char> = ('a'..='z')
+        .chain('0'..='9')
+        .chain([':', '_', '-'])
+        .collect();
+    let segments = g.range_usize(1, 5);
+    let mut path = String::new();
+    for _ in 0..segments {
+        path.push('/');
+        for _ in 0..g.range_usize(1, 9) {
+            path.push(*g.pick(&alphabet));
+        }
+    }
+    path
 }
 
-proptest! {
-    #[test]
-    fn request_roundtrip(
-        method in method_strategy(),
-        path in path_strategy(),
-        body in prop::collection::vec(any::<u8>(), 0..64),
-    ) {
+#[test]
+fn request_roundtrip() {
+    forall("request_roundtrip", 96, |g| {
+        let method = gen_method(g);
+        let path = gen_path(g);
+        let body = g.bytes(0, 64);
         let wire = encode_request(method, &path, &body);
         let (m, p, b) = decode_request(&wire).expect("self-encoded requests decode");
-        prop_assert_eq!(m, method);
-        prop_assert_eq!(p, path);
-        prop_assert_eq!(b, body);
-    }
+        assert_eq!(m, method);
+        assert_eq!(p, path);
+        assert_eq!(b, body);
+    });
+}
 
-    #[test]
-    fn response_roundtrip(status in 100u16..600, body in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn response_roundtrip() {
+    forall("response_roundtrip", 96, |g| {
+        let status = g.range(100, 600) as u16;
+        let body = g.bytes(0, 64);
         let r = Response { status, body };
         let decoded = decode_response(&encode_response(&r)).expect("self-encoded responses decode");
-        prop_assert_eq!(decoded, r);
-    }
+        assert_eq!(decoded, r);
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn decoder_never_panics_on_garbage() {
+    forall("decoder_never_panics_on_garbage", 128, |g| {
+        let bytes = g.bytes(0, 128);
         let _ = decode_request(&bytes);
         let _ = decode_response(&bytes);
-    }
+    });
 }

@@ -264,17 +264,14 @@ impl Kv {
                 Reply::Unit
             }
             Op::SetNx(k, v, ttl) => {
-                if st.data.contains_key(&k) {
-                    Reply::Bool(false)
-                } else {
-                    st.data.insert(
-                        k,
-                        Entry {
-                            value: Value::Str(v),
-                            expires: ttl.map(|d| now + d),
-                        },
-                    );
+                if let std::collections::btree_map::Entry::Vacant(e) = st.data.entry(k) {
+                    e.insert(Entry {
+                        value: Value::Str(v),
+                        expires: ttl.map(|d| now + d),
+                    });
                     Reply::Bool(true)
+                } else {
+                    Reply::Bool(false)
                 }
             }
             Op::Del(k) => Reply::Bool(st.data.remove(&k).is_some()),

@@ -9,6 +9,8 @@ use nodefz_rt::{Ctx, VDur};
 
 use crate::Kv;
 
+type LockCb = Box<dyn FnOnce(&mut Ctx<'_>, LockResult)>;
+
 /// Outcome of a lock acquisition attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LockResult {
@@ -68,12 +70,7 @@ impl KvLock {
         self.try_once(cx, 1, Box::new(cb));
     }
 
-    fn try_once(
-        &self,
-        cx: &mut Ctx<'_>,
-        attempt: u32,
-        cb: Box<dyn FnOnce(&mut Ctx<'_>, LockResult)>,
-    ) {
+    fn try_once(&self, cx: &mut Ctx<'_>, attempt: u32, cb: LockCb) {
         let this = self.clone();
         self.kv.setnx_ttl(
             cx,

@@ -6,7 +6,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use nodefz_check::{forall, Gen};
 
 use nodefz_kv::Kv;
 use nodefz_rt::{Ctx, EventLoop, LoopConfig};
@@ -22,20 +22,20 @@ enum Op {
     RPop(String),
 }
 
-fn key_strategy() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["a", "b", "c", "list"]).prop_map(str::to_string)
+fn gen_key(g: &mut Gen) -> String {
+    g.pick(&["a", "b", "c", "list"]).to_string()
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        key_strategy().prop_map(Op::Get),
-        (key_strategy(), "[a-z]{1,4}").prop_map(|(k, v)| Op::Set(k, v)),
-        (key_strategy(), "[a-z]{1,4}").prop_map(|(k, v)| Op::SetNx(k, v)),
-        key_strategy().prop_map(Op::Del),
-        key_strategy().prop_map(Op::Incr),
-        (key_strategy(), "[a-z]{1,4}").prop_map(|(k, v)| Op::LPush(k, v)),
-        key_strategy().prop_map(Op::RPop),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.below(7) {
+        0 => Op::Get(gen_key(g)),
+        1 => Op::Set(gen_key(g), g.lowercase(1, 5)),
+        2 => Op::SetNx(gen_key(g), g.lowercase(1, 5)),
+        3 => Op::Del(gen_key(g)),
+        4 => Op::Incr(gen_key(g)),
+        5 => Op::LPush(gen_key(g), g.lowercase(1, 5)),
+        _ => Op::RPop(gen_key(g)),
+    }
 }
 
 #[derive(Default)]
@@ -130,17 +130,14 @@ fn run_sim(ops: Vec<Op>, seed: u64) -> Vec<String> {
     Rc::try_unwrap(results).expect("loop done").into_inner()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn kv_agrees_with_the_model(
-        ops in prop::collection::vec(op_strategy(), 1..20),
-        seed: u64,
-    ) {
+#[test]
+fn kv_agrees_with_the_model() {
+    forall("kv_agrees_with_the_model", 48, |g| {
+        let ops = g.vec_with(1, 20, gen_op);
+        let seed = g.u64();
         let sim = run_sim(ops.clone(), seed);
         let mut model = Model::default();
         let expected: Vec<String> = ops.iter().map(|op| model.apply(op)).collect();
-        prop_assert_eq!(sim, expected, "ops: {:?}", ops);
-    }
+        assert_eq!(sim, expected, "ops: {ops:?}");
+    });
 }

@@ -38,9 +38,11 @@ pub struct Barrier {
     inner: Rc<RefCell<BarrierState>>,
 }
 
+type BarrierCb = Box<dyn FnOnce(&mut Ctx<'_>)>;
+
 struct BarrierState {
     remaining: usize,
-    done: Option<Box<dyn FnOnce(&mut Ctx<'_>)>>,
+    done: Option<BarrierCb>,
 }
 
 impl Barrier {
@@ -123,8 +125,10 @@ type ListenerCb<E> = Rc<RefCell<dyn FnMut(&mut Ctx<'_>, &E)>>;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ListenerId(u64);
 
+type ListenerEntry<E> = (ListenerId, ListenerCb<E>, bool);
+
 struct EmitterState<E> {
-    listeners: HashMap<&'static str, Vec<(ListenerId, ListenerCb<E>, bool)>>,
+    listeners: HashMap<&'static str, Vec<ListenerEntry<E>>>,
     next: u64,
 }
 

@@ -1,95 +1,108 @@
-//! Property-based tests for the runtime's core invariants.
+//! Property-based tests for the runtime's core invariants, driven by the
+//! seeded `nodefz-check` harness.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
+use nodefz_check::forall;
 use nodefz_rt::{EventLoop, LoopConfig, Rng, Termination, VDur, VTime};
 
-proptest! {
-    #[test]
-    fn rng_below_stays_in_range(seed: u64, bound in 1u64..1_000_000) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn rng_below_stays_in_range() {
+    forall("rng_below_stays_in_range", 64, |g| {
+        let mut rng = Rng::new(g.u64());
+        let bound = g.range(1, 1_000_000);
         for _ in 0..100 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_range_stays_in_range(seed: u64, lo in 0u64..1000, span in 1u64..1000) {
-        let mut rng = Rng::new(seed);
-        let hi = lo + span;
+#[test]
+fn rng_range_stays_in_range() {
+    forall("rng_range_stays_in_range", 64, |g| {
+        let mut rng = Rng::new(g.u64());
+        let lo = g.below(1000);
+        let hi = lo + g.range(1, 1000);
         for _ in 0..100 {
             let v = rng.range(lo, hi);
-            prop_assert!((lo..hi).contains(&v));
+            assert!((lo..hi).contains(&v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_unit_is_in_unit_interval(seed: u64) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn rng_unit_is_in_unit_interval() {
+    forall("rng_unit_is_in_unit_interval", 64, |g| {
+        let mut rng = Rng::new(g.u64());
         for _ in 0..100 {
             let u = rng.unit();
-            prop_assert!((0.0..1.0).contains(&u));
+            assert!((0.0..1.0).contains(&u));
         }
-    }
+    });
+}
 
-    #[test]
-    fn shuffle_bounded_is_permutation_with_bounded_moves(
-        seed: u64,
-        len in 0usize..64,
-        dist in 0usize..16,
-    ) {
-        let mut rng = Rng::new(seed);
-        let mut v: Vec<usize> = (0..len).collect();
-        rng.shuffle_bounded(&mut v, dist);
-        // Permutation.
-        let mut sorted = v.clone();
-        sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
-        // Bounded displacement.
-        for (pos, &orig) in v.iter().enumerate() {
-            prop_assert!(pos.abs_diff(orig) <= dist.max(0));
-        }
-    }
+#[test]
+fn shuffle_bounded_is_permutation_with_bounded_moves() {
+    forall(
+        "shuffle_bounded_is_permutation_with_bounded_moves",
+        96,
+        |g| {
+            let mut rng = Rng::new(g.u64());
+            let len = g.range_usize(0, 64);
+            let dist = g.range_usize(0, 16);
+            let mut v: Vec<usize> = (0..len).collect();
+            rng.shuffle_bounded(&mut v, dist);
+            // Permutation.
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+            // Bounded displacement.
+            for (pos, &orig) in v.iter().enumerate() {
+                assert!(pos.abs_diff(orig) <= dist);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn jitter_respects_bounds(seed: u64, base_us in 1u64..100_000, j in 0.0f64..1.0) {
-        let mut rng = Rng::new(seed);
-        let base = VDur::micros(base_us);
+#[test]
+fn jitter_respects_bounds() {
+    forall("jitter_respects_bounds", 64, |g| {
+        let mut rng = Rng::new(g.u64());
+        let base = VDur::micros(g.range(1, 100_000));
+        let j = g.unit();
         for _ in 0..50 {
             let out = rng.jitter(base, j);
-            prop_assert!(!out.is_zero());
+            assert!(!out.is_zero());
             let lo = base.mul_f64((1.0 - j).max(0.0));
             let hi = base.mul_f64(1.0 + j);
-            prop_assert!(out >= lo.min(VDur::nanos(1).max(lo)) || out == VDur::nanos(1));
-            prop_assert!(out <= hi + VDur::nanos(1));
+            assert!(out >= lo.min(VDur::nanos(1).max(lo)) || out == VDur::nanos(1));
+            assert!(out <= hi + VDur::nanos(1));
         }
-    }
+    });
+}
 
-    #[test]
-    fn chance_pct_is_monotone_in_aggregate(seed: u64) {
+#[test]
+fn chance_pct_is_monotone_in_aggregate() {
+    forall("chance_pct_is_monotone_in_aggregate", 32, |g| {
         // Higher percentages fire at least as often on the same stream
         // length (statistically; generous tolerance).
-        let count = |pct: f64, seed: u64| {
+        let seed = g.u64();
+        let count = |pct: f64| {
             let mut rng = Rng::new(seed);
             (0..2_000).filter(|_| rng.chance_pct(pct)).count()
         };
-        let low = count(10.0, seed);
-        let high = count(70.0, seed);
-        prop_assert!(high > low, "low={low} high={high}");
-    }
+        let low = count(10.0);
+        let high = count(70.0);
+        assert!(high > low, "low={low} high={high}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_timers_fire_exactly_once_never_early(
-        env_seed: u64,
-        deadlines in prop::collection::vec(1u64..50_000, 1..20),
-    ) {
+#[test]
+fn all_timers_fire_exactly_once_never_early() {
+    forall("all_timers_fire_exactly_once_never_early", 64, |g| {
+        let env_seed = g.u64();
+        let deadlines = g.vec_with(1, 20, |g| g.range(1, 50_000));
         let fired: Rc<RefCell<Vec<(usize, VTime)>>> = Rc::new(RefCell::new(Vec::new()));
         let mut el = EventLoop::new(LoopConfig::seeded(env_seed));
         let f = fired.clone();
@@ -106,31 +119,32 @@ proptest! {
             }
         });
         let report = el.run();
-        prop_assert_eq!(report.termination, Termination::Quiescent);
+        assert_eq!(report.termination, Termination::Quiescent);
         let fired = fired.borrow();
-        prop_assert_eq!(fired.len(), expected.len());
+        assert_eq!(fired.len(), expected.len());
         // Exactly once each, never early.
         let mut seen = vec![false; expected.len()];
         for &(idx, at) in fired.iter() {
-            prop_assert!(!seen[idx], "timer {idx} fired twice");
+            assert!(!seen[idx], "timer {idx} fired twice");
             seen[idx] = true;
-            prop_assert!(at >= expected[idx], "timer {idx} fired early");
+            assert!(at >= expected[idx], "timer {idx} fired early");
         }
         // Dispatch order respects deadline order.
         for pair in fired.windows(2) {
-            prop_assert!(
+            assert!(
                 expected[pair[0].0] <= expected[pair[1].0],
                 "deadline order violated: {:?}",
                 *fired
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn all_pool_tasks_complete_exactly_once(
-        env_seed: u64,
-        costs in prop::collection::vec(1u64..5_000, 1..24),
-    ) {
+#[test]
+fn all_pool_tasks_complete_exactly_once() {
+    forall("all_pool_tasks_complete_exactly_once", 64, |g| {
+        let env_seed = g.u64();
+        let costs = g.vec_with(1, 24, |g| g.range(1, 5_000));
         let done: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
         let mut el = EventLoop::new(LoopConfig::seeded(env_seed));
         let d = done.clone();
@@ -138,26 +152,31 @@ proptest! {
         el.enter(move |cx| {
             for (idx, &us) in costs.iter().enumerate() {
                 let d = d.clone();
-                cx.submit_work(VDur::micros(us), move |_| idx, move |_, i| {
-                    d.borrow_mut().push(i);
-                })
+                cx.submit_work(
+                    VDur::micros(us),
+                    move |_| idx,
+                    move |_, i| {
+                        d.borrow_mut().push(i);
+                    },
+                )
                 .unwrap();
             }
         });
         let report = el.run();
-        prop_assert_eq!(report.pool.submitted, n as u64);
-        prop_assert_eq!(report.pool.executed, n as u64);
-        prop_assert_eq!(report.pool.completed, n as u64);
+        assert_eq!(report.pool.submitted, n as u64);
+        assert_eq!(report.pool.executed, n as u64);
+        assert_eq!(report.pool.completed, n as u64);
         let mut got = done.borrow().clone();
         got.sort_unstable();
-        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(got, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn microtasks_run_before_the_next_macrotask(
-        env_seed: u64,
-        ticks in 1usize..10,
-    ) {
+#[test]
+fn microtasks_run_before_the_next_macrotask() {
+    forall("microtasks_run_before_the_next_macrotask", 48, |g| {
+        let env_seed = g.u64();
+        let ticks = g.range_usize(1, 10);
         let order: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
         let mut el = EventLoop::new(LoopConfig::seeded(env_seed));
         let o = order.clone();
@@ -178,16 +197,19 @@ proptest! {
         el.run();
         let order = order.borrow();
         // macro1, tick0..tickN, macro2.
-        prop_assert_eq!(order.len(), ticks + 2);
-        prop_assert_eq!(&order[0], "macro1");
-        prop_assert_eq!(&order[order.len() - 1], "macro2");
+        assert_eq!(order.len(), ticks + 2);
+        assert_eq!(&order[0], "macro1");
+        assert_eq!(&order[order.len() - 1], "macro2");
         for (t, item) in order[1..order.len() - 1].iter().enumerate() {
-            prop_assert_eq!(item, &format!("tick{t}"));
+            assert_eq!(item, &format!("tick{t}"));
         }
-    }
+    });
+}
 
-    #[test]
-    fn runs_replay_bit_for_bit(env_seed: u64) {
+#[test]
+fn runs_replay_bit_for_bit() {
+    forall("runs_replay_bit_for_bit", 32, |g| {
+        let env_seed = g.u64();
         let run = || {
             let mut el = EventLoop::new(LoopConfig::seeded(env_seed));
             el.enter(|cx| {
@@ -202,8 +224,8 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.schedule, b.schedule);
-        prop_assert_eq!(a.end_time, b.end_time);
-        prop_assert_eq!(a.iterations, b.iterations);
-    }
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.iterations, b.iterations);
+    });
 }

@@ -12,8 +12,10 @@
 
 mod diff;
 mod levenshtein;
+mod signature;
 mod stats;
 
 pub use diff::{render_divergence, schedule_diff, ScheduleDiff};
 pub use levenshtein::{levenshtein, levenshtein_banded, normalized_levenshtein};
+pub use signature::{kind_fingerprint, normalize_site, BugSignature};
 pub use stats::{kind_histogram, pairwise_normalized_ld, DiversitySummary, PAPER_TRUNCATION};

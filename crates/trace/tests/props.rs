@@ -1,70 +1,91 @@
-//! Property-based tests of the Levenshtein metrics.
+//! Property-based tests of the Levenshtein metrics, driven by the seeded
+//! `nodefz-check` harness.
 
-use proptest::prelude::*;
-
+use nodefz_check::{forall, Gen};
 use nodefz_trace::{levenshtein, levenshtein_banded, normalized_levenshtein};
 
-fn schedule() -> impl Strategy<Value = Vec<u8>> {
-    // Small alphabet, like real type schedules.
-    prop::collection::vec(
-        prop::sample::select(vec![b'T', b'N', b'D', b'W', b'c', b'X']),
-        0..80,
-    )
+/// A random schedule over the small alphabet real type schedules use.
+fn schedule(g: &mut Gen) -> Vec<u8> {
+    let alphabet = [b'T', b'N', b'D', b'W', b'c', b'X'];
+    g.vec_with(0, 80, |g| *g.pick(&alphabet))
 }
 
-proptest! {
-    #[test]
-    fn identity_is_zero(a in schedule()) {
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(normalized_levenshtein(&a, &a), 0.0);
-    }
+#[test]
+fn identity_is_zero() {
+    forall("identity_is_zero", 64, |g| {
+        let a = schedule(g);
+        assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(normalized_levenshtein(&a, &a), 0.0);
+    });
+}
 
-    #[test]
-    fn symmetry(a in schedule(), b in schedule()) {
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-    }
+#[test]
+fn symmetry() {
+    forall("symmetry", 64, |g| {
+        let a = schedule(g);
+        let b = schedule(g);
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    });
+}
 
-    #[test]
-    fn bounds(a in schedule(), b in schedule()) {
+#[test]
+fn bounds() {
+    forall("bounds", 64, |g| {
+        let a = schedule(g);
+        let b = schedule(g);
         let d = levenshtein(&a, &b);
         // Lower bound: length difference. Upper bound: longer length.
-        prop_assert!(d >= a.len().abs_diff(b.len()));
-        prop_assert!(d <= a.len().max(b.len()));
+        assert!(d >= a.len().abs_diff(b.len()));
+        assert!(d <= a.len().max(b.len()));
         let n = normalized_levenshtein(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&n));
-    }
+        assert!((0.0..=1.0).contains(&n));
+    });
+}
 
-    #[test]
-    fn triangle_inequality(a in schedule(), b in schedule(), c in schedule()) {
+#[test]
+fn triangle_inequality() {
+    forall("triangle_inequality", 64, |g| {
+        let a = schedule(g);
+        let b = schedule(g);
+        let c = schedule(g);
         let ab = levenshtein(&a, &b);
         let bc = levenshtein(&b, &c);
         let ac = levenshtein(&a, &c);
-        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
-    }
+        assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+    });
+}
 
-    #[test]
-    fn single_edit_costs_at_most_one(a in schedule(), idx: usize, byte in 0u8..4) {
+#[test]
+fn single_edit_costs_at_most_one() {
+    forall("single_edit_costs_at_most_one", 64, |g| {
+        let a = schedule(g);
+        let idx = g.u64() as usize;
+        let byte = g.below(4) as u8;
         // Substitution.
         if !a.is_empty() {
             let mut b = a.clone();
             let i = idx % b.len();
             b[i] = byte + b'a';
-            prop_assert!(levenshtein(&a, &b) <= 1);
+            assert!(levenshtein(&a, &b) <= 1);
         }
         // Insertion.
         let mut b = a.clone();
         b.insert(idx % (a.len() + 1), byte + b'a');
-        prop_assert_eq!(levenshtein(&a, &b), 1);
+        assert_eq!(levenshtein(&a, &b), 1);
         // Deletion.
         if !a.is_empty() {
             let mut b = a.clone();
             b.remove(idx % b.len());
-            prop_assert_eq!(levenshtein(&a, &b), 1);
+            assert_eq!(levenshtein(&a, &b), 1);
         }
-    }
+    });
+}
 
-    #[test]
-    fn k_edits_cost_at_most_k(a in schedule(), edits in prop::collection::vec((any::<usize>(), 0u8..4), 0..10)) {
+#[test]
+fn k_edits_cost_at_most_k() {
+    forall("k_edits_cost_at_most_k", 64, |g| {
+        let a = schedule(g);
+        let edits = g.vec_with(0, 10, |g| (g.u64() as usize, g.below(4) as u8));
         let mut b = a.clone();
         let k = edits.len();
         for (pos, byte) in edits {
@@ -80,18 +101,22 @@ proptest! {
                 _ => {}
             }
         }
-        prop_assert!(levenshtein(&a, &b) <= k);
-    }
+        assert!(levenshtein(&a, &b) <= k);
+    });
+}
 
-    #[test]
-    fn banded_agrees_with_exact(a in schedule(), b in schedule()) {
+#[test]
+fn banded_agrees_with_exact() {
+    forall("banded_agrees_with_exact", 64, |g| {
+        let a = schedule(g);
+        let b = schedule(g);
         let exact = levenshtein(&a, &b);
         // A band at least as large as the true distance must agree.
-        prop_assert_eq!(levenshtein_banded(&a, &b, exact), Some(exact));
-        prop_assert_eq!(levenshtein_banded(&a, &b, exact + 7), Some(exact));
+        assert_eq!(levenshtein_banded(&a, &b, exact), Some(exact));
+        assert_eq!(levenshtein_banded(&a, &b, exact + 7), Some(exact));
         // A band strictly smaller must refuse.
         if exact > 0 {
-            prop_assert_eq!(levenshtein_banded(&a, &b, exact - 1), None);
+            assert_eq!(levenshtein_banded(&a, &b, exact - 1), None);
         }
-    }
+    });
 }
