@@ -7,7 +7,7 @@
 
 use nodefz::Mode;
 use nodefz_net::SimNet;
-use nodefz_rt::{Ctx, EventLoop, LoopConfig, RunReport, VDur, VTime};
+use nodefz_rt::{Ctx, EventLoop, LoopConfig, LoopPool, RunReport, VDur, VTime};
 
 /// Which variant of the application to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +80,10 @@ pub struct RunCfg {
     pub sched_seed: u64,
     /// Whether to record the full type schedule.
     pub trace: bool,
+    /// Loop-state pool to recycle heap buffers through (`None` builds a
+    /// fresh loop per run). Recycling never changes behavior — a pooled
+    /// loop is reset to exactly the state a fresh one would have.
+    pub pool: Option<LoopPool>,
 }
 
 impl RunCfg {
@@ -91,7 +95,15 @@ impl RunCfg {
             env_seed,
             sched_seed: env_seed.wrapping_mul(0x9E37_79B9).wrapping_add(17),
             trace: true,
+            pool: None,
         }
+    }
+
+    /// Sets the loop-state pool this run recycles through.
+    #[must_use]
+    pub fn pooled(mut self, pool: &LoopPool) -> RunCfg {
+        self.pool = Some(pool.clone());
+        self
     }
 
     /// Builds the event loop for this configuration.
@@ -104,7 +116,10 @@ impl RunCfg {
             trace: self.trace,
             ..LoopConfig::seeded(self.env_seed)
         };
-        self.mode.build_loop(cfg, self.sched_seed)
+        match &self.pool {
+            Some(pool) => self.mode.build_loop_pooled(cfg, self.sched_seed, pool),
+            None => self.mode.build_loop(cfg, self.sched_seed),
+        }
     }
 }
 

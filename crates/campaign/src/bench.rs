@@ -1,0 +1,263 @@
+//! Executions-per-second throughput measurement.
+//!
+//! Node.fz's value proposition is schedule bugs manifested *per unit of
+//! testing time* (<1.1x overhead, Table 5 of the paper), and the campaign
+//! driver turns that into bugs per execution budget — so raw record-mode
+//! executions per second is the system's throughput currency. This module
+//! measures it: for each (app, preset) arm it runs fuzzed executions
+//! back-to-back inside a wall-clock window (after a warmup) and reports
+//! execs/sec and dispatched-callbacks/sec. The report serializes to a small
+//! hand-rolled JSON document (`BENCH_throughput.json` at the repo root) so
+//! successive PRs accumulate a perf trajectory to regress against.
+//!
+//! The measurement loop is exactly the campaign worker's hot path
+//! ([`RunContext::fuzz_once`]): a record-mode run of the buggy variant with
+//! the decision trace captured, signature-checked on manifestation.
+//! Single-threaded on purpose — the campaign scales across threads, but
+//! throughput per worker is what this trajectory tracks (the CI container
+//! exposes one CPU).
+
+use std::time::{Duration, Instant};
+
+use crate::config::PRESETS;
+use crate::driver::{arm_seed, derive_seed, RunContext};
+
+/// Configuration of one throughput measurement.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Bug abbreviations to measure (each app × every preset is one arm).
+    pub apps: Vec<String>,
+    /// Wall-clock warmup per arm, excluded from the measurement.
+    pub warmup: Duration,
+    /// Wall-clock measurement window per arm.
+    pub window: Duration,
+    /// Base environment seed; per-run seeds derive like the campaign's.
+    pub base_seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            apps: Vec::new(),
+            warmup: Duration::from_millis(100),
+            window: Duration::from_millis(400),
+            base_seed: 1,
+        }
+    }
+}
+
+/// Measured throughput of one (app, preset) arm.
+#[derive(Clone, Debug)]
+pub struct ArmThroughput {
+    /// Bug abbreviation.
+    pub app: String,
+    /// Preset name ("standard", "aggressive", "guided").
+    pub preset: &'static str,
+    /// Fuzzed executions completed inside the window.
+    pub runs: u64,
+    /// Callbacks dispatched across those executions.
+    pub events: u64,
+    /// Actual measured wall-clock time (>= the configured window).
+    pub elapsed: Duration,
+}
+
+impl ArmThroughput {
+    /// Executions per second.
+    pub fn execs_per_sec(&self) -> f64 {
+        self.runs as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Dispatched callbacks per second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// A full throughput report: one entry per (app, preset) arm.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Per-arm measurements, in (app, preset) order.
+    pub arms: Vec<ArmThroughput>,
+    /// The configuration that produced the report.
+    pub config: BenchConfig,
+}
+
+impl ThroughputReport {
+    /// Total executions across all arms.
+    pub fn total_runs(&self) -> u64 {
+        self.arms.iter().map(|a| a.runs).sum()
+    }
+
+    /// Total measured wall-clock time across all arms.
+    pub fn total_elapsed(&self) -> Duration {
+        self.arms.iter().map(|a| a.elapsed).sum()
+    }
+
+    /// Aggregate executions per second (total runs / total elapsed).
+    pub fn total_execs_per_sec(&self) -> f64 {
+        self.total_runs() as f64 / self.total_elapsed().as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Serializes the report as the `nodefz-throughput-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.arms.len() * 160);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"nodefz-throughput-v1\",\n");
+        out.push_str(&format!(
+            "  \"warmup_ms\": {},\n",
+            self.config.warmup.as_millis()
+        ));
+        out.push_str(&format!(
+            "  \"window_ms\": {},\n",
+            self.config.window.as_millis()
+        ));
+        out.push_str(&format!("  \"base_seed\": {},\n", self.config.base_seed));
+        out.push_str("  \"arms\": [\n");
+        for (i, arm) in self.arms.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"app\": \"{}\", \"preset\": \"{}\", \"runs\": {}, \"events\": {}, \
+                 \"elapsed_ms\": {:.3}, \"execs_per_sec\": {:.1}, \"events_per_sec\": {:.1}}}{}\n",
+                json_escape(&arm.app),
+                arm.preset,
+                arm.runs,
+                arm.events,
+                arm.elapsed.as_secs_f64() * 1e3,
+                arm.execs_per_sec(),
+                arm.events_per_sec(),
+                if i + 1 < self.arms.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"total\": {{\"runs\": {}, \"elapsed_ms\": {:.3}, \"execs_per_sec\": {:.1}}}\n",
+            self.total_runs(),
+            self.total_elapsed().as_secs_f64() * 1e3,
+            self.total_execs_per_sec(),
+        ));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Measures throughput for every (app, preset) arm of `cfg`.
+///
+/// # Errors
+///
+/// Fails when no app is given or an abbreviation is unknown.
+pub fn measure(cfg: &BenchConfig) -> Result<ThroughputReport, String> {
+    if cfg.apps.is_empty() {
+        return Err("bench: at least one app must be targeted".into());
+    }
+    for app in &cfg.apps {
+        if nodefz_apps::by_abbr(app).is_none() {
+            return Err(format!(
+                "bench: unknown app '{app}' (known: {})",
+                nodefz_apps::abbrs().join(", ")
+            ));
+        }
+    }
+    let mut ctx = RunContext::new();
+    let mut arms = Vec::with_capacity(cfg.apps.len() * PRESETS.len());
+    for app in &cfg.apps {
+        for (preset, preset_name) in PRESETS.iter().enumerate() {
+            let base = arm_seed(cfg.base_seed, app, preset);
+            let mut seed_no = 0u64;
+            let warmup_start = Instant::now();
+            while warmup_start.elapsed() < cfg.warmup {
+                let _ = ctx.fuzz_once(app, preset, derive_seed(base, seed_no));
+                seed_no += 1;
+            }
+            let mut runs = 0u64;
+            let mut events = 0u64;
+            let start = Instant::now();
+            let elapsed = loop {
+                let exec = ctx.fuzz_once(app, preset, derive_seed(base, seed_no));
+                seed_no += 1;
+                runs += 1;
+                events += exec.dispatched;
+                let elapsed = start.elapsed();
+                if elapsed >= cfg.window {
+                    break elapsed;
+                }
+            };
+            arms.push(ArmThroughput {
+                app: app.clone(),
+                preset: preset_name,
+                runs,
+                events,
+                elapsed,
+            });
+        }
+    }
+    Ok(ThroughputReport {
+        arms,
+        config: cfg.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            apps: vec!["GHO".into()],
+            warmup: Duration::from_millis(5),
+            window: Duration::from_millis(20),
+            base_seed: 1,
+        }
+    }
+
+    #[test]
+    fn measures_nonzero_throughput() {
+        let report = measure(&tiny()).unwrap();
+        assert_eq!(report.arms.len(), PRESETS.len());
+        for arm in &report.arms {
+            assert!(arm.runs > 0, "no executions in window for {}", arm.app);
+            assert!(arm.events > 0);
+            assert!(arm.execs_per_sec() > 0.0);
+        }
+        assert!(report.total_execs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = measure(&tiny()).unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"schema\": \"nodefz-throughput-v1\""));
+        assert!(json.contains("\"execs_per_sec\""));
+        assert_eq!(
+            json.matches("\"app\"").count(),
+            PRESETS.len(),
+            "one arm object per preset"
+        );
+    }
+
+    #[test]
+    fn unknown_or_missing_apps_are_rejected() {
+        let mut cfg = tiny();
+        cfg.apps = vec![];
+        assert!(measure(&cfg).is_err());
+        cfg.apps = vec!["NOPE".into()];
+        let err = measure(&cfg).unwrap_err();
+        assert!(err.contains("NOPE"), "{err}");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -4,13 +4,15 @@
 //! campaign [--threads N] [--budget N] [--apps KUE,MKD,...] [--corpus DIR]
 //!          [--deadline-secs S] [--no-shrink] [--replay-checks N]
 //!          [--seed N] [--verify DIR] [--list]
+//!          [--bench-execs] [--bench-window-ms N] [--bench-warmup-ms N]
+//!          [--bench-out PATH]
 //! ```
 //!
 //! Plain `std::env::args` parsing — no argument-parsing dependency.
 
 use std::process::ExitCode;
 
-use nodefz_campaign::{report, run_with_progress, CampaignConfig, Corpus, Event};
+use nodefz_campaign::{report, run_with_progress, BenchConfig, CampaignConfig, Corpus, Event};
 
 const USAGE: &str = "usage: campaign [options]
   --threads N        worker threads (default 4)
@@ -22,12 +24,45 @@ const USAGE: &str = "usage: campaign [options]
   --replay-checks N  acceptance replays per repro (default 10)
   --seed N           base environment seed (default 1)
   --verify DIR       replay every corpus entry in DIR and exit
-  --list             list known bug abbreviations and exit";
+  --list             list known bug abbreviations and exit
+  --bench-execs      measure execs/sec per (app, preset) and exit
+  --bench-window-ms N  measurement window per arm (default 400)
+  --bench-warmup-ms N  warmup per arm, excluded from measurement (default 100)
+  --bench-out PATH   where to write the JSON report
+                     (default BENCH_throughput.json)";
 
-fn parse_args(args: &[String]) -> Result<(CampaignConfig, Option<String>, bool), String> {
+/// What to run instead of a campaign, if anything.
+struct AltMode {
+    verify: Option<String>,
+    list: bool,
+    bench: Option<BenchOpts>,
+}
+
+struct BenchOpts {
+    window_ms: u64,
+    warmup_ms: u64,
+    out: String,
+}
+
+impl Default for BenchOpts {
+    fn default() -> BenchOpts {
+        BenchOpts {
+            window_ms: 400,
+            warmup_ms: 100,
+            out: "BENCH_throughput.json".into(),
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
     let mut cfg = CampaignConfig::default();
-    let mut verify = None;
-    let mut list = false;
+    let mut alt = AltMode {
+        verify: None,
+        list: false,
+        bench: None,
+    };
+    let mut bench_opts = BenchOpts::default();
+    let mut bench = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -71,13 +106,28 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, Option<String>, bool),
                     .parse()
                     .map_err(|_| "--seed: not a number".to_string())?;
             }
-            "--verify" => verify = Some(value("--verify")?),
-            "--list" => list = true,
+            "--verify" => alt.verify = Some(value("--verify")?),
+            "--list" => alt.list = true,
+            "--bench-execs" => bench = true,
+            "--bench-window-ms" => {
+                bench_opts.window_ms = value("--bench-window-ms")?
+                    .parse()
+                    .map_err(|_| "--bench-window-ms: not a number".to_string())?;
+            }
+            "--bench-warmup-ms" => {
+                bench_opts.warmup_ms = value("--bench-warmup-ms")?
+                    .parse()
+                    .map_err(|_| "--bench-warmup-ms: not a number".to_string())?;
+            }
+            "--bench-out" => bench_opts.out = value("--bench-out")?,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
     }
-    Ok((cfg, verify, list))
+    if bench {
+        alt.bench = Some(bench_opts);
+    }
+    Ok((cfg, alt))
 }
 
 /// The fig6 experiment set: every reproduced bug the paper fuzzes.
@@ -133,27 +183,74 @@ fn verify_corpus(dir: &str) -> ExitCode {
     }
 }
 
+fn run_bench(cfg: &CampaignConfig, opts: &BenchOpts) -> ExitCode {
+    let bench_cfg = BenchConfig {
+        apps: cfg.apps.clone(),
+        warmup: std::time::Duration::from_millis(opts.warmup_ms),
+        window: std::time::Duration::from_millis(opts.window_ms),
+        base_seed: cfg.base_seed,
+    };
+    println!(
+        "bench: {} apps x {} presets, {}ms warmup + {}ms window per arm",
+        bench_cfg.apps.len(),
+        nodefz_campaign::PRESETS.len(),
+        opts.warmup_ms,
+        opts.window_ms,
+    );
+    let report = match nodefz_campaign::measure(&bench_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for arm in &report.arms {
+        println!(
+            "  {:<4} {:<10} {:>8} runs  {:>10.1} execs/s  {:>12.1} events/s",
+            arm.app,
+            arm.preset,
+            arm.runs,
+            arm.execs_per_sec(),
+            arm.events_per_sec(),
+        );
+    }
+    println!(
+        "  total: {} runs, {:.1} execs/s",
+        report.total_runs(),
+        report.total_execs_per_sec()
+    );
+    if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
+        eprintln!("campaign: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("  wrote {}", opts.out);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mut cfg, verify, list) = match parse_args(&args) {
+    let (mut cfg, alt) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
-    if list {
+    if alt.list {
         for case in nodefz_apps::registry() {
             let info = case.info();
             println!("{:<4} {:<16} {}", info.abbr, info.name, info.bug_ref);
         }
         return ExitCode::SUCCESS;
     }
-    if let Some(dir) = verify {
+    if let Some(dir) = alt.verify {
         return verify_corpus(&dir);
     }
     if cfg.apps.is_empty() {
         cfg.apps = default_apps();
+    }
+    if let Some(opts) = &alt.bench {
+        return run_bench(&cfg, opts);
     }
 
     println!(

@@ -3,12 +3,16 @@
 //! A campaign of thousands of runs manifests the same race over and over;
 //! the deduplicator collapses manifestations to one report per underlying
 //! bug, keyed on [`BugSignature`] (app + normalized failure site + callback
-//! kind fingerprint).
+//! kind fingerprint). Internally the table is keyed on the id-based
+//! [`SigKey`] — signature strings are interned once per distinct bug, so a
+//! repeat manifestation costs two hash lookups and no allocation.
+//!
+//! [`SigKey`]: nodefz_trace::SigKey
 
 use std::collections::HashMap;
 
 use nodefz::DecisionTrace;
-use nodefz_trace::BugSignature;
+use nodefz_trace::{BugSignature, SigKey, SiteInterner};
 
 /// One manifestation of a failure, as produced by a fuzz run.
 #[derive(Clone, Debug)]
@@ -43,7 +47,8 @@ pub struct BugRecord {
 /// Collapses findings to one [`BugRecord`] per signature.
 #[derive(Debug, Default)]
 pub struct Deduper {
-    bugs: HashMap<BugSignature, BugRecord>,
+    interner: SiteInterner,
+    bugs: HashMap<SigKey, BugRecord>,
 }
 
 impl Deduper {
@@ -54,14 +59,15 @@ impl Deduper {
 
     /// Records a manifestation; returns `true` when its signature is new.
     pub fn insert(&mut self, finding: Finding) -> bool {
-        match self.bugs.get_mut(&finding.signature) {
+        let key = SigKey::of(&finding.signature, &mut self.interner);
+        match self.bugs.get_mut(&key) {
             Some(record) => {
                 record.hits += 1;
                 false
             }
             None => {
                 self.bugs.insert(
-                    finding.signature.clone(),
+                    key,
                     BugRecord {
                         first: finding,
                         hits: 1,
@@ -81,7 +87,8 @@ impl Deduper {
         shrunk: DecisionTrace,
         replays_ok: u32,
     ) {
-        if let Some(record) = self.bugs.get_mut(signature) {
+        let key = SigKey::of(signature, &mut self.interner);
+        if let Some(record) = self.bugs.get_mut(&key) {
             record.shrunk = Some(shrunk);
             record.replays_ok = replays_ok;
         }

@@ -185,23 +185,74 @@ impl CampaignReport {
     }
 }
 
-/// Runs one fuzz job: the buggy variant under a recording fuzz scheduler.
-fn run_fuzz(app: &str, preset: usize, env_seed: u64) -> Option<Finding> {
-    let case = nodefz_apps::by_abbr(app)?;
-    let handle = TraceHandle::fresh();
-    let mode = Mode::Record(preset_params(preset), handle.clone());
-    let out = case.run(&RunCfg::new(mode, env_seed), Variant::Buggy);
-    if !out.manifested {
-        return None;
+/// The observable result of one fuzzed execution.
+pub struct FuzzExec {
+    /// The finding, when the bug manifested.
+    pub finding: Option<Finding>,
+    /// Callbacks dispatched during the run.
+    pub dispatched: u64,
+}
+
+/// Per-worker reusable execution state: the campaign/bench hot path.
+///
+/// One `RunContext` lives for a worker's whole lifetime and executes
+/// thousands of runs, so anything that can be reset-and-reused across runs
+/// instead of rebuilt belongs here: the [`LoopPool`] recycles the event
+/// loop's heap buffers (timer wheel, poll set, pool queues, scratch
+/// vectors), and the [`TraceHandle`] recycles the decision buffer — its
+/// contents are only snapshotted when a run actually manifests a bug.
+///
+/// [`LoopPool`]: nodefz_rt::LoopPool
+pub struct RunContext {
+    pool: nodefz_rt::LoopPool,
+    handle: TraceHandle,
+}
+
+impl Default for RunContext {
+    fn default() -> RunContext {
+        RunContext::new()
     }
-    Some(Finding {
-        app: app.to_string(),
-        preset,
-        env_seed,
-        signature: BugSignature::new(app, &out.detail, &out.report.schedule),
-        detail: out.detail,
-        trace: handle.snapshot(),
-    })
+}
+
+impl RunContext {
+    /// Creates a fresh context.
+    pub fn new() -> RunContext {
+        RunContext {
+            pool: nodefz_rt::LoopPool::new(),
+            handle: TraceHandle::fresh(),
+        }
+    }
+
+    /// Runs one fuzz job: the buggy variant under a recording fuzz
+    /// scheduler. Unknown apps count as a non-manifesting run.
+    pub fn fuzz_once(&mut self, app: &str, preset: usize, env_seed: u64) -> FuzzExec {
+        let Some(case) = nodefz_apps::by_abbr(app) else {
+            return FuzzExec {
+                finding: None,
+                dispatched: 0,
+            };
+        };
+        // The recording scheduler resets the shared handle in place, so
+        // reusing it across runs keeps the decision buffer's capacity.
+        let mode = Mode::Record(preset_params(preset), self.handle.clone());
+        let out = case.run(
+            &RunCfg::new(mode, env_seed).pooled(&self.pool),
+            Variant::Buggy,
+        );
+        let dispatched = out.report.dispatched;
+        let finding = out.manifested.then(|| Finding {
+            app: app.to_string(),
+            preset,
+            env_seed,
+            signature: BugSignature::new(app, &out.detail, &out.report.schedule),
+            detail: out.detail,
+            trace: self.handle.snapshot(),
+        });
+        FuzzExec {
+            finding,
+            dispatched,
+        }
+    }
 }
 
 /// Replays `trace` against `app` under `env_seed`; returns whether the run
@@ -237,6 +288,7 @@ pub fn verify_entry(entry: &CorpusEntry) -> Result<(), String> {
 }
 
 fn worker_loop(queue: Arc<SeedQueue>, me: usize, stop: Arc<AtomicBool>, tx: mpsc::Sender<Msg>) {
+    let mut ctx = RunContext::new();
     loop {
         match queue.pop(me) {
             Some(Job::Fuzz {
@@ -244,7 +296,7 @@ fn worker_loop(queue: Arc<SeedQueue>, me: usize, stop: Arc<AtomicBool>, tx: mpsc
                 preset,
                 env_seed,
             }) => {
-                let finding = run_fuzz(&app, preset, env_seed);
+                let finding = ctx.fuzz_once(&app, preset, env_seed).finding;
                 if tx
                     .send(Msg::FuzzDone {
                         app,
@@ -296,7 +348,7 @@ fn worker_loop(queue: Arc<SeedQueue>, me: usize, stop: Arc<AtomicBool>, tx: mpsc
 }
 
 /// Derives the i-th environment seed of a campaign (splitmix64 step).
-fn derive_seed(base: u64, i: u64) -> u64 {
+pub(crate) fn derive_seed(base: u64, i: u64) -> u64 {
     let mut z = base
         .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -310,12 +362,18 @@ fn derive_seed(base: u64, i: u64) -> u64 {
 /// *how many* seeds of each arm's sequence get probed, not which ones —
 /// same-seed campaigns reproduce the same findings.
 fn arm_base(base: u64, arm: &Arm) -> u64 {
+    arm_seed(base, &arm.app, arm.preset)
+}
+
+/// The (app, preset)-folded base seed, shared with the throughput bench so
+/// its seed stream matches a campaign's.
+pub(crate) fn arm_seed(base: u64, app: &str, preset: usize) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in arm.app.as_bytes() {
+    for &b in app.as_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    base ^ h ^ ((arm.preset as u64) << 56)
+    base ^ h ^ ((preset as u64) << 56)
 }
 
 /// Runs a campaign, invoking `on_event` for live progress.

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod bandit;
+pub mod bench;
 pub mod config;
 pub mod corpus;
 pub mod dedup;
@@ -29,8 +30,11 @@ pub mod shrink;
 
 mod driver;
 
+pub use bench::{measure, ArmThroughput, BenchConfig, ThroughputReport};
 pub use config::{preset_params, CampaignConfig, PRESETS};
 pub use corpus::{Corpus, CorpusDecodeError, CorpusEntry};
 pub use dedup::{BugRecord, Deduper, Finding};
-pub use driver::{run, run_with_progress, verify_entry, BugSummary, CampaignReport, Event};
+pub use driver::{
+    run, run_with_progress, verify_entry, BugSummary, CampaignReport, Event, FuzzExec, RunContext,
+};
 pub use shrink::{shrink, ShrinkResult};

@@ -160,7 +160,7 @@ mod tests {
         // rewritten to (or already be) its inert form, and ddmin will first
         // cut it down to a single decision.
         let original = trace(vec![
-            Decision::Shuffle(vec![2, 0, 1]),
+            Decision::Shuffle(vec![2, 0, 1].into()),
             Decision::PickTask(3),
             Decision::Timer(Some(9)),
         ]);

@@ -1,0 +1,151 @@
+//! A counting global allocator for hot-path allocation budgets.
+//!
+//! The fuzzer's throughput currency is executions per second, and heap
+//! traffic on the per-event hot path is the main way that erodes silently.
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation, so a test binary can install it as its `#[global_allocator]`
+//! and assert a per-run or per-event allocation budget:
+//!
+//! ```ignore
+//! use nodefz_check::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let before = ALLOC.stats();
+//! run_workload();
+//! let during = ALLOC.stats().since(&before);
+//! assert!(during.allocs < BUDGET);
+//! ```
+//!
+//! Counters are relaxed atomics: cheap enough to keep enabled, and exact
+//! in the single-threaded measurements the guard tests perform.
+//!
+//! This is the one module in the workspace that needs `unsafe` —
+//! implementing [`GlobalAlloc`] requires it; both methods simply delegate
+//! to [`System`] after bumping a counter.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of allocator traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of allocations.
+    pub allocs: u64,
+    /// Number of deallocations.
+    pub frees: u64,
+    /// Total bytes requested across all allocations.
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// Traffic between an earlier snapshot and this one.
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            frees: self.frees.wrapping_sub(earlier.frees),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+        }
+    }
+}
+
+/// A [`System`]-delegating allocator that counts allocations.
+#[derive(Debug, Default)]
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// Creates an allocator with zeroed counters (usable in `static`s).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            frees: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads the current counters.
+    pub fn stats(&self) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// SAFETY: both methods delegate the actual memory management to `System`
+// unchanged; the only added behavior is relaxed counter bumps.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow-in-place still hits the allocator: count it as one
+        // allocation so Vec growth on the hot path is visible.
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as the global allocator here (the test harness would
+    // pollute the counts); exercised through direct calls instead. The
+    // campaign crate's alloc-guard test installs it for real.
+    #[test]
+    fn counts_alloc_and_free() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        unsafe { a.dealloc(p, layout) };
+        let s = a.stats();
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.bytes, 64);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = AllocStats {
+            allocs: 10,
+            frees: 4,
+            bytes: 100,
+        };
+        let b = AllocStats {
+            allocs: 25,
+            frees: 9,
+            bytes: 260,
+        };
+        let d = b.since(&a);
+        assert_eq!(
+            d,
+            AllocStats {
+                allocs: 15,
+                frees: 5,
+                bytes: 160
+            }
+        );
+    }
+}

@@ -25,8 +25,14 @@
 //! });
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `alloc` module implements `GlobalAlloc`
+// (inherently unsafe) and opts out locally; everything else stays checked.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod alloc;
+
+pub use alloc::{AllocStats, CountingAlloc};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -25,7 +25,7 @@ use std::fmt;
 
 use nodefz_rt::{PoolMode, VDur};
 
-use crate::replay::{Decision, DecisionTrace};
+use crate::replay::{Decision, DecisionTrace, Perm};
 
 /// Why a trace document failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -208,7 +208,7 @@ pub fn decode_trace(text: &str) -> Result<DecisionTrace, TraceDecodeError> {
                 let perm = toks
                     .by_ref()
                     .map(|t| t.parse::<u32>().map_err(|_| bad()))
-                    .collect::<Result<Vec<u32>, _>>()?;
+                    .collect::<Result<Perm, _>>()?;
                 Decision::Shuffle(perm)
             }
             Some("r") => Decision::DeferReady(toks.next().and_then(parse_bool).ok_or_else(bad)?),
@@ -252,8 +252,8 @@ mod tests {
             decisions: vec![
                 Decision::Timer(None),
                 Decision::Timer(Some(5_000_000)),
-                Decision::Shuffle(vec![2, 0, 1]),
-                Decision::Shuffle(vec![]),
+                Decision::Shuffle(vec![2, 0, 1].into()),
+                Decision::Shuffle(Perm::new()),
                 Decision::DeferReady(true),
                 Decision::DeferClose(false),
                 Decision::PickTask(3),

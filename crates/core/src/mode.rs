@@ -7,7 +7,7 @@
 //! the standard parameterization). [`Mode`] reifies that choice plus the
 //! guided and custom parameterizations used in §5.2.3 and the ablations.
 
-use nodefz_rt::{EventLoop, LoopConfig, Scheduler, VanillaScheduler};
+use nodefz_rt::{EventLoop, LoopConfig, LoopPool, Scheduler, VanillaScheduler};
 
 use crate::params::FuzzParams;
 use crate::replay::{
@@ -88,6 +88,24 @@ impl Mode {
     /// controls the fuzzer's decisions (ignored by [`Mode::Vanilla`]).
     pub fn build_loop(&self, cfg: LoopConfig, sched_seed: u64) -> EventLoop {
         EventLoop::with_scheduler(cfg, self.scheduler(sched_seed))
+    }
+
+    /// [`build_loop`], recycling loop state through `pool`.
+    ///
+    /// Behaves identically to [`build_loop`] — a pooled loop is reset to
+    /// exactly the state a fresh one would have — but reuses the pool's
+    /// heap buffers, which matters when a campaign worker executes
+    /// thousands of sub-millisecond runs. The loop returns its state to
+    /// the pool on drop.
+    ///
+    /// [`build_loop`]: Mode::build_loop
+    pub fn build_loop_pooled(
+        &self,
+        cfg: LoopConfig,
+        sched_seed: u64,
+        pool: &LoopPool,
+    ) -> EventLoop {
+        EventLoop::with_scheduler_pooled(cfg, self.scheduler(sched_seed), pool)
     }
 
     /// The three headline modes of Figure 6, in presentation order.

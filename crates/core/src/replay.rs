@@ -28,6 +28,111 @@ use std::rc::Rc;
 
 use nodefz_rt::{PoolMode, ReadyEntry, Scheduler, TimerVerdict, VDur};
 
+/// Permutation storage for [`Decision::Shuffle`].
+///
+/// Ready lists are almost always short, so permutations up to
+/// [`Perm::INLINE`] entries live inline and recording a shuffle touches the
+/// heap only for unusually wide ready lists. Dereferences to `&[u32]`, so
+/// call sites treat it like a slice.
+#[derive(Clone)]
+pub struct Perm {
+    len: u32,
+    inline: [u32; Perm::INLINE],
+    /// Spill storage, used only when `len > INLINE`.
+    spill: Vec<u32>,
+}
+
+impl Perm {
+    /// Entries stored without a heap allocation.
+    pub const INLINE: usize = 8;
+
+    /// Creates an empty permutation.
+    pub fn new() -> Perm {
+        Perm {
+            len: 0,
+            inline: [0; Perm::INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends one source index.
+    pub fn push(&mut self, v: u32) {
+        let len = self.len as usize;
+        if len < Perm::INLINE {
+            self.inline[len] = v;
+        } else {
+            if self.spill.is_empty() {
+                // First spill: move the inline prefix over.
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// The permutation as a slice: `self[i]` is the original index of the
+    /// entry placed at position `i`.
+    pub fn as_slice(&self) -> &[u32] {
+        let len = self.len as usize;
+        if len <= Perm::INLINE {
+            &self.inline[..len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for Perm {
+    fn default() -> Perm {
+        Perm::new()
+    }
+}
+
+impl std::ops::Deref for Perm {
+    type Target = [u32];
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Perm {
+    fn eq(&self, other: &Perm) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Perm {}
+
+impl fmt::Debug for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<Vec<u32>> for Perm {
+    fn from(v: Vec<u32>) -> Perm {
+        v.into_iter().collect()
+    }
+}
+
+impl FromIterator<u32> for Perm {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Perm {
+        let mut p = Perm::new();
+        for v in iter {
+            p.push(v);
+        }
+        p
+    }
+}
+
+impl<'a> IntoIterator for &'a Perm {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One recorded scheduling decision.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Decision {
@@ -35,7 +140,7 @@ pub enum Decision {
     Timer(Option<u64>),
     /// The permutation applied to a ready list: `perm[i]` is the original
     /// index of the entry placed at position `i`.
-    Shuffle(Vec<u32>),
+    Shuffle(Perm),
     /// Whether a ready descriptor was deferred.
     DeferReady(bool),
     /// Whether a close event was deferred.
@@ -123,6 +228,8 @@ impl fmt::Debug for TraceHandle {
 pub struct RecordingScheduler<S> {
     inner: S,
     trace: Rc<RefCell<DecisionTrace>>,
+    /// Scratch for shuffle recording: the pre-shuffle sequence numbers.
+    before: Vec<u64>,
 }
 
 impl<S: Scheduler> RecordingScheduler<S> {
@@ -136,19 +243,22 @@ impl<S: Scheduler> RecordingScheduler<S> {
 
     /// Wraps `inner`, recording into an externally supplied handle.
     ///
-    /// Any decisions already in the handle are discarded and its header
-    /// (pool mode, demux flag) is reset from `inner`, so a handle can be
-    /// created first and wired through configuration (see
+    /// Any decisions already in the handle are discarded (keeping the
+    /// allocated capacity, so a reused handle records allocation-free) and
+    /// its header (pool mode, demux flag) is reset from `inner`, so a
+    /// handle can be created first and wired through configuration (see
     /// [`crate::Mode::Record`]).
     pub fn with_handle(inner: S, handle: &TraceHandle) -> RecordingScheduler<S> {
-        *handle.inner.borrow_mut() = DecisionTrace {
-            pool_mode: inner.pool_mode(),
-            demux_done: inner.demux_done(),
-            decisions: Vec::new(),
-        };
+        {
+            let mut trace = handle.inner.borrow_mut();
+            trace.pool_mode = inner.pool_mode();
+            trace.demux_done = inner.demux_done();
+            trace.decisions.clear();
+        }
         RecordingScheduler {
             trace: handle.inner.clone(),
             inner,
+            before: Vec::new(),
         }
     }
 }
@@ -177,13 +287,14 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
     }
 
     fn shuffle_ready(&mut self, ready: &mut Vec<ReadyEntry>) {
-        let before: Vec<u64> = ready.iter().map(|e| e.seq).collect();
+        self.before.clear();
+        self.before.extend(ready.iter().map(|e| e.seq));
         self.inner.shuffle_ready(ready);
         // Record the applied permutation by matching sequence numbers.
-        let perm: Vec<u32> = ready
+        let perm: Perm = ready
             .iter()
             .map(|e| {
-                before
+                self.before
                     .iter()
                     .position(|&seq| seq == e.seq)
                     .expect("shuffle must be a permutation") as u32
@@ -342,6 +453,9 @@ pub struct ReplayScheduler {
     trace: DecisionTrace,
     cursor: usize,
     status: ReplayStatusHandle,
+    /// Scratch for applying recorded permutations without cloning the
+    /// ready list.
+    scratch: Vec<ReadyEntry>,
 }
 
 impl ReplayScheduler {
@@ -368,6 +482,7 @@ impl ReplayScheduler {
             trace,
             cursor: 0,
             status,
+            scratch: Vec::new(),
         }
     }
 
@@ -393,19 +508,30 @@ impl ReplayScheduler {
         }
     }
 
-    fn next(&mut self) -> Option<Decision> {
-        let d = self.trace.decisions.get(self.cursor).cloned();
-        if d.is_some() {
-            self.cursor += 1;
-        }
-        d
+    /// Advances past the current decision and returns the recorded kind, or
+    /// `None` at end of trace. Allocation-free (decisions stay in place).
+    fn advance(&mut self) -> Option<&'static str> {
+        let kind = self.trace.decisions.get(self.cursor)?.kind();
+        self.cursor += 1;
+        Some(kind)
     }
 }
 
-/// Checks that `perm` is a permutation of `0..len`.
+/// Checks that `perm` is a permutation of `0..len`, without allocating for
+/// the common (short) case.
 fn is_permutation(perm: &[u32], len: usize) -> bool {
     if perm.len() != len {
         return false;
+    }
+    if len <= 128 {
+        let mut seen: u128 = 0;
+        for &src in perm {
+            if src as usize >= len || seen & (1 << src) != 0 {
+                return false;
+            }
+            seen |= 1 << src;
+        }
+        return true;
     }
     let mut seen = vec![false; len];
     for &src in perm {
@@ -431,90 +557,91 @@ impl Scheduler for ReplayScheduler {
     }
 
     fn on_timer(&mut self) -> TimerVerdict {
-        match self.next() {
-            Some(Decision::Timer(None)) => TimerVerdict::Run,
-            Some(Decision::Timer(Some(ns))) => TimerVerdict::Defer {
-                delay: VDur::nanos(ns),
-            },
-            Some(other) => {
-                self.diverge(other.kind(), "timer");
-                TimerVerdict::Run
-            }
-            None => {
-                self.diverge("end of trace", "timer");
-                TimerVerdict::Run
-            }
+        if let Some(&Decision::Timer(rec)) = self.trace.decisions.get(self.cursor) {
+            self.cursor += 1;
+            return match rec {
+                None => TimerVerdict::Run,
+                Some(ns) => TimerVerdict::Defer {
+                    delay: VDur::nanos(ns),
+                },
+            };
         }
+        match self.advance() {
+            Some(kind) => self.diverge(kind, "timer"),
+            None => self.diverge("end of trace", "timer"),
+        }
+        TimerVerdict::Run
     }
 
     fn shuffle_ready(&mut self, ready: &mut Vec<ReadyEntry>) {
-        let perm = match self.next() {
-            Some(Decision::Shuffle(perm)) => {
-                if !is_permutation(&perm, ready.len()) {
-                    self.diverge("shuffle", "shuffle (non-permutation)");
-                    return;
-                }
-                perm
+        let at = self.cursor;
+        if !matches!(self.trace.decisions.get(at), Some(Decision::Shuffle(_))) {
+            match self.advance() {
+                Some(kind) => self.diverge(kind, "shuffle"),
+                None => self.diverge("end of trace", "shuffle"),
             }
-            Some(other) => {
-                self.diverge(other.kind(), "shuffle");
-                return;
-            }
-            None => {
-                self.diverge("end of trace", "shuffle");
-                return;
-            }
+            return;
+        }
+        self.cursor += 1;
+        let ok = match &self.trace.decisions[at] {
+            Decision::Shuffle(perm) => is_permutation(perm, ready.len()),
+            _ => unreachable!("checked above"),
         };
-        let original = ready.clone();
+        if !ok {
+            self.diverge("shuffle", "shuffle (non-permutation)");
+            return;
+        }
+        // Split-borrow: the permutation stays in the trace while the
+        // scratch buffer holds the pre-shuffle entries.
+        let ReplayScheduler { trace, scratch, .. } = self;
+        let Decision::Shuffle(perm) = &trace.decisions[at] else {
+            unreachable!("checked above")
+        };
+        scratch.clear();
+        scratch.extend_from_slice(ready);
         for (slot, &src) in perm.iter().enumerate() {
-            ready[slot] = original[src as usize];
+            ready[slot] = scratch[src as usize];
         }
     }
 
     fn defer_ready(&mut self, _entry: &ReadyEntry) -> bool {
-        match self.next() {
-            Some(Decision::DeferReady(d)) => d,
-            Some(other) => {
-                self.diverge(other.kind(), "defer-ready");
-                false
-            }
-            None => {
-                self.diverge("end of trace", "defer-ready");
-                false
-            }
+        if let Some(&Decision::DeferReady(d)) = self.trace.decisions.get(self.cursor) {
+            self.cursor += 1;
+            return d;
         }
+        match self.advance() {
+            Some(kind) => self.diverge(kind, "defer-ready"),
+            None => self.diverge("end of trace", "defer-ready"),
+        }
+        false
     }
 
     fn defer_close(&mut self) -> bool {
-        match self.next() {
-            Some(Decision::DeferClose(d)) => d,
-            Some(other) => {
-                self.diverge(other.kind(), "defer-close");
-                false
-            }
-            None => {
-                self.diverge("end of trace", "defer-close");
-                false
-            }
+        if let Some(&Decision::DeferClose(d)) = self.trace.decisions.get(self.cursor) {
+            self.cursor += 1;
+            return d;
         }
+        match self.advance() {
+            Some(kind) => self.diverge(kind, "defer-close"),
+            None => self.diverge("end of trace", "defer-close"),
+        }
+        false
     }
 
     fn pick_task(&mut self, window: usize) -> usize {
-        match self.next() {
-            Some(Decision::PickTask(i)) if (i as usize) < window => i as usize,
-            Some(Decision::PickTask(_)) => {
-                self.diverge("pick-task", "pick-task (out of window)");
-                0
+        if let Some(&Decision::PickTask(i)) = self.trace.decisions.get(self.cursor) {
+            self.cursor += 1;
+            if (i as usize) < window {
+                return i as usize;
             }
-            Some(other) => {
-                self.diverge(other.kind(), "pick-task");
-                0
-            }
-            None => {
-                self.diverge("end of trace", "pick-task");
-                0
-            }
+            self.diverge("pick-task", "pick-task (out of window)");
+            return 0;
         }
+        match self.advance() {
+            Some(kind) => self.diverge(kind, "pick-task"),
+            None => self.diverge("end of trace", "pick-task"),
+        }
+        0
     }
 }
 
@@ -636,7 +763,7 @@ mod tests {
             let trace = DecisionTrace {
                 pool_mode: PoolMode::Concurrent { workers: 4 },
                 demux_done: false,
-                decisions: vec![Decision::Shuffle(perm)],
+                decisions: vec![Decision::Shuffle(perm.into())],
             };
             let (mut replayer, status) = ReplayScheduler::with_status(trace);
             let mut ready = entries.clone();
@@ -674,6 +801,56 @@ mod tests {
         let _r2 = ReplayScheduler::attached(trace, status.clone());
         assert_eq!(status.mismatches(), 0, "attach resets the handle");
         status.verdict().expect("clean after reset");
+    }
+
+    #[test]
+    fn perm_spills_past_inline_capacity() {
+        let n = Perm::INLINE as u32 + 5;
+        let p: Perm = (0..n).collect();
+        assert_eq!(p.len(), n as usize);
+        assert_eq!(p.as_slice(), (0..n).collect::<Vec<_>>().as_slice());
+        let small: Perm = vec![2, 0, 1].into();
+        assert_eq!(small.as_slice(), &[2, 0, 1]);
+        assert_eq!(small, vec![2, 0, 1].into());
+        assert!(is_permutation(&small, 3));
+        assert!(is_permutation(&p, n as usize));
+    }
+
+    #[test]
+    fn is_permutation_rejects_malformed_large() {
+        // Exercise the heap fallback path (len > 128).
+        let len = 200usize;
+        let good: Vec<u32> = (0..len as u32).rev().collect();
+        assert!(is_permutation(&good, len));
+        let mut dup = good.clone();
+        dup[0] = dup[1];
+        assert!(!is_permutation(&dup, len));
+        let mut out_of_range = good;
+        out_of_range[5] = len as u32;
+        assert!(!is_permutation(&out_of_range, len));
+    }
+
+    #[test]
+    fn reused_handle_records_fresh_decisions() {
+        let handle = TraceHandle::fresh();
+        for seed in [5u64, 6u64] {
+            let fuzz = FuzzScheduler::new(FuzzParams::standard(), seed);
+            let recorder = RecordingScheduler::with_handle(fuzz, &handle);
+            let mut el = EventLoop::with_scheduler(LoopConfig::seeded(seed), Box::new(recorder));
+            program(&mut el);
+            el.run();
+            let trace = handle.snapshot();
+            assert!(!trace.is_empty());
+            // Replaying the snapshot against the same seed must be faithful,
+            // proving the reused handle held only this run's decisions.
+            let (replayer, status) = ReplayScheduler::with_status(trace);
+            let mut el = EventLoop::with_scheduler(LoopConfig::seeded(seed), Box::new(replayer));
+            program(&mut el);
+            el.run();
+            status
+                .verdict()
+                .expect("faithful replay from reused handle");
+        }
     }
 
     #[test]

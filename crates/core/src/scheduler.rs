@@ -18,7 +18,7 @@
 //! Every decision draws from a dedicated seed, independent of the
 //! environment seed, so `(env_seed, sched_seed)` fully determines a run.
 
-use nodefz_rt::{PoolMode, ReadyEntry, Rng, Scheduler, TimerVerdict};
+use nodefz_rt::{PoolMode, ReadyEntry, Rng, Scheduler, ShuffleScratch, TimerVerdict};
 
 use crate::params::FuzzParams;
 
@@ -41,6 +41,8 @@ pub struct FuzzScheduler {
     params: FuzzParams,
     rng: Rng,
     stats: FuzzStats,
+    /// Reusable buffers for the bounded shuffle (one per poll iteration).
+    scratch: ShuffleScratch,
 }
 
 /// Counters of the decisions a scheduler made during a run.
@@ -75,6 +77,7 @@ impl FuzzScheduler {
             params,
             rng: Rng::new(sched_seed ^ 0x6E6F_6465_2E66_7A00), // "node.fz"
             stats: FuzzStats::default(),
+            scratch: ShuffleScratch::new(),
         }
     }
 
@@ -130,7 +133,8 @@ impl Scheduler for FuzzScheduler {
             return;
         }
         self.stats.shuffles += 1;
-        self.rng.shuffle_bounded(ready, dist);
+        self.rng
+            .shuffle_bounded_with(ready, dist, &mut self.scratch);
     }
 
     fn defer_ready(&mut self, _entry: &ReadyEntry) -> bool {

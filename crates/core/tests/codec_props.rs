@@ -18,7 +18,7 @@ fn gen_decision(g: &mut Gen) -> Decision {
             for i in (1..len).rev() {
                 perm.swap(i, g.below(i as u64 + 1) as usize);
             }
-            Decision::Shuffle(perm)
+            Decision::Shuffle(perm.into())
         }
         2 => Decision::DeferReady(g.bool()),
         3 => Decision::DeferClose(g.bool()),

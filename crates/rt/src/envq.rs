@@ -80,6 +80,12 @@ impl EnvQueue {
         self.heap.is_empty()
     }
 
+    /// Clears all state for a fresh run, keeping allocated capacity.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.heap.len()

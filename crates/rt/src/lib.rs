@@ -74,11 +74,11 @@ mod trace;
 pub use combinators::{series, Barrier, Emitter, ListenerId, SeriesNext, SeriesStep};
 pub use ctx::{Ctx, HandleId};
 pub use error::{AppError, Errno};
-pub use looper::{EventLoop, LoopConfig, RunReport, Termination};
+pub use looper::{EventLoop, LoopConfig, LoopPool, RunReport, Termination};
 pub use poll::{Fd, FdKind, ReadyEntry};
 pub use pool::{PoolStats, TaskId, WorkCtx};
 pub use proc::{ChildSpec, Pid};
-pub use rng::Rng;
+pub use rng::{Rng, ShuffleScratch};
 pub use sched::{PoolMode, Scheduler, TimerVerdict, VanillaScheduler};
 pub use signal::Signal;
 pub use time::{VDur, VTime};

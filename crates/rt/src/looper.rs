@@ -14,7 +14,7 @@ use std::rc::Rc;
 use crate::ctx::{Ctx, HandleId};
 use crate::envq::{EnvAction, EnvQueue};
 use crate::error::AppError;
-use crate::poll::{Fd, FdKind, PollState};
+use crate::poll::{Fd, FdKind, PollState, ReadyEntry};
 use crate::pool::{CompletedTask, PoolState, PoolStats, RunningTask, TaskId, WorkCtx};
 use crate::proc::ProcTable;
 use crate::rng::Rng;
@@ -54,8 +54,14 @@ impl RepeatHandles {
         self.items.len()
     }
 
-    fn snapshot(&self) -> Vec<RepeatCb> {
-        self.items.iter().map(|(_, cb)| cb.clone()).collect()
+    fn snapshot_into(&self, out: &mut Vec<RepeatCb>) {
+        out.extend(self.items.iter().map(|(_, cb)| cb.clone()));
+    }
+
+    /// Clears all handles for a fresh run, keeping allocated capacity.
+    fn reset(&mut self) {
+        self.items.clear();
+        self.next = 0;
     }
 }
 
@@ -180,6 +186,10 @@ pub(crate) struct LoopState {
     pub hung: bool,
     pub demux_done: bool,
     pub iter: u64,
+    /// Scratch for the poll phase's ready list; reused across iterations.
+    ready_scratch: Vec<ReadyEntry>,
+    /// Scratch for repeat-phase handle snapshots; reused across iterations.
+    repeat_scratch: Vec<RepeatCb>,
 }
 
 impl LoopState {
@@ -211,8 +221,45 @@ impl LoopState {
             hung: false,
             demux_done,
             iter: 0,
+            ready_scratch: Vec::new(),
+            repeat_scratch: Vec::new(),
             cfg,
         }
+    }
+
+    /// Re-initializes a recycled state for a fresh run, keeping every
+    /// collection's allocated capacity. Must leave the state exactly as
+    /// [`LoopState::new`] would, apart from spare capacity.
+    fn reset(&mut self, cfg: LoopConfig, demux_done: bool) {
+        // The RNG fork order must match `new` exactly: replayed runs depend
+        // on the env/cost/pool streams being identical.
+        let mut root = Rng::new(cfg.env_seed);
+        self.rng_env = root.fork();
+        self.rng_cost = root.fork();
+        let rng_pool = root.fork();
+        self.now = VTime::ZERO;
+        self.timers.reset();
+        self.micro.clear();
+        self.immediates.clear();
+        self.pending.clear();
+        self.closing.clear();
+        self.idle.reset();
+        self.prepare.reset();
+        self.check.reset();
+        self.poll.reset(cfg.fd_limit);
+        self.pool.reset(rng_pool, cfg.pool_cost_jitter);
+        self.env.reset();
+        self.signals.reset();
+        self.procs.reset();
+        self.trace.reset(cfg.trace);
+        self.errors.clear();
+        self.stopped = false;
+        self.hung = false;
+        self.demux_done = demux_done;
+        self.iter = 0;
+        self.ready_scratch.clear();
+        self.repeat_scratch.clear();
+        self.cfg = cfg;
     }
 
     pub fn stats_submitted(&mut self) {
@@ -240,6 +287,74 @@ impl LoopState {
     }
 }
 
+/// A reusable slab of recycled loop state.
+///
+/// Fuzzing campaigns run millions of short loops; building each one from
+/// scratch re-grows every internal collection (timer heap, watcher slab,
+/// queues, trace buffer) from zero. A pool keeps the state of finished
+/// loops — reset but with capacity intact — and hands it to the next run,
+/// making steady-state loop construction allocation-free.
+///
+/// Clones share the same slot. The pool holds exactly one state — campaign
+/// workers run one loop at a time, and a single slot avoids unbounded
+/// retention. State moves in and out by `mem::swap`, so recycling itself
+/// never touches the heap.
+#[derive(Clone)]
+pub struct LoopPool {
+    slot: Rc<RefCell<PoolSlot>>,
+}
+
+struct PoolSlot {
+    st: LoopState,
+    /// Whether `st` came back from a finished loop (vs. the initial dummy).
+    primed: bool,
+}
+
+impl LoopPool {
+    /// Creates an empty pool.
+    pub fn new() -> LoopPool {
+        LoopPool {
+            slot: Rc::new(RefCell::new(PoolSlot {
+                st: LoopState::new(LoopConfig::default(), false),
+                primed: false,
+            })),
+        }
+    }
+
+    /// Swaps the pooled state into `dst`; returns whether it was recycled.
+    fn take_into(&self, dst: &mut LoopState) -> bool {
+        let mut slot = self.slot.borrow_mut();
+        std::mem::swap(&mut slot.st, dst);
+        std::mem::replace(&mut slot.primed, false)
+    }
+
+    /// Swaps a finished loop's state into the pool for the next run.
+    fn put_from(&self, src: &mut LoopState) {
+        let mut slot = self.slot.borrow_mut();
+        std::mem::swap(&mut slot.st, src);
+        slot.primed = true;
+    }
+
+    /// Whether a recycled state is currently available.
+    pub fn is_primed(&self) -> bool {
+        self.slot.borrow().primed
+    }
+}
+
+impl Default for LoopPool {
+    fn default() -> LoopPool {
+        LoopPool::new()
+    }
+}
+
+impl std::fmt::Debug for LoopPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopPool")
+            .field("primed", &self.is_primed())
+            .finish()
+    }
+}
+
 /// A deterministic, virtual-time event loop with a pluggable scheduler.
 ///
 /// # Examples
@@ -260,6 +375,8 @@ pub struct EventLoop {
     st: LoopState,
     sched: Box<dyn Scheduler>,
     pool_mode: PoolMode,
+    /// Pool the state returns to when the loop is dropped.
+    home: Option<LoopPool>,
 }
 
 impl EventLoop {
@@ -276,6 +393,33 @@ impl EventLoop {
             st: LoopState::new(cfg, demux),
             sched,
             pool_mode,
+            home: None,
+        }
+    }
+
+    /// Creates a loop driven by the given scheduler, reusing recycled state
+    /// from `pool` when available. The state returns to the pool on drop.
+    ///
+    /// Behaviorally identical to [`EventLoop::with_scheduler`]: a recycled
+    /// state is fully reset (RNG streams included), only spare collection
+    /// capacity carries over.
+    pub fn with_scheduler_pooled(
+        cfg: LoopConfig,
+        sched: Box<dyn Scheduler>,
+        pool: &LoopPool,
+    ) -> EventLoop {
+        let pool_mode = sched.pool_mode();
+        let demux = sched.demux_done();
+        let mut st = LoopState::new(cfg.clone(), demux);
+        // The swap always happens (primed or not), so reset unconditionally:
+        // what came out of the slot was built for some other run's config.
+        pool.take_into(&mut st);
+        st.reset(cfg, demux);
+        EventLoop {
+            st,
+            sched,
+            pool_mode,
+            home: Some(pool.clone()),
         }
     }
 
@@ -459,18 +603,24 @@ impl EventLoop {
     }
 
     fn repeat_phase(&mut self, kind: CbKind) {
-        let handles = match kind {
-            CbKind::Idle => self.st.idle.snapshot(),
-            CbKind::Prepare => self.st.prepare.snapshot(),
-            CbKind::Check => self.st.check.snapshot(),
+        // Snapshot into the reusable scratch: callbacks may add or remove
+        // handles mid-phase, and the phase runs the set as of phase entry.
+        let mut handles = std::mem::take(&mut self.st.repeat_scratch);
+        handles.clear();
+        match kind {
+            CbKind::Idle => self.st.idle.snapshot_into(&mut handles),
+            CbKind::Prepare => self.st.prepare.snapshot_into(&mut handles),
+            CbKind::Check => self.st.check.snapshot_into(&mut handles),
             _ => unreachable!("repeat_phase called with {kind:?}"),
         };
-        for cb in handles {
+        for cb in handles.drain(..) {
             if self.st.stopped {
-                return;
+                break;
             }
             self.run_traced_repeat(kind, cb);
         }
+        handles.clear();
+        self.st.repeat_scratch = handles;
     }
 
     fn close_phase(&mut self) {
@@ -532,7 +682,7 @@ impl EventLoop {
             Some(fd) => {
                 // De-multiplexed: private descriptor per task (§4.3.3).
                 if self.st.poll.is_open(fd) {
-                    self.st.pool.done_demux.insert(fd, completed);
+                    self.st.pool.put_done_demux(fd, completed);
                     let now = self.st.now;
                     let _ = self.st.poll.mark_ready(fd, now);
                 }
@@ -653,13 +803,15 @@ impl EventLoop {
         if self.st.stopped {
             return;
         }
-        let mut list = self.st.poll.take_ready();
+        let mut list = std::mem::take(&mut self.st.ready_scratch);
+        list.clear();
+        self.st.poll.drain_ready_into(&mut list);
         if list.len() > 1 {
             self.sched.shuffle_ready(&mut list);
         }
-        for entry in list {
+        for entry in list.drain(..) {
             if self.st.stopped {
-                return;
+                break;
             }
             if !self.st.poll.is_open(entry.fd) {
                 continue;
@@ -671,6 +823,8 @@ impl EventLoop {
             self.dispatch_fd(entry.fd);
             self.drain_env();
         }
+        list.clear();
+        self.st.ready_scratch = list;
     }
 
     /// Advances virtual time to the next environment event or timer
@@ -717,7 +871,7 @@ impl EventLoop {
                 }
             }
             Some(FdKind::TaskDone) => {
-                if let Some(task) = self.st.pool.done_demux.remove(&fd) {
+                if let Some(task) = self.st.pool.take_done_demux(fd) {
                     let _ = self.st.poll.close(fd);
                     self.run_done(task);
                 }
@@ -748,5 +902,13 @@ impl EventLoop {
         let cost = self.st.cb_cost();
         self.st.now += cost;
         self.drain_micro();
+    }
+}
+
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        if let Some(home) = self.home.take() {
+            home.put_from(&mut self.st);
+        }
     }
 }

@@ -12,7 +12,6 @@
 //! de-multiplexing the done queue of a 10 240-task test (§4.4).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::ctx::Ctx;
@@ -84,10 +83,21 @@ pub(crate) struct Watcher {
     pub kind_override: Option<CbKind>,
 }
 
+/// First descriptor handed out: 0/1/2 are "taken", as on a real process.
+const FD_BASE: u32 = 3;
+
 pub(crate) struct PollState {
     next_fd: u32,
     pub limit: usize,
-    watchers: HashMap<Fd, Watcher>,
+    /// Watcher slab, indexed by `fd - FD_BASE`. Descriptors are allocated
+    /// sequentially, so a `Vec<Option<_>>` replaces the hash map on the
+    /// poll phase's per-event lookups; closed slots stay `None`.
+    watchers: Vec<Option<Watcher>>,
+    /// Count of open (`Some`) slots — the EMFILE limit check.
+    open: usize,
+    /// Count of open slots whose watcher is ref'd, so the loop's per-
+    /// iteration liveness probe is O(1) instead of a slab scan.
+    refd_open: usize,
     /// Events marked ready, FIFO.
     pub ready: Vec<ReadyEntry>,
     /// Events deferred by the scheduler to the next iteration.
@@ -98,35 +108,58 @@ pub(crate) struct PollState {
 impl PollState {
     pub fn new(limit: usize) -> PollState {
         PollState {
-            next_fd: 3, // 0/1/2 are "taken", as on a real process.
+            next_fd: FD_BASE,
             limit,
-            watchers: HashMap::new(),
+            watchers: Vec::new(),
+            open: 0,
+            refd_open: 0,
             ready: Vec::new(),
             carried: Vec::new(),
             next_seq: 0,
         }
     }
 
+    /// Clears all state for a fresh run, keeping allocated capacity.
+    pub fn reset(&mut self, limit: usize) {
+        self.next_fd = FD_BASE;
+        self.limit = limit;
+        self.watchers.clear();
+        self.open = 0;
+        self.refd_open = 0;
+        self.ready.clear();
+        self.carried.clear();
+        self.next_seq = 0;
+    }
+
+    fn slot(&self, fd: Fd) -> Option<&Watcher> {
+        let idx = fd.0.checked_sub(FD_BASE)? as usize;
+        self.watchers.get(idx)?.as_ref()
+    }
+
+    fn slot_mut(&mut self, fd: Fd) -> Option<&mut Watcher> {
+        let idx = fd.0.checked_sub(FD_BASE)? as usize;
+        self.watchers.get_mut(idx)?.as_mut()
+    }
+
     pub fn alloc(&mut self, kind: FdKind) -> Result<Fd, Errno> {
-        if self.watchers.len() >= self.limit {
+        if self.open >= self.limit {
             return Err(Errno::Emfile);
         }
         let fd = Fd(self.next_fd);
         self.next_fd += 1;
-        self.watchers.insert(
-            fd,
-            Watcher {
-                kind,
-                cb: None,
-                refd: true,
-                kind_override: None,
-            },
-        );
+        self.watchers.push(Some(Watcher {
+            kind,
+            cb: None,
+            refd: true,
+            kind_override: None,
+        }));
+        self.open += 1;
+        self.refd_open += 1;
         Ok(fd)
     }
 
     pub fn set_watcher(&mut self, fd: Fd, cb: IoCb) -> Result<(), Errno> {
-        match self.watchers.get_mut(&fd) {
+        match self.slot_mut(fd) {
             Some(w) => {
                 w.cb = Some(cb);
                 Ok(())
@@ -136,9 +169,15 @@ impl PollState {
     }
 
     pub fn set_refd(&mut self, fd: Fd, refd: bool) -> Result<(), Errno> {
-        match self.watchers.get_mut(&fd) {
+        match self.slot_mut(fd) {
             Some(w) => {
+                let was = w.refd;
                 w.refd = refd;
+                match (was, refd) {
+                    (false, true) => self.refd_open += 1,
+                    (true, false) => self.refd_open -= 1,
+                    _ => {}
+                }
                 Ok(())
             }
             None => Err(Errno::Ebadf),
@@ -146,7 +185,7 @@ impl PollState {
     }
 
     pub fn set_kind_override(&mut self, fd: Fd, kind: CbKind) -> Result<(), Errno> {
-        match self.watchers.get_mut(&fd) {
+        match self.slot_mut(fd) {
             Some(w) => {
                 w.kind_override = Some(kind);
                 Ok(())
@@ -156,8 +195,17 @@ impl PollState {
     }
 
     pub fn close(&mut self, fd: Fd) -> Result<(), Errno> {
-        if self.watchers.remove(&fd).is_none() {
+        let Some(idx) = fd.0.checked_sub(FD_BASE).map(|i| i as usize) else {
             return Err(Errno::Ebadf);
+        };
+        match self.watchers.get_mut(idx).and_then(Option::take) {
+            Some(w) => {
+                self.open -= 1;
+                if w.refd {
+                    self.refd_open -= 1;
+                }
+            }
+            None => return Err(Errno::Ebadf),
         }
         self.ready.retain(|e| e.fd != fd);
         self.carried.retain(|e| e.fd != fd);
@@ -165,11 +213,11 @@ impl PollState {
     }
 
     pub fn is_open(&self, fd: Fd) -> bool {
-        self.watchers.contains_key(&fd)
+        self.slot(fd).is_some()
     }
 
     pub fn open_count(&self) -> usize {
-        self.watchers.len()
+        self.open
     }
 
     /// Marks one readiness event on `fd` at time `at`.
@@ -177,7 +225,7 @@ impl PollState {
     /// Each mark is one dispatch: a connection with three undelivered
     /// messages has three entries in the ready list.
     pub fn mark_ready(&mut self, fd: Fd, at: VTime) -> Result<(), Errno> {
-        if !self.watchers.contains_key(&fd) {
+        if self.slot(fd).is_none() {
             return Err(Errno::Ebadf);
         }
         let seq = self.next_seq;
@@ -187,11 +235,24 @@ impl PollState {
     }
 
     /// Takes the current ready list (carried-over entries first, then fresh
-    /// ones, both in FIFO order).
+    /// ones, both in FIFO order). The loop itself uses the allocation-free
+    /// [`drain_ready_into`]; this stays as the convenient test-facing form.
+    ///
+    /// [`drain_ready_into`]: PollState::drain_ready_into
+    #[cfg(test)]
     pub fn take_ready(&mut self) -> Vec<ReadyEntry> {
         let mut out = std::mem::take(&mut self.carried);
         out.append(&mut self.ready);
         out
+    }
+
+    /// Drains the ready list (carried first, then fresh, both FIFO) into a
+    /// caller-owned scratch buffer — the allocation-free [`take_ready`].
+    ///
+    /// [`take_ready`]: PollState::take_ready
+    pub fn drain_ready_into(&mut self, out: &mut Vec<ReadyEntry>) {
+        out.append(&mut self.carried);
+        out.append(&mut self.ready);
     }
 
     pub fn defer(&mut self, entry: ReadyEntry) {
@@ -203,23 +264,22 @@ impl PollState {
     }
 
     pub fn watcher_cb(&self, fd: Fd) -> Option<IoCb> {
-        self.watchers.get(&fd).and_then(|w| w.cb.clone())
+        self.slot(fd).and_then(|w| w.cb.clone())
     }
 
     pub fn event_kind(&self, fd: Fd) -> CbKind {
-        self.watchers
-            .get(&fd)
+        self.slot(fd)
             .map(|w| w.kind_override.unwrap_or(w.kind.event_kind()))
             .unwrap_or(CbKind::IoOther)
     }
 
     pub fn fd_kind(&self, fd: Fd) -> Option<FdKind> {
-        self.watchers.get(&fd).map(|w| w.kind)
+        self.slot(fd).map(|w| w.kind)
     }
 
     /// Whether any ref'd watcher keeps the loop alive.
     pub fn any_refd(&self) -> bool {
-        self.watchers.values().any(|w| w.refd)
+        self.refd_open > 0
     }
 }
 
@@ -329,6 +389,51 @@ mod tests {
         p.set_kind_override(fd, CbKind::KvReply).unwrap();
         assert_eq!(p.event_kind(fd), CbKind::KvReply);
         assert_eq!(p.event_kind(Fd(99)), CbKind::IoOther);
+    }
+
+    #[test]
+    fn refd_count_survives_close_and_redundant_sets() {
+        let mut p = PollState::new(8);
+        let a = p.alloc(FdKind::Other).unwrap();
+        let b = p.alloc(FdKind::Other).unwrap();
+        p.set_refd(a, false).unwrap();
+        p.set_refd(a, false).unwrap(); // Redundant: must not double-count.
+        assert!(p.any_refd());
+        p.close(b).unwrap(); // Closing the ref'd one.
+        assert!(!p.any_refd());
+        p.set_refd(a, true).unwrap();
+        assert!(p.any_refd());
+    }
+
+    #[test]
+    fn drain_ready_into_matches_take_ready_order() {
+        let mut p = PollState::new(8);
+        let a = p.alloc(FdKind::NetConn).unwrap();
+        let b = p.alloc(FdKind::NetConn).unwrap();
+        p.mark_ready(a, VTime(1)).unwrap();
+        p.mark_ready(b, VTime(2)).unwrap();
+        let first = p.take_ready();
+        p.defer(first[1]);
+        p.mark_ready(a, VTime(3)).unwrap();
+        let mut scratch = Vec::new();
+        p.drain_ready_into(&mut scratch);
+        assert_eq!(scratch[0].fd, b, "carried entry first");
+        assert_eq!(scratch[1].fd, a);
+        assert!(!p.has_pending());
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut p = PollState::new(2);
+        let fd = p.alloc(FdKind::NetConn).unwrap();
+        p.alloc(FdKind::Other).unwrap();
+        p.mark_ready(fd, VTime(1)).unwrap();
+        p.reset(4);
+        assert_eq!(p.open_count(), 0);
+        assert!(!p.any_refd());
+        assert!(!p.has_pending());
+        assert!(!p.is_open(fd));
+        assert_eq!(p.alloc(FdKind::Other).unwrap(), Fd(3));
     }
 
     #[test]

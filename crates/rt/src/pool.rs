@@ -17,7 +17,6 @@
 //! [`Ctx::submit_work`]: crate::Ctx::submit_work
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use crate::ctx::Ctx;
@@ -85,8 +84,10 @@ pub(crate) struct PoolState {
     pub running: Vec<RunningTask>,
     /// Multiplexed completions awaiting the drain of the shared descriptor.
     pub done_mux: VecDeque<CompletedTask>,
-    /// De-multiplexed completions keyed by their private descriptor.
-    pub done_demux: HashMap<Fd, CompletedTask>,
+    /// De-multiplexed completions keyed by their private descriptor. A flat
+    /// vector: the set is small (bounded by in-flight tasks) and scanned
+    /// once per delivery, so linear search beats hashing here.
+    pub done_demux: Vec<(Fd, CompletedTask)>,
     /// The shared done descriptor (multiplexed mode).
     pub pool_fd: Option<Fd>,
     /// Whether `pool_fd` has an undelivered readiness mark.
@@ -107,7 +108,7 @@ impl PoolState {
             queue: VecDeque::new(),
             running: Vec::new(),
             done_mux: VecDeque::new(),
-            done_demux: HashMap::new(),
+            done_demux: Vec::new(),
             pool_fd: None,
             pool_fd_armed: false,
             wait_since: None,
@@ -116,6 +117,32 @@ impl PoolState {
             rng,
             cost_jitter,
         }
+    }
+
+    /// Clears all state for a fresh run, keeping allocated capacity.
+    pub fn reset(&mut self, rng: Rng, cost_jitter: f64) {
+        self.queue.clear();
+        self.running.clear();
+        self.done_mux.clear();
+        self.done_demux.clear();
+        self.pool_fd = None;
+        self.pool_fd_armed = false;
+        self.wait_since = None;
+        self.next_id = 0;
+        self.stats = PoolStats::default();
+        self.rng = rng;
+        self.cost_jitter = cost_jitter;
+    }
+
+    /// Stores a de-multiplexed completion under its private descriptor.
+    pub fn put_done_demux(&mut self, fd: Fd, task: CompletedTask) {
+        self.done_demux.push((fd, task));
+    }
+
+    /// Removes and returns the completion stored under `fd`, if any.
+    pub fn take_done_demux(&mut self, fd: Fd) -> Option<CompletedTask> {
+        let idx = self.done_demux.iter().position(|(f, _)| *f == fd)?;
+        Some(self.done_demux.swap_remove(idx).1)
     }
 
     pub fn next_task_id(&mut self) -> TaskId {

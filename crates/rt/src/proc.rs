@@ -93,6 +93,12 @@ impl ProcTable {
     pub fn running(&self) -> usize {
         self.children.iter().filter(|c| !c.exited).count()
     }
+
+    /// Clears all state for a fresh run, keeping allocated capacity.
+    pub fn reset(&mut self) {
+        self.children.clear();
+        self.next_pid = 0;
+    }
 }
 
 #[cfg(test)]

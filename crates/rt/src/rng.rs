@@ -9,6 +9,20 @@
 
 use crate::time::VDur;
 
+/// Reusable buffers for [`Rng::shuffle_bounded_with`].
+#[derive(Clone, Debug, Default)]
+pub struct ShuffleScratch {
+    keys: Vec<u64>,
+    order: Vec<usize>,
+}
+
+impl ShuffleScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> ShuffleScratch {
+        ShuffleScratch::default()
+    }
+}
+
 /// Deterministic xoshiro256++ pseudo-random number generator.
 #[derive(Clone, Debug)]
 pub struct Rng {
@@ -147,6 +161,21 @@ impl Rng {
     /// trade-off between extreme fuzzing and realistic schedules. A
     /// `max_dist` of `usize::MAX` degenerates to a full Fisher–Yates shuffle.
     pub fn shuffle_bounded<T>(&mut self, items: &mut [T], max_dist: usize) {
+        let mut scratch = ShuffleScratch::new();
+        self.shuffle_bounded_with(items, max_dist, &mut scratch);
+    }
+
+    /// [`shuffle_bounded`] with caller-owned scratch, for hot paths that
+    /// shuffle once per loop iteration. Draws the same random sequence as
+    /// the scratch-free version, so recorded schedules are unaffected.
+    ///
+    /// [`shuffle_bounded`]: Rng::shuffle_bounded
+    pub fn shuffle_bounded_with<T>(
+        &mut self,
+        items: &mut [T],
+        max_dist: usize,
+        scratch: &mut ShuffleScratch,
+    ) {
         let n = items.len();
         if n < 2 {
             return;
@@ -160,10 +189,11 @@ impl Rng {
         // `max_dist` positions in either direction: an element `j` can only
         // pass elements `i` with `key_i > key_j`, and `key_i <= i + max_dist`
         // while `key_j >= j`, so passing requires `|i - j| <= max_dist`.
-        let keys: Vec<u64> = (0..n)
-            .map(|i| i as u64 + self.below(max_dist as u64 + 1))
-            .collect();
-        let mut order: Vec<usize> = (0..n).collect();
+        let ShuffleScratch { keys, order } = scratch;
+        keys.clear();
+        keys.extend((0..n).map(|i| i as u64 + self.below(max_dist as u64 + 1)));
+        order.clear();
+        order.extend(0..n);
         for i in 1..n {
             let mut j = i;
             while j > 0 && keys[order[j - 1]] > keys[order[j]] {
@@ -318,6 +348,21 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_bounded_with_scratch_matches_scratch_free() {
+        let mut scratch = ShuffleScratch::new();
+        for seed in 0..20 {
+            let mut a = Rng::new(seed);
+            let mut b = Rng::new(seed);
+            let mut va: Vec<usize> = (0..25).collect();
+            let mut vb = va.clone();
+            a.shuffle_bounded(&mut va, 4);
+            b.shuffle_bounded_with(&mut vb, 4, &mut scratch);
+            assert_eq!(va, vb, "seed {seed}");
+            assert_eq!(a.next_u64(), b.next_u64(), "rng streams diverged");
+        }
     }
 
     #[test]

@@ -71,6 +71,16 @@ impl SignalState {
     pub fn watcher_count(&self, sig: Signal) -> usize {
         self.watchers.get(&sig).map_or(0, Vec::len)
     }
+
+    /// Clears all state for a fresh run, keeping allocated capacity.
+    pub fn reset(&mut self) {
+        // Keep the per-signal buckets (and their Vec capacity); just empty
+        // them.
+        for fds in self.watchers.values_mut() {
+            fds.clear();
+        }
+        self.delivered = 0;
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use crate::ctx::Ctx;
@@ -32,44 +32,62 @@ pub(crate) struct TimerEntry {
 #[derive(Default)]
 pub(crate) struct TimerHeap {
     heap: BinaryHeap<Reverse<(VTime, u64, TimerId)>>,
-    entries: HashMap<TimerId, TimerEntry>,
-    next_id: u64,
+    /// Timer slab, indexed by `TimerId` (ids are allocated sequentially
+    /// from 0). `None` marks a cancelled or currently-popped timer.
+    entries: Vec<Option<TimerEntry>>,
+    /// Count of `Some` slots.
+    live: usize,
     next_seq: u64,
 }
 
 impl TimerHeap {
+    /// Clears all state for a fresh run, keeping allocated capacity.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.entries.clear();
+        self.live = 0;
+        self.next_seq = 0;
+    }
+
+    fn slot_of(&mut self, id: TimerId) -> Option<&mut Option<TimerEntry>> {
+        self.entries.get_mut(id.0 as usize)
+    }
+
     pub fn insert(&mut self, deadline: VTime, period: Option<VDur>, cb: TimerCb) -> TimerId {
-        let id = TimerId(self.next_id);
-        self.next_id += 1;
+        let id = TimerId(self.entries.len() as u64);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse((deadline, seq, id)));
-        self.entries.insert(
+        self.entries.push(Some(TimerEntry {
             id,
-            TimerEntry {
-                id,
-                deadline,
-                period,
-                cb,
-                seq,
-            },
-        );
+            deadline,
+            period,
+            cb,
+            seq,
+        }));
+        self.live += 1;
         id
     }
 
     /// Cancels a timer. Returns whether it was still registered.
     pub fn cancel(&mut self, id: TimerId) -> bool {
-        self.entries.remove(&id).is_some()
+        match self.slot_of(id).and_then(Option::take) {
+            Some(_) => {
+                self.live -= 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Returns whether the timer is still registered.
     pub fn is_active(&self, id: TimerId) -> bool {
-        self.entries.contains_key(&id)
+        self.entries.get(id.0 as usize).is_some_and(Option::is_some)
     }
 
     /// Number of live timers.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Earliest live deadline, if any.
@@ -85,7 +103,8 @@ impl TimerHeap {
             match self.heap.peek() {
                 Some(Reverse((t, _, _))) if *t <= now => {
                     let Reverse((_, _, id)) = self.heap.pop().expect("peeked");
-                    if let Some(entry) = self.entries.remove(&id) {
+                    if let Some(entry) = self.slot_of(id).and_then(Option::take) {
+                        self.live -= 1;
                         return Some(entry);
                     }
                     // Cancelled while queued: keep looking.
@@ -103,7 +122,7 @@ impl TimerHeap {
         entry.seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse((deadline, entry.seq, entry.id)));
-        self.entries.insert(entry.id, entry);
+        self.restore(entry);
     }
 
     /// Re-inserts a deferred entry, preserving its sequence number so the
@@ -111,13 +130,21 @@ impl TimerHeap {
     pub fn reinsert_deferred(&mut self, mut entry: TimerEntry, deadline: VTime) {
         entry.deadline = deadline;
         self.heap.push(Reverse((deadline, entry.seq, entry.id)));
-        self.entries.insert(entry.id, entry);
+        self.restore(entry);
+    }
+
+    /// Puts a popped entry back into its slab slot.
+    fn restore(&mut self, entry: TimerEntry) {
+        let idx = entry.id.0 as usize;
+        debug_assert!(self.entries[idx].is_none(), "restoring a live timer");
+        self.entries[idx] = Some(entry);
+        self.live += 1;
     }
 
     /// Drops heap slots whose timers were cancelled.
     fn compact_top(&mut self) {
         while let Some(Reverse((_, seq, id))) = self.heap.peek() {
-            match self.entries.get(id) {
+            match self.entries.get(id.0 as usize).and_then(Option::as_ref) {
                 Some(e) if e.seq == *seq => break,
                 _ => {
                     self.heap.pop();
@@ -193,6 +220,20 @@ mod tests {
         assert!(h.is_active(id));
         assert_eq!(h.next_deadline(), Some(VTime(15)));
         assert_eq!(h.pop_due(VTime(15)).unwrap().id, id);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut h = TimerHeap::default();
+        let id = h.insert(VTime(10), None, noop());
+        h.insert(VTime(20), Some(VDur(5)), noop());
+        h.reset();
+        assert_eq!(h.len(), 0);
+        assert!(!h.is_active(id));
+        assert!(h.next_deadline().is_none());
+        // Ids restart from zero after a reset.
+        assert_eq!(h.insert(VTime(5), None, noop()), TimerId(0));
+        assert_eq!(h.pop_due(VTime(5)).unwrap().id, TimerId(0));
     }
 
     #[test]

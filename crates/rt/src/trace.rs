@@ -176,6 +176,11 @@ impl TypeSchedule {
         let c = kind.code();
         self.codes.iter().filter(|&&b| b == c).count()
     }
+
+    /// Removes all observations, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.codes.clear();
+    }
 }
 
 /// Per-run recorder for type schedules and dispatch counts.
@@ -216,6 +221,13 @@ impl TraceRecorder {
     /// Returns the schedule recorded so far.
     pub fn schedule(&self) -> &TypeSchedule {
         &self.schedule
+    }
+
+    /// Clears all state for a fresh run, keeping allocated capacity.
+    pub fn reset(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.schedule.clear();
+        self.dispatched = 0;
     }
 }
 

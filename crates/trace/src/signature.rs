@@ -34,6 +34,17 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// seeds but still human-readable.
 pub fn normalize_site(site: &str) -> String {
     let mut out = String::with_capacity(site.len());
+    normalize_site_into(site, &mut out);
+    out
+}
+
+/// [`normalize_site`] writing into a caller-owned buffer.
+///
+/// Single pass over the input; clears `out` first and never allocates
+/// beyond growing `out` to the normalized length, so a reused buffer makes
+/// repeated normalization allocation-free once its capacity plateaus.
+pub fn normalize_site_into(site: &str, out: &mut String) {
+    out.clear();
     let mut in_digits = false;
     let mut in_space = false;
     let mut in_quote = false;
@@ -78,7 +89,6 @@ pub fn normalize_site(site: &str) -> String {
             }
         }
     }
-    out
 }
 
 /// A 17-bit fingerprint: one bit per [`CbKind`] that appears in the
@@ -166,6 +176,31 @@ mod tests {
         );
         // An unterminated quote swallows the tail but stays stable.
         assert_eq!(normalize_site(r#"oops "dangling"#), r#"oops ""#);
+    }
+
+    #[test]
+    fn into_variant_matches_on_all_fixtures_and_reuses_capacity() {
+        let fixtures = [
+            "Lost 3 of 12 jobs   after 4500us",
+            "  EDGE  ",
+            "",
+            r#"missing: ["build/cache/css"]"#,
+            r#"missing: ["build/cache/js"]"#,
+            r#"state Some("failed")"#,
+            r#"oops "dangling"#,
+            "Ünïcode 42 Mixed\tCASE",
+        ];
+        let mut buf = String::new();
+        for site in fixtures {
+            normalize_site_into(site, &mut buf);
+            assert_eq!(buf, normalize_site(site), "fixture {site:?}");
+        }
+        // A reused buffer must not shrink: repeated normalization is
+        // allocation-free once capacity plateaus.
+        let cap = buf.capacity();
+        normalize_site_into("x", &mut buf);
+        assert_eq!(buf, "x");
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]
