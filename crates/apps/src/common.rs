@@ -84,6 +84,11 @@ pub struct RunCfg {
     /// fresh loop per run). Recycling never changes behavior — a pooled
     /// loop is reset to exactly the state a fresh one would have.
     pub pool: Option<LoopPool>,
+    /// Observability handle attached to every loop this config builds
+    /// (compile-time feature `obs`). Profiling reads the run; it never
+    /// changes seeds, decisions, or schedules.
+    #[cfg(feature = "obs")]
+    pub obs: Option<nodefz_rt::ObsHandle>,
 }
 
 impl RunCfg {
@@ -96,6 +101,8 @@ impl RunCfg {
             sched_seed: env_seed.wrapping_mul(0x9E37_79B9).wrapping_add(17),
             trace: true,
             pool: None,
+            #[cfg(feature = "obs")]
+            obs: None,
         }
     }
 
@@ -103,6 +110,15 @@ impl RunCfg {
     #[must_use]
     pub fn pooled(mut self, pool: &LoopPool) -> RunCfg {
         self.pool = Some(pool.clone());
+        self
+    }
+
+    /// Attaches an observability handle to every loop built from this
+    /// configuration (compile-time feature `obs`).
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn observed(mut self, obs: &nodefz_rt::ObsHandle) -> RunCfg {
+        self.obs = Some(obs.clone());
         self
     }
 
@@ -116,10 +132,16 @@ impl RunCfg {
             trace: self.trace,
             ..LoopConfig::seeded(self.env_seed)
         };
-        match &self.pool {
+        #[allow(unused_mut)]
+        let mut el = match &self.pool {
             Some(pool) => self.mode.build_loop_pooled(cfg, self.sched_seed, pool),
             None => self.mode.build_loop(cfg, self.sched_seed),
+        };
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            el.set_obs(obs.clone());
         }
+        el
     }
 }
 

@@ -103,6 +103,41 @@ impl Bandit {
             .map(|a| (a.arm.clone(), a.pulls, a.yield_ema))
             .collect()
     }
+
+    /// The allocator's full decision state, for telemetry snapshots.
+    ///
+    /// `ucb_bound` is exactly the score [`Bandit::pick`] would rank the arm
+    /// by right now (`None` for a never-pulled arm, whose score is
+    /// effectively infinite), so a snapshot explains the allocator's next
+    /// choice, not just its history.
+    pub fn snapshot(&self) -> Vec<ArmSnapshot> {
+        let t = self.total_pulls as f64;
+        self.arms
+            .iter()
+            .map(|a| ArmSnapshot {
+                arm: a.arm.clone(),
+                pulls: a.pulls,
+                mean_reward: a.yield_ema,
+                ucb_bound: (a.pulls > 0)
+                    .then(|| a.yield_ema + self.c * (t.max(1.0).ln() / a.pulls as f64).sqrt()),
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time state of one bandit arm, as exposed by
+/// [`Bandit::snapshot`].
+#[derive(Clone, Debug)]
+pub struct ArmSnapshot {
+    /// The (app, preset) pair.
+    pub arm: Arm,
+    /// Runs spent on this arm so far.
+    pub pulls: u64,
+    /// Recent-yield EMA (1.0 = every recent run found a new bug).
+    pub mean_reward: f64,
+    /// The UCB score the next [`Bandit::pick`] would rank this arm by;
+    /// `None` while the arm is unpulled (its score is infinite).
+    pub ucb_bound: Option<f64>,
 }
 
 #[cfg(test)]
@@ -156,6 +191,30 @@ mod tests {
         assert!(dry < 0.01, "long-dry arm decays, got {dry}");
         b.reward(&arm, 3);
         assert!(b.summary()[0].2 > dry, "a hit recovers the EMA");
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_pick_scores() {
+        let mut b = Bandit::new(arms(2));
+        let snap = b.snapshot();
+        assert!(
+            snap.iter().all(|a| a.pulls == 0 && a.ucb_bound.is_none()),
+            "unpulled arms have no finite bound"
+        );
+        for i in 0..10 {
+            let arm = b.pick();
+            b.reward(&arm, u64::from(i % 3 == 0));
+        }
+        let snap = b.snapshot();
+        assert_eq!(snap.iter().map(|a| a.pulls).sum::<u64>(), 10);
+        for (state, snap) in b.summary().iter().zip(&snap) {
+            assert_eq!(state.1, snap.pulls);
+            assert_eq!(state.2, snap.mean_reward);
+            let bound = snap.ucb_bound.expect("pulled arm has a bound");
+            let expected = state.2 + 0.5 * ((10.0f64).ln() / state.1 as f64).sqrt();
+            assert!((bound - expected).abs() < 1e-12, "{bound} vs {expected}");
+            assert!(bound >= snap.mean_reward, "exploration bonus is additive");
+        }
     }
 
     #[test]

@@ -12,15 +12,20 @@
 //!
 //! The measurement loop is exactly the campaign worker's hot path
 //! ([`RunContext::fuzz_once`]): a record-mode run of the buggy variant with
-//! the decision trace captured, signature-checked on manifestation.
-//! Single-threaded on purpose — the campaign scales across threads, but
-//! throughput per worker is what this trajectory tracks (the CI container
-//! exposes one CPU).
+//! the decision trace captured, signature-checked on manifestation — and
+//! the counting goes through the same [`metrics`](crate::metrics) registry
+//! layout the campaign workers record into, so the bench exercises the
+//! telemetry path it reports on. Single-threaded on purpose — the campaign
+//! scales across threads, but throughput per worker is what this
+//! trajectory tracks (the CI container exposes one CPU).
 
 use std::time::{Duration, Instant};
 
+use nodefz_obs::{JsonWriter, ObsLevel};
+
 use crate::config::PRESETS;
 use crate::driver::{arm_seed, derive_seed, RunContext};
+use crate::metrics::{build_registry, WorkerTelemetry};
 
 /// Configuration of one throughput measurement.
 #[derive(Clone, Debug)]
@@ -100,54 +105,37 @@ impl ThroughputReport {
 
     /// Serializes the report as the `nodefz-throughput-v1` JSON document.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256 + self.arms.len() * 160);
-        out.push_str("{\n");
-        out.push_str("  \"schema\": \"nodefz-throughput-v1\",\n");
-        out.push_str(&format!(
-            "  \"warmup_ms\": {},\n",
-            self.config.warmup.as_millis()
-        ));
-        out.push_str(&format!(
-            "  \"window_ms\": {},\n",
-            self.config.window.as_millis()
-        ));
-        out.push_str(&format!("  \"base_seed\": {},\n", self.config.base_seed));
-        out.push_str("  \"arms\": [\n");
-        for (i, arm) in self.arms.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"app\": \"{}\", \"preset\": \"{}\", \"runs\": {}, \"events\": {}, \
-                 \"elapsed_ms\": {:.3}, \"execs_per_sec\": {:.1}, \"events_per_sec\": {:.1}}}{}\n",
-                json_escape(&arm.app),
-                arm.preset,
-                arm.runs,
-                arm.events,
-                arm.elapsed.as_secs_f64() * 1e3,
-                arm.execs_per_sec(),
-                arm.events_per_sec(),
-                if i + 1 < self.arms.len() { "," } else { "" },
-            ));
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "nodefz-throughput-v1");
+        w.field_u64("warmup_ms", self.config.warmup.as_millis() as u64);
+        w.field_u64("window_ms", self.config.window.as_millis() as u64);
+        w.field_u64("base_seed", self.config.base_seed);
+        w.key("arms");
+        w.begin_array();
+        for arm in &self.arms {
+            w.begin_object();
+            w.field_str("app", &arm.app);
+            w.field_str("preset", arm.preset);
+            w.field_u64("runs", arm.runs);
+            w.field_u64("events", arm.events);
+            w.field_f64("elapsed_ms", arm.elapsed.as_secs_f64() * 1e3, 3);
+            w.field_f64("execs_per_sec", arm.execs_per_sec(), 1);
+            w.field_f64("events_per_sec", arm.events_per_sec(), 1);
+            w.end_object();
         }
-        out.push_str("  ],\n");
-        out.push_str(&format!(
-            "  \"total\": {{\"runs\": {}, \"elapsed_ms\": {:.3}, \"execs_per_sec\": {:.1}}}\n",
-            self.total_runs(),
-            self.total_elapsed().as_secs_f64() * 1e3,
-            self.total_execs_per_sec(),
-        ));
-        out.push_str("}\n");
+        w.end_array();
+        w.key("total");
+        w.begin_object();
+        w.field_u64("runs", self.total_runs());
+        w.field_f64("elapsed_ms", self.total_elapsed().as_secs_f64() * 1e3, 3);
+        w.field_f64("execs_per_sec", self.total_execs_per_sec(), 1);
+        w.end_object();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
         out
     }
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 /// Measures throughput for every (app, preset) arm of `cfg`.
@@ -168,6 +156,18 @@ pub fn measure(cfg: &BenchConfig) -> Result<ThroughputReport, String> {
         }
     }
     let mut ctx = RunContext::new();
+    // Counting rides the campaign's own metrics registry (one shard, same
+    // layout and recording path as a campaign worker), so per-arm numbers
+    // are counter deltas across the measurement window.
+    let (registry, ids) = build_registry(1);
+    let telemetry = WorkerTelemetry::new(registry.shard(0), ids, ObsLevel::Off);
+    let scrape = |registry: &nodefz_obs::Registry| {
+        let snap = registry.snapshot();
+        (
+            snap.counter("campaign.runs").unwrap_or(0),
+            snap.counter("campaign.dispatched").unwrap_or(0),
+        )
+    };
     let mut arms = Vec::with_capacity(cfg.apps.len() * PRESETS.len());
     for app in &cfg.apps {
         for (preset, preset_name) in PRESETS.iter().enumerate() {
@@ -178,24 +178,23 @@ pub fn measure(cfg: &BenchConfig) -> Result<ThroughputReport, String> {
                 let _ = ctx.fuzz_once(app, preset, derive_seed(base, seed_no));
                 seed_no += 1;
             }
-            let mut runs = 0u64;
-            let mut events = 0u64;
+            let (runs_before, events_before) = scrape(&registry);
             let start = Instant::now();
             let elapsed = loop {
                 let exec = ctx.fuzz_once(app, preset, derive_seed(base, seed_no));
                 seed_no += 1;
-                runs += 1;
-                events += exec.dispatched;
+                telemetry.record_exec(exec.dispatched, exec.finding.is_some());
                 let elapsed = start.elapsed();
                 if elapsed >= cfg.window {
                     break elapsed;
                 }
             };
+            let (runs_after, events_after) = scrape(&registry);
             arms.push(ArmThroughput {
                 app: app.clone(),
                 preset: preset_name,
-                runs,
-                events,
+                runs: runs_after - runs_before,
+                events: events_after - events_before,
                 elapsed,
             });
         }
@@ -253,11 +252,5 @@ mod tests {
         cfg.apps = vec!["NOPE".into()];
         let err = measure(&cfg).unwrap_err();
         assert!(err.contains("NOPE"), "{err}");
-    }
-
-    #[test]
-    fn json_escape_handles_specials() {
-        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
-        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }

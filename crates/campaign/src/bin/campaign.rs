@@ -4,6 +4,7 @@
 //! campaign [--threads N] [--budget N] [--apps KUE,MKD,...] [--corpus DIR]
 //!          [--deadline-secs S] [--no-shrink] [--replay-checks N]
 //!          [--seed N] [--verify DIR] [--list]
+//!          [--metrics-out PATH] [--trace-out PATH] [--obs-level LEVEL]
 //!          [--bench-execs] [--bench-window-ms N] [--bench-warmup-ms N]
 //!          [--bench-out PATH]
 //! ```
@@ -25,6 +26,12 @@ const USAGE: &str = "usage: campaign [options]
   --seed N           base environment seed (default 1)
   --verify DIR       replay every corpus entry in DIR and exit
   --list             list known bug abbreviations and exit
+  --metrics-out PATH write nodefz-metrics-v1 telemetry snapshots to PATH,
+                     refreshed every ~500ms and finalized at drain
+  --trace-out PATH   after the campaign, record one instrumented run as a
+                     chrome://tracing timeline (needs an obs-feature build)
+  --obs-level LEVEL  worker loop profiling: off | counters | full
+                     (default off; above off needs an obs-feature build)
   --bench-execs      measure execs/sec per (app, preset) and exit
   --bench-window-ms N  measurement window per arm (default 400)
   --bench-warmup-ms N  warmup per arm, excluded from measurement (default 100)
@@ -108,6 +115,13 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
             }
             "--verify" => alt.verify = Some(value("--verify")?),
             "--list" => alt.list = true,
+            "--metrics-out" => cfg.metrics_out = Some(value("--metrics-out")?.into()),
+            "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.into()),
+            "--obs-level" => {
+                let spelled = value("--obs-level")?;
+                cfg.obs_level = nodefz_obs::ObsLevel::parse(&spelled)
+                    .ok_or_else(|| format!("--obs-level: unknown level '{spelled}'"))?;
+            }
             "--bench-execs" => bench = true,
             "--bench-window-ms" => {
                 bench_opts.window_ms = value("--bench-window-ms")?
@@ -279,6 +293,12 @@ fn main() -> ExitCode {
     match outcome {
         Ok(report_data) => {
             print!("{}", report::render_summary(&report_data));
+            if let Some(path) = &cfg.metrics_out {
+                println!("wrote metrics {}", path.display());
+            }
+            if let Some(path) = &cfg.trace_out {
+                println!("wrote trace {}", path.display());
+            }
             ExitCode::SUCCESS
         }
         Err(message) => {

@@ -3,6 +3,8 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use nodefz_obs::ObsLevel;
+
 /// The fuzz parameterizations a campaign cycles through, by preset index.
 ///
 /// Each (app, preset) pair is one bandit arm; the allocator shifts budget
@@ -38,6 +40,20 @@ pub struct CampaignConfig {
     pub corpus_dir: Option<PathBuf>,
     /// Base environment seed; per-run seeds are derived deterministically.
     pub base_seed: u64,
+    /// Where to write periodic `nodefz-metrics-v1` telemetry snapshots
+    /// (`None` = no snapshots). Controller-side telemetry — arms,
+    /// discovery curve, per-arm diversity — is collected whenever this is
+    /// set; loop-phase timings additionally require the `obs` build and
+    /// [`CampaignConfig::obs_level`] above [`ObsLevel::Off`].
+    pub metrics_out: Option<PathBuf>,
+    /// Where to write a chrome://tracing timeline of one dedicated
+    /// instrumented run after the campaign drains (`None` = no trace).
+    /// Requires a build with the `obs` feature.
+    pub trace_out: Option<PathBuf>,
+    /// Runtime telemetry dial for worker runs. Above [`ObsLevel::Off`]
+    /// the workers profile loop phases and per-kind dispatches into the
+    /// metrics registry; requires a build with the `obs` feature.
+    pub obs_level: ObsLevel,
 }
 
 impl Default for CampaignConfig {
@@ -51,6 +67,9 @@ impl Default for CampaignConfig {
             replay_checks: 10,
             corpus_dir: None,
             base_seed: 1,
+            metrics_out: None,
+            trace_out: None,
+            obs_level: ObsLevel::Off,
         }
     }
 }
@@ -79,6 +98,22 @@ impl CampaignConfig {
                 ));
             }
         }
+        if cfg!(not(feature = "obs")) {
+            if self.trace_out.is_some() {
+                return Err(
+                    "--trace-out needs loop instrumentation, which this binary was built \
+                     without (rebuild with --features nodefz-campaign/obs)"
+                        .into(),
+                );
+            }
+            if !self.obs_level.is_off() {
+                return Err(format!(
+                    "--obs-level {} needs loop instrumentation, which this binary was built \
+                     without (rebuild with --features nodefz-campaign/obs)",
+                    self.obs_level.label()
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -103,6 +138,35 @@ mod tests {
         };
         let err = cfg.validate().unwrap_err();
         assert!(err.contains("NOPE"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_needing_instrumentation_is_rejected_in_a_bare_build() {
+        let base = CampaignConfig {
+            apps: vec!["KUE".into()],
+            ..CampaignConfig::default()
+        };
+        let traced = CampaignConfig {
+            trace_out: Some("trace.json".into()),
+            ..base.clone()
+        };
+        let leveled = CampaignConfig {
+            obs_level: ObsLevel::Counters,
+            ..base.clone()
+        };
+        // Metrics snapshots never require the instrumented build.
+        let metrics = CampaignConfig {
+            metrics_out: Some("metrics.json".into()),
+            ..base
+        };
+        metrics.validate().unwrap();
+        if cfg!(feature = "obs") {
+            traced.validate().unwrap();
+            leveled.validate().unwrap();
+        } else {
+            assert!(traced.validate().unwrap_err().contains("--trace-out"));
+            assert!(leveled.validate().unwrap_err().contains("--obs-level"));
+        }
     }
 
     #[test]

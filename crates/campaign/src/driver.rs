@@ -25,13 +25,24 @@ use std::time::{Duration, Instant};
 
 use nodefz::{DecisionTrace, Mode, ReplayStatusHandle, TraceHandle};
 use nodefz_apps::common::{RunCfg, Variant};
+use nodefz_rt::TypeSchedule;
 use nodefz_trace::BugSignature;
 
 use crate::bandit::{Arm, Bandit};
 use crate::config::{preset_params, CampaignConfig, PRESETS};
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::dedup::{BugRecord, Deduper, Finding};
+use crate::metrics::{self, Discovery, WorkerTelemetry};
 use crate::shrink::shrink;
+
+/// How many early runs of each arm have their type schedule sampled for
+/// the per-arm diversity summary in `--metrics-out` snapshots. Pairwise
+/// Levenshtein is quadratic in samples, so the curve stays cheap.
+const SCHEDULE_SAMPLES: u64 = 8;
+
+/// How often the controller rewrites the `--metrics-out` snapshot while
+/// the campaign runs (a final snapshot is always written at the end).
+const METRICS_INTERVAL: Duration = Duration::from_millis(500);
 
 /// One unit of worker work.
 enum Job {
@@ -40,6 +51,9 @@ enum Job {
         app: String,
         preset: usize,
         env_seed: u64,
+        /// Whether to ship the run's type schedule back for the per-arm
+        /// diversity summary (the first few runs of each arm).
+        want_schedule: bool,
     },
     /// Minimize a manifesting trace, then acceptance-replay it.
     Shrink {
@@ -58,6 +72,8 @@ enum Msg {
         app: String,
         preset: usize,
         finding: Option<Finding>,
+        /// The run's type schedule, when the job asked for it.
+        schedule: Option<TypeSchedule>,
     },
     ShrinkDone {
         signature: BugSignature,
@@ -191,6 +207,8 @@ pub struct FuzzExec {
     pub finding: Option<Finding>,
     /// Callbacks dispatched during the run.
     pub dispatched: u64,
+    /// The run's type schedule, when sampling was requested.
+    pub schedule: Option<TypeSchedule>,
 }
 
 /// Per-worker reusable execution state: the campaign/bench hot path.
@@ -206,6 +224,10 @@ pub struct FuzzExec {
 pub struct RunContext {
     pool: nodefz_rt::LoopPool,
     handle: TraceHandle,
+    /// Loop-observability handle attached to every fuzz run (profiling
+    /// only — it never changes seeds, decisions, or schedules).
+    #[cfg(feature = "obs")]
+    obs: Option<nodefz_rt::ObsHandle>,
 }
 
 impl Default for RunContext {
@@ -220,26 +242,51 @@ impl RunContext {
         RunContext {
             pool: nodefz_rt::LoopPool::new(),
             handle: TraceHandle::fresh(),
+            #[cfg(feature = "obs")]
+            obs: None,
         }
+    }
+
+    /// Attaches a loop-observability handle to every subsequent fuzz run.
+    #[cfg(feature = "obs")]
+    pub fn set_obs(&mut self, obs: nodefz_rt::ObsHandle) {
+        self.obs = Some(obs);
     }
 
     /// Runs one fuzz job: the buggy variant under a recording fuzz
     /// scheduler. Unknown apps count as a non-manifesting run.
     pub fn fuzz_once(&mut self, app: &str, preset: usize, env_seed: u64) -> FuzzExec {
+        self.fuzz_once_sampled(app, preset, env_seed, false)
+    }
+
+    /// Like [`RunContext::fuzz_once`], optionally cloning the run's type
+    /// schedule out for diversity telemetry.
+    pub fn fuzz_once_sampled(
+        &mut self,
+        app: &str,
+        preset: usize,
+        env_seed: u64,
+        want_schedule: bool,
+    ) -> FuzzExec {
         let Some(case) = nodefz_apps::by_abbr(app) else {
             return FuzzExec {
                 finding: None,
                 dispatched: 0,
+                schedule: None,
             };
         };
         // The recording scheduler resets the shared handle in place, so
         // reusing it across runs keeps the decision buffer's capacity.
         let mode = Mode::Record(preset_params(preset), self.handle.clone());
-        let out = case.run(
-            &RunCfg::new(mode, env_seed).pooled(&self.pool),
-            Variant::Buggy,
-        );
+        #[allow(unused_mut)]
+        let mut run_cfg = RunCfg::new(mode, env_seed).pooled(&self.pool);
+        #[cfg(feature = "obs")]
+        if let Some(obs) = &self.obs {
+            run_cfg = run_cfg.observed(obs);
+        }
+        let out = case.run(&run_cfg, Variant::Buggy);
         let dispatched = out.report.dispatched;
+        let schedule = want_schedule.then(|| out.report.schedule.clone());
         let finding = out.manifested.then(|| Finding {
             app: app.to_string(),
             preset,
@@ -251,6 +298,7 @@ impl RunContext {
         FuzzExec {
             finding,
             dispatched,
+            schedule,
         }
     }
 }
@@ -287,21 +335,37 @@ pub fn verify_entry(entry: &CorpusEntry) -> Result<(), String> {
     }
 }
 
-fn worker_loop(queue: Arc<SeedQueue>, me: usize, stop: Arc<AtomicBool>, tx: mpsc::Sender<Msg>) {
+fn worker_loop(
+    queue: Arc<SeedQueue>,
+    me: usize,
+    stop: Arc<AtomicBool>,
+    tx: mpsc::Sender<Msg>,
+    telemetry: WorkerTelemetry,
+) {
     let mut ctx = RunContext::new();
+    // In instrumented builds above `off`, every fuzz run on this worker is
+    // profiled through a thread-local handle (`Rc`-based, so it is created
+    // here, not shipped across the spawn) and flushed into the shard.
+    #[cfg(feature = "obs")]
+    if let Some(obs) = telemetry.obs() {
+        ctx.set_obs(obs.clone());
+    }
     loop {
         match queue.pop(me) {
             Some(Job::Fuzz {
                 app,
                 preset,
                 env_seed,
+                want_schedule,
             }) => {
-                let finding = ctx.fuzz_once(&app, preset, env_seed).finding;
+                let exec = ctx.fuzz_once_sampled(&app, preset, env_seed, want_schedule);
+                telemetry.record_exec(exec.dispatched, exec.finding.is_some());
                 if tx
                     .send(Msg::FuzzDone {
                         app,
                         preset,
-                        finding,
+                        finding: exec.finding,
+                        schedule: exec.schedule,
                     })
                     .is_err()
                 {
@@ -404,6 +468,11 @@ pub fn run_with_progress(
     let mut bandit = Bandit::new(arms);
     let mut deduper = Deduper::new();
 
+    // One registry shard per worker: fuzz executions record into their
+    // own shard with relaxed atomic adds; snapshots fold them here.
+    let (registry, metric_ids) = metrics::build_registry(cfg.threads);
+    let telemetry_on = cfg.metrics_out.is_some();
+
     let queue = Arc::new(SeedQueue::new(cfg.threads));
     let stop = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<Msg>();
@@ -412,9 +481,15 @@ pub fn run_with_progress(
             let queue = queue.clone();
             let stop = stop.clone();
             let tx = tx.clone();
+            let shard = registry.shard(me);
+            let ids = metric_ids.clone();
+            let level = cfg.obs_level;
             std::thread::Builder::new()
                 .name(format!("campaign-{me}"))
-                .spawn(move || worker_loop(queue, me, stop, tx))
+                .spawn(move || {
+                    let telemetry = WorkerTelemetry::new(shard, ids, level);
+                    worker_loop(queue, me, stop, tx, telemetry)
+                })
                 .expect("spawn worker")
         })
         .collect();
@@ -428,6 +503,12 @@ pub fn run_with_progress(
     let mut next_slot = 0usize;
     // (original trace length, for the final summary) keyed by signature.
     let mut originals: Vec<(BugSignature, usize)> = Vec::new();
+    // Telemetry series the controller owns: the discovery curve and the
+    // per-arm schedule samples feeding the diversity summary.
+    let mut discovery: Vec<Discovery> = Vec::new();
+    let mut arm_schedules: std::collections::HashMap<(String, usize), Vec<TypeSchedule>> =
+        std::collections::HashMap::new();
+    let mut last_metrics = Instant::now();
 
     // Deep enough that sub-millisecond runs never starve a worker while a
     // completion round-trips through the controller; shallow enough that
@@ -439,6 +520,9 @@ pub fn run_with_progress(
         let arm = bandit.pick();
         let pull = arm_pulls.entry((arm.app.clone(), arm.preset)).or_insert(0);
         let env_seed = derive_seed(arm_base(cfg.base_seed, &arm), *pull);
+        // Sample the first few runs of each arm for diversity. Decided by
+        // pull index, so sampling is as deterministic as the seed stream.
+        let want_schedule = telemetry_on && *pull < SCHEDULE_SAMPLES;
         *pull += 1;
         queue.push(
             *next_slot,
@@ -446,6 +530,7 @@ pub fn run_with_progress(
                 app: arm.app,
                 preset: arm.preset,
                 env_seed,
+                want_schedule,
             },
         );
         *next_slot += 1;
@@ -478,9 +563,16 @@ pub fn run_with_progress(
                 app,
                 preset,
                 finding,
+                schedule,
             } => {
                 completed += 1;
                 let arm = Arm { app, preset };
+                if let Some(schedule) = schedule {
+                    arm_schedules
+                        .entry((arm.app.clone(), arm.preset))
+                        .or_default()
+                        .push(schedule);
+                }
                 let mut new_bugs = 0;
                 if let Some(finding) = finding {
                     let env_seed = finding.env_seed;
@@ -491,6 +583,16 @@ pub fn run_with_progress(
                         on_event(&Event::NewBug {
                             signature: signature.clone(),
                             env_seed,
+                        });
+                        discovery.push(Discovery {
+                            signature: signature.to_string(),
+                            app: arm.app.clone(),
+                            site: signature.site.clone(),
+                            // `completed` only moves forward and at most
+                            // one signature is new per run, so the curve
+                            // is monotone by construction.
+                            first_exec: completed,
+                            first_ms: start.elapsed().as_millis() as u64,
                         });
                         originals.push((signature.clone(), trace.decisions.len()));
                         queue.push(
@@ -533,11 +635,46 @@ pub fn run_with_progress(
                 deduper.attach_shrunk(&signature, shrunk, replays_ok);
             }
         }
+        if let Some(path) = &cfg.metrics_out {
+            if last_metrics.elapsed() >= METRICS_INTERVAL {
+                last_metrics = Instant::now();
+                write_metrics(
+                    path,
+                    cfg,
+                    start,
+                    false,
+                    &bandit,
+                    &arm_schedules,
+                    &discovery,
+                    &registry,
+                    deduper.records().len() as u64,
+                )?;
+            }
+        }
     }
 
     stop.store(true, Ordering::Release);
     for w in workers {
         let _ = w.join();
+    }
+
+    // Workers are quiescent: the final snapshot is exact, not sampled.
+    if let Some(path) = &cfg.metrics_out {
+        write_metrics(
+            path,
+            cfg,
+            start,
+            true,
+            &bandit,
+            &arm_schedules,
+            &discovery,
+            &registry,
+            deduper.records().len() as u64,
+        )?;
+    }
+    #[cfg(feature = "obs")]
+    if let Some(path) = &cfg.trace_out {
+        write_trace(path, cfg)?;
     }
 
     if let Some(corpus) = &corpus {
@@ -592,6 +729,58 @@ pub fn run(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
     run_with_progress(cfg, |_| {})
 }
 
+/// Scrapes the registry and writes one `nodefz-metrics-v1` document.
+#[allow(clippy::too_many_arguments)]
+fn write_metrics(
+    path: &std::path::Path,
+    cfg: &CampaignConfig,
+    start: Instant,
+    finished: bool,
+    bandit: &Bandit,
+    arm_schedules: &std::collections::HashMap<(String, usize), Vec<TypeSchedule>>,
+    discovery: &[Discovery],
+    registry: &nodefz_obs::Registry,
+    unique_bugs: u64,
+) -> Result<(), String> {
+    let snapshot = metrics::collect(
+        start.elapsed(),
+        cfg.budget,
+        unique_bugs,
+        finished,
+        &bandit.snapshot(),
+        |app, preset| {
+            arm_schedules
+                .get(&(app.to_string(), preset))
+                .cloned()
+                .unwrap_or_default()
+        },
+        discovery,
+        &registry.snapshot(),
+    );
+    std::fs::write(path, snapshot.to_json())
+        .map_err(|e| format!("metrics: cannot write {}: {e}", path.display()))
+}
+
+/// Runs one dedicated instrumented execution after the campaign drains and
+/// writes its loop-phase/callback timeline as a chrome://tracing document
+/// (loadable in Perfetto). Workers never collect per-event traces — one
+/// representative run is cheap and its schedule is deterministic: the
+/// first app, the first preset, the arm's first derived seed.
+#[cfg(feature = "obs")]
+fn write_trace(path: &std::path::Path, cfg: &CampaignConfig) -> Result<(), String> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let app = cfg.apps.first().expect("validated: at least one app");
+    let sink = Rc::new(RefCell::new(nodefz_obs::ChromeTrace::new()));
+    let mut ctx = RunContext::new();
+    ctx.set_obs(nodefz_rt::ObsHandle::with_sink(sink.clone()));
+    let env_seed = derive_seed(arm_seed(cfg.base_seed, app, 0), 0);
+    ctx.fuzz_once(app, 0, env_seed);
+    let json = sink.borrow().to_json();
+    std::fs::write(path, json).map_err(|e| format!("trace: cannot write {}: {e}", path.display()))
+}
+
 fn record_to_entry(record: &BugRecord) -> CorpusEntry {
     CorpusEntry {
         app: record.first.app.clone(),
@@ -630,6 +819,7 @@ mod tests {
                     app: "KUE".into(),
                     preset: 0,
                     env_seed: i,
+                    want_schedule: false,
                 },
             );
         }

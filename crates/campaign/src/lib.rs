@@ -25,6 +25,7 @@ pub mod bench;
 pub mod config;
 pub mod corpus;
 pub mod dedup;
+pub mod metrics;
 pub mod report;
 pub mod shrink;
 
@@ -37,4 +38,5 @@ pub use dedup::{BugRecord, Deduper, Finding};
 pub use driver::{
     run, run_with_progress, verify_entry, BugSummary, CampaignReport, Event, FuzzExec, RunContext,
 };
+pub use metrics::{ArmMetrics, Discovery, MetricsSnapshot, PhaseMetrics};
 pub use shrink::{shrink, ShrinkResult};

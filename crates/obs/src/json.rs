@@ -1,0 +1,243 @@
+//! A dependency-free JSON emitter.
+//!
+//! The workspace cannot pull serde in an offline build, and before this
+//! crate each report hand-rolled its own `format!` JSON (the bench
+//! report, the repro corpus). [`JsonWriter`] centralizes the structural
+//! bookkeeping — comma placement, nesting, string escaping — while the
+//! callers keep full control over field order, so existing report shapes
+//! are preserved byte-for-byte where tests pin them.
+
+/// An append-only JSON writer with automatic comma placement.
+///
+/// Values are written depth-first: open a container, write fields or
+/// elements, close it. Output uses `": "` after keys and `", "` between
+/// siblings, with no newlines — compact but still grep-friendly.
+///
+/// ```
+/// use nodefz_obs::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.field_str("schema", "nodefz-metrics-v1");
+/// w.key("runs");
+/// w.u64(42);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"schema": "nodefz-metrics-v1", "runs": 42}"#);
+/// ```
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: whether it already has a child (so
+    /// the next sibling needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Starts an empty document.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer and returns the document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any container is still open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn before_value(&mut self) {
+        if let Some(has_child) = self.stack.last_mut() {
+            if *has_child {
+                self.out.push_str(", ");
+            }
+            *has_child = true;
+        }
+    }
+
+    /// Opens an object (`{`), as a field value or array element.
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        assert!(self.stack.pop().is_some(), "end_object with nothing open");
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`), as a field value or array element.
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        assert!(self.stack.pop().is_some(), "end_array with nothing open");
+        self.out.push(']');
+    }
+
+    /// Writes an object key. The next write supplies its value.
+    pub fn key(&mut self, name: &str) {
+        self.before_value();
+        self.write_escaped(name);
+        self.out.push_str(": ");
+        // The value that follows is this key's payload, not a sibling.
+        if let Some(has_child) = self.stack.last_mut() {
+            *has_child = false;
+        }
+    }
+
+    /// Writes a string value.
+    pub fn str(&mut self, v: &str) {
+        self.before_value();
+        self.write_escaped(v);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float with `decimals` digits after the point.
+    ///
+    /// Non-finite values (which JSON cannot represent) are written as
+    /// `null`.
+    pub fn f64(&mut self, v: f64, decimals: usize) {
+        self.before_value();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:.decimals$}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    /// `key` + [`str`](JsonWriter::str).
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.str(v);
+    }
+
+    /// `key` + [`u64`](JsonWriter::u64).
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.key(name);
+        self.u64(v);
+    }
+
+    /// `key` + [`f64`](JsonWriter::f64).
+    pub fn field_f64(&mut self, name: &str, v: f64, decimals: usize) {
+        self.key(name);
+        self.f64(v, decimals);
+    }
+
+    /// `key` + [`bool`](JsonWriter::bool).
+    pub fn field_bool(&mut self, name: &str, v: bool) {
+        self.key(name);
+        self.bool(v);
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures_place_commas_correctly() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("schema", "test-v1");
+        w.key("arms");
+        w.begin_array();
+        for i in 0..2u64 {
+            w.begin_object();
+            w.field_u64("id", i);
+            w.field_f64("score", 0.5, 3);
+            w.end_object();
+        }
+        w.end_array();
+        w.field_bool("done", true);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"schema": "test-v1", "arms": [{"id": 0, "score": 0.500}, {"id": 1, "score": 0.500}], "done": true}"#
+        );
+    }
+
+    #[test]
+    fn strings_escape_specials_and_control_chars() {
+        let mut w = JsonWriter::new();
+        w.str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64(f64::NAN, 2);
+        w.f64(f64::INFINITY, 2);
+        w.f64(1.5, 2);
+        w.end_array();
+        assert_eq!(w.finish(), "[null, null, 1.50]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.end_array();
+        w.key("b");
+        w.begin_object();
+        w.end_object();
+        w.key("c");
+        w.null();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a": [], "b": {}, "c": null}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_rejects_open_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.finish();
+    }
+}

@@ -1,0 +1,102 @@
+//! nodefz-obs: zero-overhead-when-off telemetry for Node.fz campaigns.
+//!
+//! The paper's evaluation is built on observables — bug manifestation
+//! rates (Fig. 6), schedule diversity (Fig. 7), and runtime overhead
+//! (§5.4) — and a long-running fuzzing campaign needs the same signals
+//! continuously, not just in a post-mortem summary. This crate provides
+//! the shared substrate:
+//!
+//! * [`Registry`] / [`ShardHandle`] — a lock-free metrics registry of
+//!   per-worker sharded counters and fixed-bucket histograms. All hot-path
+//!   operations are relaxed `AtomicU64` adds on pre-allocated slots; the
+//!   sharded values are only folded together at scrape time.
+//! * [`ObsLevel`] — the runtime knob layered on top of the compile-time
+//!   `obs` cargo features downstream crates define. The default build
+//!   compiles none of the loop instrumentation at all.
+//! * [`JsonWriter`] — a dependency-free JSON emitter shared by the
+//!   `nodefz-metrics-v1` snapshot writer, the `nodefz-throughput-v1`
+//!   bench report, and the chrome-trace exporter.
+//! * [`ChromeTrace`] (feature `rt`) — a `TraceEventSink` that collects a
+//!   single run's loop-phase and callback timeline in chrome://tracing
+//!   format, loadable in Perfetto.
+
+#![deny(missing_docs)]
+
+mod json;
+mod registry;
+
+#[cfg(feature = "rt")]
+mod chrome;
+
+pub use json::JsonWriter;
+pub use registry::{
+    CounterId, CounterSnapshot, HistogramId, HistogramSnapshot, Registry, RegistryBuilder,
+    RegistrySnapshot, ShardHandle,
+};
+
+#[cfg(feature = "rt")]
+pub use chrome::ChromeTrace;
+
+/// How much telemetry an observed run should collect.
+///
+/// The compile-time `obs` features decide whether instrumentation code
+/// exists at all; `ObsLevel` is the runtime dial on top of it. A binary
+/// built with telemetry compiled in still defaults to [`ObsLevel::Off`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// No telemetry: no registry writes, no phase timing, no trace events.
+    #[default]
+    Off,
+    /// Counters and histograms only (phase timings, dispatch counts,
+    /// campaign gauges). No per-event trace collection.
+    Counters,
+    /// Everything in [`ObsLevel::Counters`] plus per-event chrome-trace
+    /// collection where a sink is attached.
+    Full,
+}
+
+impl ObsLevel {
+    /// Parses the CLI spelling (`off` | `counters` | `full`).
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s {
+            "off" => Some(ObsLevel::Off),
+            "counters" => Some(ObsLevel::Counters),
+            "full" => Some(ObsLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this level.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Counters => "counters",
+            ObsLevel::Full => "full",
+        }
+    }
+
+    /// True when no telemetry should be collected at all.
+    pub fn is_off(&self) -> bool {
+        matches!(self, ObsLevel::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_round_trip_through_their_labels() {
+        for level in [ObsLevel::Off, ObsLevel::Counters, ObsLevel::Full] {
+            assert_eq!(ObsLevel::parse(level.label()), Some(level));
+        }
+        assert_eq!(ObsLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn default_is_off_and_levels_are_ordered() {
+        assert!(ObsLevel::default().is_off());
+        assert!(ObsLevel::Off < ObsLevel::Counters);
+        assert!(ObsLevel::Counters < ObsLevel::Full);
+    }
+}

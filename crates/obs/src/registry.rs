@@ -1,0 +1,426 @@
+//! Lock-free sharded metrics registry.
+//!
+//! Layout is frozen by a [`RegistryBuilder`] before any worker starts;
+//! each worker then owns a [`ShardHandle`] onto its private shard of
+//! pre-allocated `AtomicU64` slots. Hot-path writes are single relaxed
+//! atomic adds — no locks, no heap, no cross-shard traffic. Shards are
+//! folded together only when [`Registry::snapshot`] runs on the
+//! controller thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies a counter registered with [`RegistryBuilder::counter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Identifies a histogram registered with [`RegistryBuilder::histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+struct HistMeta {
+    name: String,
+    /// Strictly increasing upper bounds; bucket `i` counts observations
+    /// `v <= bounds[i]`, with one extra overflow bucket past the end.
+    bounds: Vec<u64>,
+    /// Offset of this histogram's first slot in a shard's histogram
+    /// slab. Slots are `bounds.len() + 1` buckets, then count, then sum.
+    offset: usize,
+}
+
+impl HistMeta {
+    fn slots(&self) -> usize {
+        self.bounds.len() + 3
+    }
+}
+
+struct Layout {
+    counters: Vec<String>,
+    hists: Vec<HistMeta>,
+    hist_slots: usize,
+}
+
+struct ShardData {
+    counters: Box<[AtomicU64]>,
+    hist: Box<[AtomicU64]>,
+}
+
+impl ShardData {
+    fn zeroed(layout: &Layout) -> ShardData {
+        let zeros = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        ShardData {
+            counters: zeros(layout.counters.len()),
+            hist: zeros(layout.hist_slots),
+        }
+    }
+}
+
+/// Declares the metric layout before the registry is built.
+///
+/// Registration is only possible here, not on the live registry: freezing
+/// the layout up front is what lets [`ShardHandle`] index slots without
+/// any synchronization.
+#[derive(Default)]
+pub struct RegistryBuilder {
+    counters: Vec<String>,
+    hists: Vec<(String, Vec<u64>)>,
+}
+
+impl RegistryBuilder {
+    /// Starts an empty layout.
+    pub fn new() -> RegistryBuilder {
+        RegistryBuilder::default()
+    }
+
+    /// Registers a monotonically increasing counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        let id = CounterId(self.counters.len());
+        self.counters.push(name.to_string());
+        id
+    }
+
+    /// Registers a fixed-bucket histogram.
+    ///
+    /// `bounds` are inclusive upper bounds and must be strictly
+    /// increasing; an implicit overflow bucket captures anything above
+    /// the last bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        assert!(!bounds.is_empty(), "histogram {name:?} needs >= 1 bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?} bounds must be strictly increasing"
+        );
+        let id = HistogramId(self.hists.len());
+        self.hists.push((name.to_string(), bounds.to_vec()));
+        id
+    }
+
+    /// Freezes the layout and allocates `shards` independent shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn build(self, shards: usize) -> Registry {
+        assert!(shards > 0, "registry needs >= 1 shard");
+        let mut offset = 0;
+        let hists: Vec<HistMeta> = self
+            .hists
+            .into_iter()
+            .map(|(name, bounds)| {
+                let meta = HistMeta {
+                    name,
+                    bounds,
+                    offset,
+                };
+                offset += meta.slots();
+                meta
+            })
+            .collect();
+        let layout = Arc::new(Layout {
+            counters: self.counters,
+            hists,
+            hist_slots: offset,
+        });
+        let shards = (0..shards)
+            .map(|_| Arc::new(ShardData::zeroed(&layout)))
+            .collect();
+        Registry { layout, shards }
+    }
+}
+
+/// The frozen registry: owns every shard, aggregates at scrape time.
+pub struct Registry {
+    layout: Arc<Layout>,
+    shards: Vec<Arc<ShardData>>,
+}
+
+impl Registry {
+    /// The number of shards this registry was built with.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The write handle for shard `i`. Handles are cheap `Arc` clones and
+    /// `Send`, so each worker thread takes exactly one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> ShardHandle {
+        ShardHandle {
+            layout: Arc::clone(&self.layout),
+            data: Arc::clone(&self.shards[i]),
+        }
+    }
+
+    /// The current cross-shard total of one counter, without a full
+    /// snapshot.
+    pub fn counter_total(&self, id: CounterId) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters[id.0].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Folds every shard into a point-in-time aggregate.
+    ///
+    /// Reads are relaxed: a snapshot taken while workers are writing is a
+    /// consistent-enough monotone view, not a linearizable cut — exactly
+    /// what periodic scraping needs.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .layout
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, name)| CounterSnapshot {
+                name: name.clone(),
+                value: self.counter_total(CounterId(i)),
+            })
+            .collect();
+        let histograms = self
+            .layout
+            .hists
+            .iter()
+            .map(|meta| {
+                let fold = |slot: usize| -> u64 {
+                    self.shards
+                        .iter()
+                        .map(|s| s.hist[meta.offset + slot].load(Ordering::Relaxed))
+                        .sum()
+                };
+                let nbuckets = meta.bounds.len() + 1;
+                HistogramSnapshot {
+                    name: meta.name.clone(),
+                    bounds: meta.bounds.clone(),
+                    buckets: (0..nbuckets).map(fold).collect(),
+                    count: fold(nbuckets),
+                    sum: fold(nbuckets + 1),
+                }
+            })
+            .collect();
+        RegistrySnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// A worker's private write handle onto one shard.
+#[derive(Clone)]
+pub struct ShardHandle {
+    layout: Arc<Layout>,
+    data: Arc<ShardData>,
+}
+
+impl ShardHandle {
+    /// Adds `n` to a counter. One relaxed atomic add.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.data.counters[id.0].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Records one observation in a histogram: three relaxed atomic adds
+    /// (bucket, count, sum), no heap.
+    #[inline]
+    pub fn observe(&self, id: HistogramId, v: u64) {
+        let meta = &self.layout.hists[id.0];
+        let bucket = meta.bounds.partition_point(|b| v > *b);
+        let nbuckets = meta.bounds.len() + 1;
+        self.data.hist[meta.offset + bucket].fetch_add(1, Ordering::Relaxed);
+        self.data.hist[meta.offset + nbuckets].fetch_add(1, Ordering::Relaxed);
+        self.data.hist[meta.offset + nbuckets + 1].fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// One counter's aggregated value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// The name given at registration.
+    pub name: String,
+    /// Sum across all shards.
+    pub value: u64,
+}
+
+/// One histogram's aggregated buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The name given at registration.
+    pub name: String,
+    /// Inclusive upper bounds, as registered.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` bucket counts; the last is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0.0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time aggregate of every registered metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Every counter, in registration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// Every histogram, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_aggregate_across_shards() {
+        let mut b = RegistryBuilder::new();
+        let execs = b.counter("execs");
+        let bugs = b.counter("bugs");
+        let reg = b.build(3);
+        reg.shard(0).add(execs, 5);
+        reg.shard(1).add(execs, 7);
+        reg.shard(2).inc(execs);
+        reg.shard(1).inc(bugs);
+        assert_eq!(reg.counter_total(execs), 13);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("execs"), Some(13));
+        assert_eq!(snap.counter("bugs"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_on_inclusive_upper_bounds() {
+        let mut b = RegistryBuilder::new();
+        let h = b.histogram("lat", &[10, 100, 1000]);
+        let reg = b.build(2);
+        for (shard, v) in [(0, 3), (1, 10), (0, 11), (1, 100), (0, 5000)] {
+            reg.shard(shard).observe(h, v);
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram("lat").unwrap();
+        assert_eq!(hist.buckets, vec![2, 2, 0, 1]);
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.sum, 3 + 10 + 11 + 100 + 5000);
+        assert!((hist.mean() - hist.sum as f64 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let mut b = RegistryBuilder::new();
+        b.histogram("lat", &[1]);
+        let snap = b.build(1).snapshot();
+        assert_eq!(snap.histogram("lat").unwrap().mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_bounds_are_rejected() {
+        RegistryBuilder::new().histogram("bad", &[5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 shard")]
+    fn zero_shards_are_rejected() {
+        RegistryBuilder::new().build(0);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let mut b = RegistryBuilder::new();
+        b.counter("z");
+        b.counter("a");
+        let snap = b.build(1).snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["z", "a"]);
+    }
+
+    /// Satellite: sharded aggregation equals a sequential oracle under
+    /// genuinely concurrent increments.
+    #[test]
+    fn concurrent_sharded_increments_match_sequential_oracle() {
+        nodefz_check::forall("registry_concurrent_oracle", 40, |g| {
+            let shards = 1 + g.below(4) as usize;
+            let mut b = RegistryBuilder::new();
+            let c = b.counter("c");
+            let h = b.histogram("h", &[4, 16, 64]);
+            let reg = b.build(shards);
+
+            // Per-shard scripts drawn up front so the oracle can replay
+            // them sequentially.
+            let scripts: Vec<Vec<(u64, u64)>> = (0..shards)
+                .map(|_| {
+                    let ops = g.below(200) as usize;
+                    (0..ops).map(|_| (g.below(5), g.below(100))).collect()
+                })
+                .collect();
+
+            thread::scope(|scope| {
+                for (i, script) in scripts.iter().enumerate() {
+                    let handle = reg.shard(i);
+                    scope.spawn(move || {
+                        for &(add, val) in script {
+                            handle.add(c, add);
+                            handle.observe(h, val);
+                        }
+                    });
+                }
+            });
+
+            let mut oracle_count = 0u64;
+            let mut oracle_sum = 0u64;
+            let mut oracle_buckets = [0u64; 4];
+            for &(add, val) in scripts.iter().flatten() {
+                oracle_count += add;
+                oracle_sum += val;
+                let idx = [4u64, 16, 64].iter().filter(|b| val > **b).count();
+                oracle_buckets[idx] += 1;
+            }
+
+            let snap = reg.snapshot();
+            assert_eq!(snap.counter("c"), Some(oracle_count));
+            let hist = snap.histogram("h").unwrap();
+            assert_eq!(hist.buckets, oracle_buckets.to_vec());
+            assert_eq!(
+                hist.count,
+                scripts.iter().map(Vec::len).sum::<usize>() as u64
+            );
+            assert_eq!(hist.sum, oracle_sum);
+        });
+    }
+}

@@ -86,7 +86,7 @@ impl EnvQueue {
         self.next_seq = 0;
     }
 
-    #[cfg(test)]
+    /// Scheduled entries (due or not).
     pub fn len(&self) -> usize {
         self.heap.len()
     }

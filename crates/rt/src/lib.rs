@@ -61,6 +61,8 @@ mod ctx;
 mod envq;
 mod error;
 mod looper;
+#[cfg(feature = "obs")]
+pub mod obs;
 mod poll;
 mod pool;
 mod proc;
@@ -74,7 +76,9 @@ mod trace;
 pub use combinators::{series, Barrier, Emitter, ListenerId, SeriesNext, SeriesStep};
 pub use ctx::{Ctx, HandleId};
 pub use error::{AppError, Errno};
-pub use looper::{EventLoop, LoopConfig, LoopPool, RunReport, Termination};
+pub use looper::{EventLoop, LiveCounts, LoopConfig, LoopPool, RunReport, Termination};
+#[cfg(feature = "obs")]
+pub use obs::{LoopObs, ObsHandle, Phase, PhaseProfile, TraceEvent, TraceEventSink};
 pub use poll::{Fd, FdKind, ReadyEntry};
 pub use pool::{PoolStats, TaskId, WorkCtx};
 pub use proc::{ChildSpec, Pid};

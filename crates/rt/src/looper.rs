@@ -11,6 +11,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+#[cfg(feature = "obs")]
+use crate::obs::{ObsHandle, ObsSpan, Phase};
+
 use crate::ctx::{Ctx, HandleId};
 use crate::envq::{EnvAction, EnvQueue};
 use crate::error::AppError;
@@ -23,6 +26,43 @@ use crate::signal::SignalState;
 use crate::time::{VDur, VTime};
 use crate::timers::TimerHeap;
 use crate::trace::{CbKind, TraceRecorder, TypeSchedule};
+
+/// Wraps a loop-phase body in an observability span (feature `obs`).
+/// With the feature off this expands to the bare body: the hot path
+/// compiles exactly as before.
+#[cfg(feature = "obs")]
+macro_rules! phased {
+    ($self:ident, $phase:ident, $body:expr) => {{
+        let span = $self.obs_enter();
+        $body;
+        $self.obs_exit_phase(span, Phase::$phase);
+    }};
+}
+
+#[cfg(not(feature = "obs"))]
+macro_rules! phased {
+    ($self:ident, $phase:ident, $body:expr) => {
+        $body
+    };
+}
+
+/// Wraps one callback dispatch in an observability span (feature `obs`).
+#[cfg(feature = "obs")]
+macro_rules! cb_span {
+    ($self:ident, $kind:expr, $body:expr) => {{
+        let kind = $kind;
+        let span = $self.obs_enter();
+        $body;
+        $self.obs_exit_dispatch(span, kind);
+    }};
+}
+
+#[cfg(not(feature = "obs"))]
+macro_rules! cb_span {
+    ($self:ident, $kind:expr, $body:expr) => {
+        $body
+    };
+}
 
 /// A one-shot queued callback.
 pub(crate) type Job = Box<dyn FnOnce(&mut Ctx<'_>)>;
@@ -162,6 +202,53 @@ impl RunReport {
     }
 }
 
+/// Live-resource counts for one loop, as used by the loop's liveness
+/// check and by the [`LoopPool`] reuse guard.
+///
+/// Everything here must be zero immediately after `LoopState::reset`: a
+/// recycled loop that still holds a handle, watcher, or queued job would
+/// leak one run's state into the next run's schedule (and into any
+/// attached telemetry). [`EventLoop::live_counts`] exposes the same view
+/// for tests and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveCounts {
+    /// Armed timers.
+    pub timers: usize,
+    /// Open descriptors (watchers, pool descriptors, signal fds, …).
+    pub open_fds: usize,
+    /// Queued microtasks (`next_tick`).
+    pub microtasks: usize,
+    /// Queued immediates (`set_immediate`).
+    pub immediates: usize,
+    /// Queued pending-phase callbacks.
+    pub pending: usize,
+    /// Queued close callbacks.
+    pub closing: usize,
+    /// Active idle handles.
+    pub idle: usize,
+    /// Active prepare handles.
+    pub prepare: usize,
+    /// Active check handles.
+    pub check: usize,
+    /// Scheduled environment events.
+    pub env_events: usize,
+    /// Worker-pool tasks waiting to start.
+    pub pool_queued: usize,
+    /// Worker-pool tasks in flight.
+    pub pool_running: usize,
+    /// Worker-pool completions awaiting delivery (mux + demux).
+    pub pool_done: usize,
+    /// Running child processes.
+    pub children: usize,
+}
+
+impl LiveCounts {
+    /// Whether nothing is live.
+    pub fn is_zero(&self) -> bool {
+        *self == LiveCounts::default()
+    }
+}
+
 pub(crate) struct LoopState {
     pub cfg: LoopConfig,
     pub now: VTime,
@@ -260,6 +347,34 @@ impl LoopState {
         self.ready_scratch.clear();
         self.repeat_scratch.clear();
         self.cfg = cfg;
+        // Pool-reuse guard: a reset that leaves any handle, watcher, or
+        // queued job live would leak one run's state into the next. Each
+        // sub-reset above is supposed to clear its module; this checks the
+        // composition whenever a loop is recycled in a debug build.
+        debug_assert!(
+            self.live_counts().is_zero(),
+            "LoopState::reset left live resources: {:?}",
+            self.live_counts()
+        );
+    }
+
+    fn live_counts(&self) -> LiveCounts {
+        LiveCounts {
+            timers: self.timers.len(),
+            open_fds: self.poll.open_count(),
+            microtasks: self.micro.len(),
+            immediates: self.immediates.len(),
+            pending: self.pending.len(),
+            closing: self.closing.len(),
+            idle: self.idle.active(),
+            prepare: self.prepare.active(),
+            check: self.check.active(),
+            env_events: self.env.len(),
+            pool_queued: self.pool.queue.len(),
+            pool_running: self.pool.running.len(),
+            pool_done: self.pool.done_mux.len() + self.pool.done_demux.len(),
+            children: self.procs.running(),
+        }
     }
 
     pub fn stats_submitted(&mut self) {
@@ -377,6 +492,9 @@ pub struct EventLoop {
     pool_mode: PoolMode,
     /// Pool the state returns to when the loop is dropped.
     home: Option<LoopPool>,
+    /// Attached observability, if any (compile-time feature `obs`).
+    #[cfg(feature = "obs")]
+    obs: Option<ObsHandle>,
 }
 
 impl EventLoop {
@@ -394,6 +512,8 @@ impl EventLoop {
             sched,
             pool_mode,
             home: None,
+            #[cfg(feature = "obs")]
+            obs: None,
         }
     }
 
@@ -420,12 +540,61 @@ impl EventLoop {
             sched,
             pool_mode,
             home: Some(pool.clone()),
+            #[cfg(feature = "obs")]
+            obs: None,
         }
     }
 
     /// Name of the installed scheduler.
     pub fn scheduler_name(&self) -> &'static str {
         self.sched.name()
+    }
+
+    /// Counts of everything currently keeping this loop alive.
+    ///
+    /// Freshly constructed (or pool-recycled) loops report all zeros;
+    /// the [`LoopPool`] reuse guard asserts exactly that in debug builds.
+    pub fn live_counts(&self) -> LiveCounts {
+        self.st.live_counts()
+    }
+
+    /// Attaches an observability handle: subsequent phases and dispatches
+    /// are profiled into it (and forwarded to its sink, if any).
+    ///
+    /// Only available with the `obs` feature; without it the loop carries
+    /// no instrumentation at all.
+    #[cfg(feature = "obs")]
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// Detaches the observability handle, if one was attached.
+    #[cfg(feature = "obs")]
+    pub fn clear_obs(&mut self) {
+        self.obs = None;
+    }
+
+    #[cfg(feature = "obs")]
+    fn obs_enter(&self) -> ObsSpan {
+        self.obs
+            .as_ref()
+            .map(|_| (self.st.now, std::time::Instant::now()))
+    }
+
+    #[cfg(feature = "obs")]
+    fn obs_exit_phase(&mut self, span: ObsSpan, phase: Phase) {
+        if let (Some(obs), Some((start, wall))) = (&self.obs, span) {
+            let wall_ns = wall.elapsed().as_nanos() as u64;
+            obs.record_phase(phase, start, self.st.now, wall_ns);
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    fn obs_exit_dispatch(&mut self, span: ObsSpan, kind: CbKind) {
+        if let (Some(obs), Some((start, wall))) = (&self.obs, span) {
+            let wall_ns = wall.elapsed().as_nanos() as u64;
+            obs.record_dispatch(kind, start, self.st.now, wall_ns);
+        }
     }
 
     /// Runs a setup closure with a loop context before (or between) runs.
@@ -474,48 +643,54 @@ impl EventLoop {
 
     fn iterate(&mut self) {
         self.st.iter += 1;
-        self.timer_phase();
+        phased!(self, Timers, self.timer_phase());
         if self.st.stopped {
             return;
         }
-        self.pending_phase();
-        self.repeat_phase(CbKind::Idle);
-        self.repeat_phase(CbKind::Prepare);
+        phased!(self, Pending, self.pending_phase());
+        phased!(self, Idle, self.repeat_phase(CbKind::Idle));
+        phased!(self, Prepare, self.repeat_phase(CbKind::Prepare));
         if self.st.stopped {
             return;
         }
-        self.poll_phase();
+        phased!(self, Poll, self.poll_phase());
         if self.st.stopped {
             return;
         }
-        self.check_phase();
-        self.repeat_phase(CbKind::Check);
+        phased!(self, Check, {
+            self.check_phase();
+            self.repeat_phase(CbKind::Check);
+        });
         if self.st.stopped {
             return;
         }
-        self.close_phase();
+        phased!(self, Close, self.close_phase());
     }
 
     fn run_traced_job(&mut self, kind: CbKind, job: Job) {
         self.st.trace.record(kind);
-        {
-            let mut cx = Ctx { st: &mut self.st };
-            job(&mut cx);
-        }
-        let cost = self.st.cb_cost();
-        self.st.now += cost;
-        self.drain_micro();
+        cb_span!(self, kind, {
+            {
+                let mut cx = Ctx { st: &mut self.st };
+                job(&mut cx);
+            }
+            let cost = self.st.cb_cost();
+            self.st.now += cost;
+            self.drain_micro();
+        });
     }
 
     fn run_traced_repeat(&mut self, kind: CbKind, cb: RepeatCb) {
         self.st.trace.record(kind);
-        {
-            let mut cx = Ctx { st: &mut self.st };
-            (cb.borrow_mut())(&mut cx);
-        }
-        let cost = self.st.cb_cost();
-        self.st.now += cost;
-        self.drain_micro();
+        cb_span!(self, kind, {
+            {
+                let mut cx = Ctx { st: &mut self.st };
+                (cb.borrow_mut())(&mut cx);
+            }
+            let cost = self.st.cb_cost();
+            self.st.now += cost;
+            self.drain_micro();
+        });
     }
 
     fn drain_micro(&mut self) {
@@ -641,19 +816,24 @@ impl EventLoop {
     }
 
     /// Delivers every environment event due at or before the current time.
+    ///
+    /// Profiled as [`Phase::Demux`]; note it runs nested inside the poll
+    /// phase, so its time is a subset of the poll profile's.
     fn drain_env(&mut self) {
-        while let Some(entry) = self.st.env.pop_due(self.st.now) {
-            debug_assert!(entry.at <= self.st.now);
-            match entry.action {
-                EnvAction::TaskFinish(id) => self.finish_task(id),
-                EnvAction::PoolWakeup => { /* pump below */ }
-                EnvAction::Custom(job) => {
-                    let mut cx = Ctx { st: &mut self.st };
-                    job(&mut cx);
+        phased!(self, Demux, {
+            while let Some(entry) = self.st.env.pop_due(self.st.now) {
+                debug_assert!(entry.at <= self.st.now);
+                match entry.action {
+                    EnvAction::TaskFinish(id) => self.finish_task(id),
+                    EnvAction::PoolWakeup => { /* pump below */ }
+                    EnvAction::Custom(job) => {
+                        let mut cx = Ctx { st: &mut self.st };
+                        job(&mut cx);
+                    }
                 }
             }
-        }
-        self.pump_pool();
+            self.pump_pool();
+        });
     }
 
     /// Executes a finished task's body and stages its done callback.
@@ -669,13 +849,14 @@ impl EventLoop {
             ..
         } = task;
         self.st.trace.record(CbKind::PoolTask);
-        let result = {
+        let result;
+        cb_span!(self, CbKind::PoolTask, {
             let mut wcx = WorkCtx {
                 now: self.st.now,
                 rng: &mut self.st.pool.rng,
             };
-            work(&mut wcx)
-        };
+            result = work(&mut wcx);
+        });
         self.st.pool.stats.executed += 1;
         let completed = CompletedTask { id, done, result };
         match demux_fd {
@@ -880,13 +1061,15 @@ impl EventLoop {
                 let kind = self.st.poll.event_kind(fd);
                 if let Some(cb) = self.st.poll.watcher_cb(fd) {
                     self.st.trace.record(kind);
-                    {
-                        let mut cx = Ctx { st: &mut self.st };
-                        (cb.borrow_mut())(&mut cx, fd);
-                    }
-                    let cost = self.st.cb_cost();
-                    self.st.now += cost;
-                    self.drain_micro();
+                    cb_span!(self, kind, {
+                        {
+                            let mut cx = Ctx { st: &mut self.st };
+                            (cb.borrow_mut())(&mut cx, fd);
+                        }
+                        let cost = self.st.cb_cost();
+                        self.st.now += cost;
+                        self.drain_micro();
+                    });
                 }
             }
         }
@@ -895,13 +1078,15 @@ impl EventLoop {
     fn run_done(&mut self, task: CompletedTask) {
         self.st.pool.stats.completed += 1;
         self.st.trace.record(CbKind::PoolDone);
-        {
-            let mut cx = Ctx { st: &mut self.st };
-            (task.done)(&mut cx, task.result);
-        }
-        let cost = self.st.cb_cost();
-        self.st.now += cost;
-        self.drain_micro();
+        cb_span!(self, CbKind::PoolDone, {
+            {
+                let mut cx = Ctx { st: &mut self.st };
+                (task.done)(&mut cx, task.result);
+            }
+            let cost = self.st.cb_cost();
+            self.st.now += cost;
+            self.drain_micro();
+        });
     }
 }
 

@@ -48,6 +48,15 @@ pub enum CbKind {
 }
 
 impl CbKind {
+    /// The number of distinct kinds (the length of [`CbKind::all`]).
+    pub const COUNT: usize = 17;
+
+    /// Returns this kind's index in [`CbKind::all`] order, for dense
+    /// per-kind tables.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Returns a compact one-byte code used by distance computations.
     pub fn code(self) -> u8 {
         match self {
@@ -234,6 +243,14 @@ impl TraceRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn indexes_match_all_order() {
+        assert_eq!(CbKind::all().len(), CbKind::COUNT);
+        for (i, k) in CbKind::all().iter().enumerate() {
+            assert_eq!(k.index(), i, "{k:?}");
+        }
+    }
 
     #[test]
     fn codes_are_unique() {

@@ -1,0 +1,106 @@
+//! Regression tests for the `LoopPool` reuse blind spot: a recycled
+//! loop state must report zero live handles and watchers, no matter how
+//! dirty the previous run left it. `LoopState::reset` debug-asserts this
+//! internally; these tests pin the public [`EventLoop::live_counts`]
+//! view from the outside.
+
+use nodefz_rt::{EventLoop, FdKind, LiveCounts, LoopConfig, LoopPool, VDur};
+
+/// Registers one of everything countable, without running the loop.
+fn dirty(el: &mut EventLoop) {
+    el.enter(|cx| {
+        cx.set_timeout(VDur::millis(5), |_| {});
+        cx.set_immediate(|_| {});
+        cx.defer_pending(|_| {});
+        cx.enqueue_close(|_| {});
+        cx.add_idle(|_| {});
+        cx.add_prepare(|_| {});
+        cx.add_check(|_| {});
+        let fd = cx.alloc_fd(FdKind::NetConn).unwrap();
+        cx.register_watcher(fd, |_, _| {}).unwrap();
+        cx.submit_work(VDur::millis(1), |_| (), |_, ()| {}).unwrap();
+        cx.schedule_env(VDur::millis(2), |_| {});
+    });
+}
+
+#[test]
+fn fresh_loop_reports_all_zeros() {
+    let el = EventLoop::new(LoopConfig::seeded(1));
+    assert!(el.live_counts().is_zero());
+    assert_eq!(el.live_counts(), LiveCounts::default());
+}
+
+#[test]
+fn dirty_loop_reports_every_category() {
+    let mut el = EventLoop::new(LoopConfig::seeded(2));
+    dirty(&mut el);
+    let counts = el.live_counts();
+    assert!(!counts.is_zero());
+    assert_eq!(counts.timers, 1);
+    assert_eq!(counts.immediates, 1);
+    assert_eq!(counts.pending, 1);
+    assert_eq!(counts.closing, 1);
+    assert_eq!(counts.idle, 1);
+    assert_eq!(counts.prepare, 1);
+    assert_eq!(counts.check, 1);
+    assert!(counts.open_fds >= 1, "watcher fd must be open");
+    assert_eq!(counts.pool_queued, 1);
+    // submit_work's timer-free env event + schedule_env's custom event.
+    assert!(counts.env_events >= 1);
+    // `enter` drains microtasks on exit, so none are pending here.
+    assert_eq!(counts.microtasks, 0);
+}
+
+#[test]
+fn recycled_state_is_clean_even_after_an_abandoned_run() {
+    let pool = LoopPool::new();
+    {
+        // Dirty a pooled loop and drop it *without running*: everything
+        // registered above goes back to the pool still live.
+        let mut el = EventLoop::with_scheduler_pooled(
+            LoopConfig::seeded(3),
+            Box::new(nodefz_rt::VanillaScheduler::new()),
+            &pool,
+        );
+        dirty(&mut el);
+        assert!(!el.live_counts().is_zero());
+    }
+    assert!(pool.is_primed());
+    // Taking the state back must fully reset it (the debug build also
+    // asserts this inside `LoopState::reset`).
+    let el = EventLoop::with_scheduler_pooled(
+        LoopConfig::seeded(4),
+        Box::new(nodefz_rt::VanillaScheduler::new()),
+        &pool,
+    );
+    assert!(
+        el.live_counts().is_zero(),
+        "recycled loop leaked state: {:?}",
+        el.live_counts()
+    );
+}
+
+#[test]
+fn recycled_state_is_clean_after_a_completed_run() {
+    let pool = LoopPool::new();
+    {
+        let mut el = EventLoop::with_scheduler_pooled(
+            LoopConfig::seeded(5),
+            Box::new(nodefz_rt::VanillaScheduler::new()),
+            &pool,
+        );
+        el.enter(|cx| {
+            cx.set_timeout(VDur::millis(1), |cx| {
+                cx.submit_work(VDur::millis(1), |_| 3u8, |_, _| {}).unwrap();
+            });
+        });
+        let report = el.run();
+        assert_eq!(report.pool.completed, 1);
+    }
+    let el = EventLoop::with_scheduler_pooled(
+        LoopConfig::seeded(6),
+        Box::new(nodefz_rt::VanillaScheduler::new()),
+        &pool,
+    );
+    assert!(el.live_counts().is_zero());
+}

@@ -65,6 +65,51 @@ fn small_campaign_finds_dedups_shrinks_and_persists() {
     std::fs::remove_dir_all(&corpus_dir).unwrap();
 }
 
+/// Only in instrumented builds: worker loop-phase profiling lands in the
+/// metrics document and `--trace-out` emits a chrome://tracing timeline.
+#[test]
+#[cfg(feature = "obs")]
+fn instrumented_campaign_profiles_phases_and_exports_a_trace() {
+    let metrics_path = temp_dir("obs-metrics").with_extension("json");
+    let trace_path = temp_dir("obs-trace").with_extension("json");
+    let cfg = CampaignConfig {
+        threads: 2,
+        budget: 20,
+        apps: vec!["GHO".into()],
+        base_seed: 9,
+        shrink: false,
+        replay_checks: 1,
+        metrics_out: Some(metrics_path.clone()),
+        trace_out: Some(trace_path.clone()),
+        obs_level: nodefz_obs::ObsLevel::Counters,
+        ..CampaignConfig::default()
+    };
+    run(&cfg).expect("campaign runs");
+
+    let doc = std::fs::read_to_string(&metrics_path).unwrap();
+    assert!(
+        doc.contains("\"phase\": \"timers\", \"entries\": "),
+        "phase rows must be populated: {doc}"
+    );
+    assert!(
+        !doc.contains("\"phase\": \"timers\", \"entries\": 0,"),
+        "timer phase must have been profiled: {doc}"
+    );
+    assert!(
+        doc.contains("\"kind\": \"timer\""),
+        "per-kind dispatch counts must be present: {doc}"
+    );
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.contains("\"traceEvents\": ["), "{trace}");
+    assert!(
+        trace.contains("\"ph\": \"X\"") && trace.contains("\"cat\": \"phase\""),
+        "complete events with phase spans expected: {trace}"
+    );
+    std::fs::remove_file(&metrics_path).unwrap();
+    std::fs::remove_file(&trace_path).unwrap();
+}
+
 #[test]
 fn deadline_drains_gracefully() {
     let cfg = CampaignConfig {
@@ -85,6 +130,55 @@ fn deadline_drains_gracefully() {
         "drain must be prompt, took {:?}",
         start.elapsed()
     );
+}
+
+#[test]
+fn metrics_snapshot_is_written_and_telemetry_does_not_perturb_findings() {
+    let metrics_path = temp_dir("metrics").with_extension("json");
+    let run_once = |metrics_out: Option<std::path::PathBuf>| {
+        let cfg = CampaignConfig {
+            threads: 2,
+            budget: 40,
+            apps: vec!["KUE".into(), "GHO".into()],
+            base_seed: 5,
+            shrink: false,
+            replay_checks: 1,
+            metrics_out,
+            ..CampaignConfig::default()
+        };
+        let report = run(&cfg).expect("campaign runs");
+        let mut sigs: Vec<(String, String)> = report
+            .bugs
+            .iter()
+            .map(|b| (b.app.clone(), b.site.clone()))
+            .collect();
+        sigs.sort();
+        sigs
+    };
+
+    let observed = run_once(Some(metrics_path.clone()));
+    let bare = run_once(None);
+    assert_eq!(observed, bare, "telemetry must not change what is found");
+    assert!(!observed.is_empty(), "the planted bugs must be found");
+
+    let doc = std::fs::read_to_string(&metrics_path).expect("snapshot written");
+    for needle in [
+        "\"schema\": \"nodefz-metrics-v1\"",
+        "\"finished\": true",
+        "\"runs\": 40",
+        "\"arms\": [",
+        "\"discovery\": [",
+        "\"first_exec\":",
+        "\"truncation\": 20000",
+        "\"run_dispatched\":",
+    ] {
+        assert!(doc.contains(needle), "snapshot missing {needle}: {doc}");
+    }
+    // Loop-phase rows exist only in instrumented builds at above-off
+    // levels; this campaign ran at the default level, so either way the
+    // array must be present (and the default build keeps it empty).
+    assert!(doc.contains("\"phases\": ["));
+    std::fs::remove_file(&metrics_path).unwrap();
 }
 
 #[test]
