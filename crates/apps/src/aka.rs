@@ -37,6 +37,8 @@ struct AgentState {
 
 impl AgentState {
     fn take_socket(&mut self, cx: &mut Ctx<'_>, variant: Variant) -> Option<u32> {
+        cx.touch_read("aka:agent-state");
+        cx.touch_write("aka:agent-state");
         while let Some(id) = self.free.pop() {
             let alive = *self.open.get(&id).unwrap_or(&false);
             match variant {
@@ -92,11 +94,13 @@ impl BugCase for Aka {
         let a = agent.clone();
         el.enter(move |cx| {
             // A previous request finished on socket 7; it is kept alive.
+            cx.touch_write("aka:agent-state");
             a.borrow_mut().open.insert(7, true);
             // The keep-alive 'timeout' timer returns it to the free list.
             let a_timer = a.clone();
             cx.set_timeout(VDur::millis(4), move |cx| {
                 cx.busy(VDur::micros(50));
+                cx.touch_write("aka:agent-state");
                 a_timer.borrow_mut().free.push(7);
             });
             // The server's FIN arrives right after the keep-alive window:
@@ -105,9 +109,11 @@ impl BugCase for Aka {
             // loop's close phase.
             let a_net = a.clone();
             cx.schedule_env_at(nodefz_rt::VTime::ZERO + VDur::micros(5_400), move |cx| {
+                cx.touch_write("aka:agent-state");
                 a_net.borrow_mut().open.insert(7, false);
                 let a2 = a_net.clone();
-                cx.enqueue_close(move |_cx| {
+                cx.enqueue_close(move |cx| {
+                    cx.touch_write("aka:agent-state");
                     a2.borrow_mut().free.retain(|&s| s != 7);
                 });
             });

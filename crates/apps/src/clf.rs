@@ -32,6 +32,7 @@ struct Logger {
 
 impl Logger {
     fn log(&self, cx: &mut Ctx<'_>, msg: &str) {
+        cx.touch_read("clf:current-file");
         let current = self.current.borrow().clone();
         match current {
             Some(file) => {
@@ -53,8 +54,9 @@ impl Logger {
                         let current = self.current.clone();
                         let line = format!("{msg}\n").into_bytes();
                         let name2 = name.clone();
-                        self.fs.write_file(cx, &name, line, move |_cx, r| {
+                        self.fs.write_file(cx, &name, line, move |cx, r| {
                             if r.is_ok() {
+                                cx.touch_write("clf:current-file");
                                 *current.borrow_mut() = Some(name2);
                             }
                         });

@@ -84,6 +84,11 @@ pub struct RunCfg {
     /// fresh loop per run). Recycling never changes behavior — a pooled
     /// loop is reset to exactly the state a fresh one would have.
     pub pool: Option<LoopPool>,
+    /// Dispatch-provenance event log attached to every loop this config
+    /// builds. Recording reads the run (causes + instrumented accesses);
+    /// it never changes seeds, decisions, or schedules. The `nodefz-hb`
+    /// analyzer consumes the result.
+    pub events: Option<nodefz_rt::EventLogHandle>,
     /// Observability handle attached to every loop this config builds
     /// (compile-time feature `obs`). Profiling reads the run; it never
     /// changes seeds, decisions, or schedules.
@@ -101,6 +106,7 @@ impl RunCfg {
             sched_seed: env_seed.wrapping_mul(0x9E37_79B9).wrapping_add(17),
             trace: true,
             pool: None,
+            events: None,
             #[cfg(feature = "obs")]
             obs: None,
         }
@@ -110,6 +116,15 @@ impl RunCfg {
     #[must_use]
     pub fn pooled(mut self, pool: &LoopPool) -> RunCfg {
         self.pool = Some(pool.clone());
+        self
+    }
+
+    /// Attaches a dispatch-provenance event log to every loop built from
+    /// this configuration. The handle is reset per build; read it back
+    /// with [`nodefz_rt::EventLogHandle::snapshot`] after the run.
+    #[must_use]
+    pub fn events(mut self, events: &nodefz_rt::EventLogHandle) -> RunCfg {
+        self.events = Some(events.clone());
         self
     }
 
@@ -137,6 +152,9 @@ impl RunCfg {
             Some(pool) => self.mode.build_loop_pooled(cfg, self.sched_seed, pool),
             None => self.mode.build_loop(cfg, self.sched_seed),
         };
+        if let Some(events) = &self.events {
+            el.set_event_log(events);
+        }
         #[cfg(feature = "obs")]
         if let Some(obs) = &self.obs {
             el.set_obs(obs.clone());

@@ -72,6 +72,7 @@ impl BugCase for Fps {
                         Variant::Buggy => {
                             // BUGGY control flow: the proxy notes "the"
                             // current request in a shared slot...
+                            cx.touch_write("fps:inflight");
                             *slot.borrow_mut() = Some(conn.clone());
                             let slot = slot.clone();
                             kv.get(cx, "policy:default", move |cx, verdict| {
@@ -79,6 +80,8 @@ impl BugCase for Fps {
                                 // now. A second request that arrived in
                                 // between overwrote it: the first client
                                 // never hears back.
+                                cx.touch_read("fps:inflight");
+                                cx.touch_write("fps:inflight");
                                 let target = slot.borrow_mut().take();
                                 if let (Some(target), Some(v)) = (target, verdict) {
                                     let _ = target.write(cx, v.into_bytes());

@@ -85,6 +85,7 @@ impl BugCase for FpsNovel {
                 let remaining = remaining.clone();
                 let run_assert = run_assert.clone();
                 Rc::new(move |cx: &mut nodefz_rt::Ctx<'_>, is_last: bool| {
+                    cx.touch_update("fps*:completed");
                     *completed.borrow_mut() += 1;
                     match variant {
                         Variant::Buggy => {

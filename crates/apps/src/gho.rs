@@ -75,6 +75,7 @@ impl BugCase for Gho {
                             let kv2 = kv.clone();
                             let who = conn.id();
                             kv.get(cx, &key, move |cx, existing| {
+                                cx.touch_read("gho:user-row");
                                 if existing.is_none() {
                                     cx.busy(VDur::micros(150));
                                     // ...then async insert: the gap is the
@@ -82,6 +83,7 @@ impl BugCase for Gho {
                                     let kv3 = kv2.clone();
                                     kv2.set(cx, &key_inner, "profile", move |cx, ()| {
                                         // One row per successful insert.
+                                        cx.touch_write("gho:user-row");
                                         kv3.set(
                                             cx,
                                             &format!("acct:{name}:{who:?}"),

@@ -76,6 +76,7 @@ impl BugCase for Kue {
                             let kv2 = kv.clone();
                             kv.get(cx, "job:1:state", move |cx, _cur| {
                                 kv2.set(cx, "job:1:state", "failed", move |cx, ()| {
+                                    cx.touch_write("kue:job-state");
                                     then(cx);
                                 });
                             });
@@ -88,6 +89,7 @@ impl BugCase for Kue {
                             kv.get(cx, "job:1:state", move |cx, _cur| {
                                 let kv3 = kv2.clone();
                                 kv2.set(cx, "job:1:state", "delayed", move |cx, ()| {
+                                    cx.touch_write("kue:job-state");
                                     kv3.lpush(cx, "q:delayed", "job:1", |_cx, _| {});
                                 });
                             });

@@ -75,6 +75,7 @@ impl BugCase for KueNovel {
                                 if !won {
                                     return;
                                 }
+                                cx.touch_write("kue*:active-job");
                                 *active.borrow_mut() = Some(1);
                                 let kv3 = kv2.clone();
                                 let active2 = active.clone();
@@ -87,6 +88,8 @@ impl BugCase for KueNovel {
                                             // BUGGY: only release if the
                                             // shared flag says a job is
                                             // still active.
+                                            cx.touch_read("kue*:active-job");
+                                            cx.touch_write("kue*:active-job");
                                             if active2.borrow_mut().take().is_some() {
                                                 kv3.del(cx, "lock:q", |_cx, _| {});
                                             }
@@ -104,6 +107,7 @@ impl BugCase for KueNovel {
                         b"pause" => {
                             // The pause handler assumes any active job has
                             // already finished and clears the flag.
+                            cx.touch_write("kue*:active-job");
                             active.borrow_mut().take();
                         }
                         _ => {}

@@ -94,6 +94,7 @@ impl BugCase for Mgs {
                         let remaining = remaining.clone();
                         let is_last = i == QUERIES - 1;
                         kv.find(cx, &format!("doc:{i}:"), move |cx, _rows| {
+                            cx.touch_update("mgs:filled");
                             *filled.borrow_mut() += 1;
                             match variant {
                                 Variant::Buggy => {

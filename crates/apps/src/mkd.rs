@@ -36,10 +36,17 @@ fn mkdirp(cx: &mut Ctx<'_>, fs: SimFs, path: String, variant: Variant, cb: Level
     let fs2 = fs.clone();
     let path2 = path.clone();
     fs.mkdir(cx, &path, move |cx, r| match r {
-        Ok(()) => cb(cx, Ok(true)),
+        Ok(()) => {
+            cx.touch_write("mkd:fs-tree");
+            cb(cx, Ok(true));
+        }
         // This level already existed (possibly created concurrently).
-        Err(Errno::Eexist) => cb(cx, Ok(false)),
+        Err(Errno::Eexist) => {
+            cx.touch_read("mkd:fs-tree");
+            cb(cx, Ok(false));
+        }
         Err(Errno::Enoent) => {
+            cx.touch_read("mkd:fs-tree");
             // A parent is missing: create it, then retry this level.
             let Some(parent) = parent_of(&path2) else {
                 cb(cx, Err(Errno::Enoent));

@@ -45,6 +45,7 @@ impl BugCase for Nes {
         el.enter(move |cx| {
             n.listen(cx, 80, move |cx, conn| {
                 // Per-connection socket slot, cleared on disconnect.
+                cx.touch_write("nes:socket");
                 let socket: Rc<RefCell<Option<Connection>>> =
                     Rc::new(RefCell::new(Some(conn.clone())));
                 let s_timer = socket.clone();
@@ -53,6 +54,7 @@ impl BugCase for Nes {
                     match variant {
                         Variant::Buggy => {
                             // BUGGY: assumes the socket still exists.
+                            cx.touch_read("nes:socket");
                             let slot = s_timer.borrow();
                             match slot.as_ref() {
                                 Some(sock) => {
@@ -71,7 +73,8 @@ impl BugCase for Nes {
                     }
                 });
                 let s_close = socket.clone();
-                conn.on_close(move |_cx, _conn| {
+                conn.on_close(move |cx, _conn| {
+                    cx.touch_write("nes:socket");
                     *s_close.borrow_mut() = None;
                 });
             })

@@ -70,6 +70,7 @@ impl BugCase for Sio {
                     cx.busy(VDur::micros(150));
                     match msg.as_slice() {
                         b"open:fast" | b"open:slow" => {
+                            cx.touch_read("sio:manager");
                             if m.borrow().closed {
                                 let _ = conn.write(cx, b"rejected".to_vec());
                                 return;
@@ -92,6 +93,8 @@ impl BugCase for Sio {
                                 handshake,
                                 |_| (),
                                 move |cx, ()| {
+                                    cx.touch_read("sio:manager");
+                                    cx.touch_write("sio:manager");
                                     let mut mgr = m2.borrow_mut();
                                     if mgr.closed {
                                         // Manager closed between accepting
@@ -116,6 +119,7 @@ impl BugCase for Sio {
                             );
                         }
                         b"bye" => {
+                            cx.touch_write("sio:manager");
                             let mut mgr = m.borrow_mut();
                             let id = conn.id();
                             mgr.departed.push(id);

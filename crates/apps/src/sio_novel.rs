@@ -51,6 +51,8 @@ impl BugCase for SioNovel {
                 let occ = occ.clone();
                 conn.on_data(move |cx, conn, msg| {
                     cx.busy(VDur::micros(100));
+                    cx.touch_read("sio*:slot");
+                    cx.touch_write("sio*:slot");
                     let mut slot = occ.borrow_mut();
                     if *slot {
                         // Slot taken: this client gets nothing (the
@@ -62,7 +64,8 @@ impl BugCase for SioNovel {
                     let _ = conn.write(cx, [b"served:", msg.as_slice()].concat());
                     // The slot frees once this exchange's session expires.
                     let occ2 = occ.clone();
-                    cx.set_timeout(VDur::micros(1_500), move |_cx| {
+                    cx.set_timeout(VDur::micros(1_500), move |cx| {
+                        cx.touch_write("sio*:slot");
                         *occ2.borrow_mut() = false;
                     });
                 });

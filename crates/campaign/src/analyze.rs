@@ -1,0 +1,310 @@
+//! The `campaign --analyze` pipeline: predict, then confirm.
+//!
+//! Where a fuzzing campaign spends hundreds of runs per app waiting for
+//! an oracle to trip, this pipeline spends *one* recorded vanilla-posture
+//! run per app on the `nodefz-hb` happens-before analysis, then a handful
+//! of race-directed runs confirming each predicted pair:
+//!
+//! ```text
+//! per app: record (nodeNFZ posture) ─► hb analysis ─► predicted races
+//!              │                                          │
+//!              └────────── prefix + cut ──► DirectedSpec ─┘
+//!                                               │
+//!                       directed attempts ─► confirmed BugSignature
+//!                                               │
+//!                nodefz-races-v1 report    deduped corpus repros
+//! ```
+//!
+//! A confirming directed run was recorded, so its decision trace replays
+//! like any fuzz-found repro — confirmed races land in the same corpus
+//! format, deduplicated by the same [`BugSignature`]s.
+
+use std::path::PathBuf;
+
+use nodefz::DirectedSpec;
+use nodefz_hb::{analyze_app, AppAnalysis, RaceInfo};
+use nodefz_trace::BugSignature;
+
+use crate::config::DIRECTED_PRESET;
+use crate::corpus::Corpus;
+use crate::dedup::{Deduper, Finding};
+use crate::driver::{record_to_entry, replays_to, RunContext};
+
+/// How many predicted flips per app the pipelines keep (first pair per
+/// distinct (site, class), a few flip points each). Bounds the directed
+/// budget on apps whose analysis predicts many overlapping pairs.
+const MAX_SPECS_PER_APP: usize = 12;
+
+/// Flip points tried per predicted race, deepest chain ancestor first.
+const MAX_FLIPS_PER_RACE: usize = 4;
+
+/// Everything `campaign --analyze` needs.
+#[derive(Clone, Debug)]
+pub struct AnalyzeConfig {
+    /// Bug abbreviations to analyze.
+    pub apps: Vec<String>,
+    /// Environment seed of the recorded run each analysis consumes.
+    pub env_seed: u64,
+    /// Directed confirmation attempts per predicted race (0 = predict
+    /// only).
+    pub attempts: u64,
+    /// Where to write the `nodefz-races-v1` report (`None` = in-memory
+    /// only).
+    pub races_out: Option<PathBuf>,
+    /// Directory to persist confirmed repros into (`None` = in-memory
+    /// only).
+    pub corpus_dir: Option<PathBuf>,
+    /// Acceptance replays per confirmed repro.
+    pub replay_checks: u32,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> AnalyzeConfig {
+        AnalyzeConfig {
+            apps: Vec::new(),
+            env_seed: 11,
+            attempts: 24,
+            races_out: None,
+            corpus_dir: None,
+            replay_checks: 3,
+        }
+    }
+}
+
+/// One predicted race that a directed run re-manifested.
+#[derive(Clone, Debug)]
+pub struct ConfirmedRace {
+    /// Bug abbreviation.
+    pub app: String,
+    /// Predicted shared site.
+    pub site: String,
+    /// Predicted §3.2 class label ("AV", "OV", "COV").
+    pub class: &'static str,
+    /// The replay-prefix cut the directed scheduler flipped at.
+    pub cut: u64,
+    /// Directed executions spent until the race manifested (1-based).
+    pub execs: u64,
+    /// The manifestation's dedup signature.
+    pub signature: BugSignature,
+}
+
+/// What [`analyze_campaign`] reports.
+#[derive(Debug)]
+pub struct AnalyzeReport {
+    /// Per-app happens-before analyses, in input order.
+    pub analyses: Vec<AppAnalysis>,
+    /// Predicted races a directed run confirmed, deduplicated by
+    /// signature.
+    pub confirmed: Vec<ConfirmedRace>,
+    /// The rendered `nodefz-races-v1` document.
+    pub races_json: String,
+    /// Apps whose analysis failed, with the error rendered (`--analyze`
+    /// keeps going; a corrupt recording should not sink the batch).
+    pub failed: Vec<(String, String)>,
+}
+
+/// Deduplicates an analysis' races down to the directed work list: the
+/// first predicted pair per distinct (site, class), each paired with the
+/// [`DirectedSpec`]s chasing it — one flip per schedulable ancestor on
+/// the earlier event's causal chain ([`RaceInfo::flip_cuts`]), deepest
+/// ancestor first. Deferring the chain's *root* shifts the whole chain
+/// in virtual time, which is what actually inverts the order; flipping
+/// right at the racing access is usually too late, because its side
+/// effects are already in flight through environment hops.
+fn spec_worklist(analysis: &AppAnalysis) -> Vec<(RaceInfo, Vec<DirectedSpec>)> {
+    let mut seen: Vec<(&str, &'static str)> = Vec::new();
+    let mut out: Vec<(RaceInfo, Vec<DirectedSpec>)> = Vec::new();
+    let mut total = 0;
+    for race in &analysis.races {
+        if total >= MAX_SPECS_PER_APP {
+            break;
+        }
+        let key = (race.site.as_str(), race.class.label());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let mut cuts: Vec<u64> = race.flip_cuts.clone();
+        if cuts.is_empty() {
+            cuts.push(race.cut.saturating_sub(1));
+        }
+        cuts.truncate(MAX_FLIPS_PER_RACE.min(MAX_SPECS_PER_APP - total));
+        total += cuts.len();
+        let specs = cuts
+            .into_iter()
+            .map(|cut| DirectedSpec::new(analysis.trace.clone(), cut))
+            .collect();
+        out.push((race.clone(), specs));
+    }
+    out
+}
+
+/// The directed-arm work list for one app: analysis failures and empty
+/// predictions both yield no specs (the campaign driver then skips the
+/// arm).
+pub(crate) fn directed_specs(app: &str, env_seed: u64) -> Vec<DirectedSpec> {
+    let Some(case) = nodefz_apps::by_abbr(app) else {
+        return Vec::new();
+    };
+    match analyze_app(case.as_ref(), env_seed) {
+        Ok(analysis) => spec_worklist(&analysis)
+            .into_iter()
+            .flat_map(|(_, specs)| specs)
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Runs the predict-then-confirm pipeline over `cfg.apps`.
+///
+/// # Errors
+///
+/// Fails on an unknown app, an invalid configuration, or a corpus/report
+/// I/O error. Per-app *analysis* errors are collected in
+/// [`AnalyzeReport::failed`] instead.
+pub fn analyze_campaign(cfg: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
+    if cfg.apps.is_empty() {
+        return Err("at least one app must be analyzed".into());
+    }
+    for app in &cfg.apps {
+        if nodefz_apps::by_abbr(app).is_none() {
+            return Err(format!(
+                "unknown app '{app}' (known: {})",
+                nodefz_apps::abbrs().join(", ")
+            ));
+        }
+    }
+    let corpus = match &cfg.corpus_dir {
+        Some(dir) => Some(Corpus::open(dir).map_err(|e| format!("corpus: {e}"))?),
+        None => None,
+    };
+
+    let mut analyses = Vec::new();
+    let mut failed = Vec::new();
+    let mut deduper = Deduper::new();
+    let mut confirmed = Vec::new();
+    let mut ctx = RunContext::new();
+    for app in &cfg.apps {
+        let case = nodefz_apps::by_abbr(app).expect("validated above");
+        let analysis = match analyze_app(case.as_ref(), cfg.env_seed) {
+            Ok(a) => a,
+            Err(e) => {
+                failed.push((app.clone(), e.to_string()));
+                continue;
+            }
+        };
+        for (race, specs) in spec_worklist(&analysis) {
+            let mut execs = 0;
+            'race: for spec in specs {
+                for attempt in 0..cfg.attempts {
+                    execs += 1;
+                    let exec =
+                        ctx.fuzz_directed(app, spec.clone().with_attempt(attempt), cfg.env_seed);
+                    let Some(finding) = exec.finding else {
+                        continue;
+                    };
+                    let signature = finding.signature.clone();
+                    if deduper.insert(Finding {
+                        preset: DIRECTED_PRESET,
+                        ..finding
+                    }) {
+                        confirmed.push(ConfirmedRace {
+                            app: app.clone(),
+                            site: race.site.clone(),
+                            class: race.class.label(),
+                            cut: spec.cut,
+                            execs,
+                            signature,
+                        });
+                    }
+                    break 'race;
+                }
+            }
+        }
+        analyses.push(analysis);
+    }
+
+    if let Some(corpus) = &corpus {
+        for record in deduper.records() {
+            let mut entry = record_to_entry(record);
+            entry.replays_ok = (0..cfg.replay_checks)
+                .filter(|_| {
+                    replays_to(
+                        &entry.app,
+                        entry.env_seed,
+                        &entry.trace,
+                        &record.first.signature,
+                    )
+                })
+                .count() as u32;
+            corpus.save(&entry).map_err(|e| format!("corpus: {e}"))?;
+        }
+    }
+
+    let races_json = nodefz_hb::races_report(&analyses);
+    if let Some(path) = &cfg.races_out {
+        std::fs::write(path, &races_json)
+            .map_err(|e| format!("races: cannot write {}: {e}", path.display()))?;
+    }
+    Ok(AnalyzeReport {
+        analyses,
+        confirmed,
+        races_json,
+        failed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_and_confirms_a_planted_race() {
+        let cfg = AnalyzeConfig {
+            apps: vec!["GHO".into()],
+            ..AnalyzeConfig::default()
+        };
+        let report = analyze_campaign(&cfg).expect("pipeline runs");
+        assert!(report.failed.is_empty(), "{:?}", report.failed);
+        assert_eq!(report.analyses.len(), 1);
+        assert!(report.analyses[0]
+            .races
+            .iter()
+            .any(|r| r.site == "gho:user-row"));
+        assert!(
+            report
+                .confirmed
+                .iter()
+                .any(|c| c.app == "GHO" && c.site == "gho:user-row"),
+            "confirmed: {:?}",
+            report.confirmed
+        );
+        assert!(report.races_json.contains("nodefz-races-v1"));
+    }
+
+    #[test]
+    fn unknown_app_is_rejected_up_front() {
+        let cfg = AnalyzeConfig {
+            apps: vec!["NOPE".into()],
+            ..AnalyzeConfig::default()
+        };
+        assert!(analyze_campaign(&cfg).unwrap_err().contains("NOPE"));
+    }
+
+    #[test]
+    fn directed_specs_are_empty_for_unknown_apps() {
+        assert!(directed_specs("NOPE", 1).is_empty());
+    }
+
+    #[test]
+    fn attempts_zero_predicts_without_confirming() {
+        let cfg = AnalyzeConfig {
+            apps: vec!["MGS".into()],
+            attempts: 0,
+            ..AnalyzeConfig::default()
+        };
+        let report = analyze_campaign(&cfg).expect("pipeline runs");
+        assert!(!report.analyses[0].races.is_empty());
+        assert!(report.confirmed.is_empty());
+    }
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! campaign [--threads N] [--budget N] [--apps KUE,MKD,...] [--corpus DIR]
 //!          [--deadline-secs S] [--no-shrink] [--replay-checks N]
-//!          [--seed N] [--verify DIR] [--list]
+//!          [--seed N] [--verify DIR] [--list] [--directed]
+//!          [--analyze] [--races-out PATH] [--attempts N]
 //!          [--metrics-out PATH] [--trace-out PATH] [--obs-level LEVEL]
 //!          [--bench-execs] [--bench-window-ms N] [--bench-warmup-ms N]
 //!          [--bench-out PATH]
@@ -26,6 +27,14 @@ const USAGE: &str = "usage: campaign [options]
   --seed N           base environment seed (default 1)
   --verify DIR       replay every corpus entry in DIR and exit
   --list             list known bug abbreviations and exit
+  --directed         add a race-directed bandit arm per app, fed by
+                     happens-before analysis of one recorded run
+  --analyze          predict races from one recorded run per app, confirm
+                     them with race-directed runs, and exit
+  --races-out PATH   where --analyze writes the nodefz-races-v1 report
+                     (default RACES_report.json)
+  --attempts N       directed confirmation attempts per predicted flip
+                     under --analyze (default 24; 0 = predict only)
   --metrics-out PATH write nodefz-metrics-v1 telemetry snapshots to PATH,
                      refreshed every ~500ms and finalized at drain
   --trace-out PATH   after the campaign, record one instrumented run as a
@@ -43,6 +52,21 @@ struct AltMode {
     verify: Option<String>,
     list: bool,
     bench: Option<BenchOpts>,
+    analyze: Option<AnalyzeOpts>,
+}
+
+struct AnalyzeOpts {
+    races_out: String,
+    attempts: u64,
+}
+
+impl Default for AnalyzeOpts {
+    fn default() -> AnalyzeOpts {
+        AnalyzeOpts {
+            races_out: "RACES_report.json".into(),
+            attempts: 24,
+        }
+    }
 }
 
 struct BenchOpts {
@@ -67,9 +91,12 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
         verify: None,
         list: false,
         bench: None,
+        analyze: None,
     };
     let mut bench_opts = BenchOpts::default();
     let mut bench = false;
+    let mut analyze_opts = AnalyzeOpts::default();
+    let mut analyze = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -115,6 +142,14 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
             }
             "--verify" => alt.verify = Some(value("--verify")?),
             "--list" => alt.list = true,
+            "--directed" => cfg.directed = true,
+            "--analyze" => analyze = true,
+            "--races-out" => analyze_opts.races_out = value("--races-out")?,
+            "--attempts" => {
+                analyze_opts.attempts = value("--attempts")?
+                    .parse()
+                    .map_err(|_| "--attempts: not a number".to_string())?;
+            }
             "--metrics-out" => cfg.metrics_out = Some(value("--metrics-out")?.into()),
             "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.into()),
             "--obs-level" => {
@@ -140,6 +175,9 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
     }
     if bench {
         alt.bench = Some(bench_opts);
+    }
+    if analyze {
+        alt.analyze = Some(analyze_opts);
     }
     Ok((cfg, alt))
 }
@@ -241,6 +279,71 @@ fn run_bench(cfg: &CampaignConfig, opts: &BenchOpts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_analyze(cfg: &CampaignConfig, opts: &AnalyzeOpts) -> ExitCode {
+    let analyze_cfg = nodefz_campaign::AnalyzeConfig {
+        apps: cfg.apps.clone(),
+        env_seed: cfg.base_seed,
+        attempts: opts.attempts,
+        races_out: Some(opts.races_out.clone().into()),
+        corpus_dir: cfg.corpus_dir.clone(),
+        replay_checks: cfg.replay_checks,
+    };
+    println!(
+        "analyze: {} apps at env seed {}, {} directed attempts per flip",
+        analyze_cfg.apps.len(),
+        analyze_cfg.env_seed,
+        analyze_cfg.attempts,
+    );
+    let report = match nodefz_campaign::analyze_campaign(&analyze_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for analysis in &report.analyses {
+        println!(
+            "  {:<4} {} events, {} accesses, {} predicted pair(s)",
+            analysis.app,
+            analysis.events,
+            analysis.accesses,
+            analysis.races.len(),
+        );
+        for race in &analysis.races {
+            println!(
+                "       {:<3} {:<20} {} x {} (cut {}, chain {})",
+                race.class.label(),
+                race.site,
+                race.a.kind,
+                race.b.kind,
+                race.cut,
+                race.chain_cut,
+            );
+        }
+    }
+    for c in &report.confirmed {
+        println!(
+            "  confirmed {:<4} {:<3} {:<20} in {} directed exec(s)",
+            c.app, c.class, c.site, c.execs,
+        );
+    }
+    for (app, error) in &report.failed {
+        println!("  FAILED {app}: {error}");
+    }
+    println!(
+        "analyze: {} predicted, {} confirmed, {} failed; wrote {}",
+        report.analyses.iter().map(|a| a.races.len()).sum::<usize>(),
+        report.confirmed.len(),
+        report.failed.len(),
+        opts.races_out,
+    );
+    if report.failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mut cfg, alt) = match parse_args(&args) {
@@ -265,6 +368,9 @@ fn main() -> ExitCode {
     }
     if let Some(opts) = &alt.bench {
         return run_bench(&cfg, opts);
+    }
+    if let Some(opts) = &alt.analyze {
+        return run_analyze(&cfg, opts);
     }
 
     println!(

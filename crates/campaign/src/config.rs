@@ -11,6 +11,17 @@ use nodefz_obs::ObsLevel;
 /// toward the arms that keep yielding new bugs.
 pub const PRESETS: [&str; 3] = ["standard", "aggressive", "guided"];
 
+/// The virtual preset index of the race-directed arm (one past the real
+/// presets): its runs replay a recorded prefix and force a predicted
+/// race's flipped order instead of fuzzing from scratch.
+pub const DIRECTED_PRESET: usize = PRESETS.len();
+
+/// Resolves a preset index — real or the virtual directed one — to the
+/// name used in reports.
+pub fn preset_name(preset: usize) -> &'static str {
+    PRESETS.get(preset).copied().unwrap_or("directed")
+}
+
 /// Resolves a preset index to its [`nodefz::FuzzParams`].
 pub fn preset_params(preset: usize) -> nodefz::FuzzParams {
     match preset % PRESETS.len() {
@@ -40,6 +51,12 @@ pub struct CampaignConfig {
     pub corpus_dir: Option<PathBuf>,
     /// Base environment seed; per-run seeds are derived deterministically.
     pub base_seed: u64,
+    /// Whether to add a race-directed arm per app: a happens-before
+    /// analysis of one recorded vanilla-posture run predicts racing
+    /// callback pairs, and the arm's runs replay that run's prefix and
+    /// force each predicted flip ([`DIRECTED_PRESET`]). Apps whose
+    /// analysis predicts nothing get no directed arm.
+    pub directed: bool,
     /// Where to write periodic `nodefz-metrics-v1` telemetry snapshots
     /// (`None` = no snapshots). Controller-side telemetry — arms,
     /// discovery curve, per-arm diversity — is collected whenever this is
@@ -67,6 +84,7 @@ impl Default for CampaignConfig {
             replay_checks: 10,
             corpus_dir: None,
             base_seed: 1,
+            directed: false,
             metrics_out: None,
             trace_out: None,
             obs_level: ObsLevel::Off,
@@ -174,5 +192,12 @@ mod tests {
         for i in 0..PRESETS.len() {
             preset_params(i).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn preset_names_cover_the_directed_arm() {
+        assert_eq!(preset_name(0), "standard");
+        assert_eq!(preset_name(PRESETS.len() - 1), "guided");
+        assert_eq!(preset_name(DIRECTED_PRESET), "directed");
     }
 }

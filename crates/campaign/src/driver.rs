@@ -23,13 +23,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use nodefz::{DecisionTrace, Mode, ReplayStatusHandle, TraceHandle};
+use nodefz::{DecisionTrace, DirectedSpec, Mode, ReplayStatusHandle, TraceHandle};
 use nodefz_apps::common::{RunCfg, Variant};
 use nodefz_rt::TypeSchedule;
 use nodefz_trace::BugSignature;
 
+use crate::analyze::directed_specs;
 use crate::bandit::{Arm, Bandit};
-use crate::config::{preset_params, CampaignConfig, PRESETS};
+use crate::config::{preset_name, preset_params, CampaignConfig, DIRECTED_PRESET, PRESETS};
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::dedup::{BugRecord, Deduper, Finding};
 use crate::metrics::{self, Discovery, WorkerTelemetry};
@@ -46,11 +47,14 @@ const METRICS_INTERVAL: Duration = Duration::from_millis(500);
 
 /// One unit of worker work.
 enum Job {
-    /// Run the app once under a recording fuzz scheduler.
+    /// Run the app once under a recording fuzz scheduler — or, when a
+    /// directed spec is attached, under a race-directed scheduler that
+    /// replays the spec's prefix and forces the predicted flip.
     Fuzz {
         app: String,
         preset: usize,
         env_seed: u64,
+        directed: Option<DirectedSpec>,
         /// Whether to ship the run's type schedule back for the per-arm
         /// diversity summary (the first few runs of each arm).
         want_schedule: bool,
@@ -259,6 +263,15 @@ impl RunContext {
         self.fuzz_once_sampled(app, preset, env_seed, false)
     }
 
+    /// Runs one race-directed job: the buggy variant under a
+    /// [`DirectedSpec`]'s replay-then-flip scheduler, recorded so a
+    /// confirming run is immediately a replayable repro. The env seed
+    /// must match the spec's recorded run — the prefix replays against
+    /// the same modelled environment.
+    pub fn fuzz_directed(&mut self, app: &str, spec: DirectedSpec, env_seed: u64) -> FuzzExec {
+        self.exec(app, DIRECTED_PRESET, env_seed, Some(spec), false)
+    }
+
     /// Like [`RunContext::fuzz_once`], optionally cloning the run's type
     /// schedule out for diversity telemetry.
     pub fn fuzz_once_sampled(
@@ -266,6 +279,17 @@ impl RunContext {
         app: &str,
         preset: usize,
         env_seed: u64,
+        want_schedule: bool,
+    ) -> FuzzExec {
+        self.exec(app, preset, env_seed, None, want_schedule)
+    }
+
+    fn exec(
+        &mut self,
+        app: &str,
+        preset: usize,
+        env_seed: u64,
+        directed: Option<DirectedSpec>,
         want_schedule: bool,
     ) -> FuzzExec {
         let Some(case) = nodefz_apps::by_abbr(app) else {
@@ -277,7 +301,10 @@ impl RunContext {
         };
         // The recording scheduler resets the shared handle in place, so
         // reusing it across runs keeps the decision buffer's capacity.
-        let mode = Mode::Record(preset_params(preset), self.handle.clone());
+        let mode = match directed {
+            Some(spec) => Mode::Directed(spec, self.handle.clone()),
+            None => Mode::Record(preset_params(preset), self.handle.clone()),
+        };
         #[allow(unused_mut)]
         let mut run_cfg = RunCfg::new(mode, env_seed).pooled(&self.pool);
         #[cfg(feature = "obs")]
@@ -305,7 +332,12 @@ impl RunContext {
 
 /// Replays `trace` against `app` under `env_seed`; returns whether the run
 /// manifested with signature `expected`.
-fn replays_to(app: &str, env_seed: u64, trace: &DecisionTrace, expected: &BugSignature) -> bool {
+pub(crate) fn replays_to(
+    app: &str,
+    env_seed: u64,
+    trace: &DecisionTrace,
+    expected: &BugSignature,
+) -> bool {
     let case = match nodefz_apps::by_abbr(app) {
         Some(c) => c,
         None => return false,
@@ -356,9 +388,13 @@ fn worker_loop(
                 app,
                 preset,
                 env_seed,
+                directed,
                 want_schedule,
             }) => {
-                let exec = ctx.fuzz_once_sampled(&app, preset, env_seed, want_schedule);
+                let exec = match directed {
+                    Some(spec) => ctx.fuzz_directed(&app, spec, env_seed),
+                    None => ctx.fuzz_once_sampled(&app, preset, env_seed, want_schedule),
+                };
                 telemetry.record_exec(exec.dispatched, exec.finding.is_some());
                 if tx
                     .send(Msg::FuzzDone {
@@ -455,11 +491,29 @@ pub fn run_with_progress(
         None => None,
     };
 
+    // When the directed arm is on, analyze one recorded vanilla-posture
+    // run per app up front (controller-side; two runs per app) and keep
+    // the predicted flips. Apps with no predictions get no directed arm.
+    let specs: std::collections::HashMap<String, (u64, Vec<DirectedSpec>)> = if cfg.directed {
+        cfg.apps
+            .iter()
+            .map(|app| {
+                let analysis_seed = derive_seed(arm_seed(cfg.base_seed, app, DIRECTED_PRESET), 0);
+                (
+                    app.clone(),
+                    (analysis_seed, directed_specs(app, analysis_seed)),
+                )
+            })
+            .collect()
+    } else {
+        Default::default()
+    };
     let arms: Vec<Arm> = cfg
         .apps
         .iter()
         .flat_map(|app| {
-            (0..PRESETS.len()).map(move |preset| Arm {
+            let directed = specs.get(app).is_some_and(|(_, s)| !s.is_empty());
+            (0..PRESETS.len() + usize::from(directed)).map(move |preset| Arm {
                 app: app.clone(),
                 preset,
             })
@@ -519,7 +573,19 @@ pub fn run_with_progress(
     let mut dispatch = |bandit: &mut Bandit, dispatched: &mut u64, next_slot: &mut usize| {
         let arm = bandit.pick();
         let pull = arm_pulls.entry((arm.app.clone(), arm.preset)).or_insert(0);
-        let env_seed = derive_seed(arm_base(cfg.base_seed, &arm), *pull);
+        // The directed arm cycles predicted flips and bumps the retry
+        // attempt each full cycle; its env seed is pinned to the analyzed
+        // run's, because the replayed prefix only makes sense against the
+        // same modelled environment. Ordinary arms scan derived seeds.
+        let (env_seed, directed) = if arm.preset == DIRECTED_PRESET {
+            let (analysis_seed, app_specs) =
+                specs.get(&arm.app).expect("directed arm implies specs");
+            let spec = app_specs[(*pull as usize) % app_specs.len()].clone();
+            let attempt = *pull / app_specs.len() as u64;
+            (*analysis_seed, Some(spec.with_attempt(attempt)))
+        } else {
+            (derive_seed(arm_base(cfg.base_seed, &arm), *pull), None)
+        };
         // Sample the first few runs of each arm for diversity. Decided by
         // pull index, so sampling is as deterministic as the seed stream.
         let want_schedule = telemetry_on && *pull < SCHEDULE_SAMPLES;
@@ -530,6 +596,7 @@ pub fn run_with_progress(
                 app: arm.app,
                 preset: arm.preset,
                 env_seed,
+                directed,
                 want_schedule,
             },
         );
@@ -709,7 +776,7 @@ pub fn run_with_progress(
     let arms = bandit
         .summary()
         .into_iter()
-        .map(|(arm, pulls, ema)| (arm.app, PRESETS[arm.preset % PRESETS.len()], pulls, ema))
+        .map(|(arm, pulls, ema)| (arm.app, preset_name(arm.preset), pulls, ema))
         .collect();
     Ok(CampaignReport {
         runs: completed,
@@ -781,7 +848,7 @@ fn write_trace(path: &std::path::Path, cfg: &CampaignConfig) -> Result<(), Strin
     std::fs::write(path, json).map_err(|e| format!("trace: cannot write {}: {e}", path.display()))
 }
 
-fn record_to_entry(record: &BugRecord) -> CorpusEntry {
+pub(crate) fn record_to_entry(record: &BugRecord) -> CorpusEntry {
     CorpusEntry {
         app: record.first.app.clone(),
         env_seed: record.first.env_seed,
@@ -819,6 +886,7 @@ mod tests {
                     app: "KUE".into(),
                     preset: 0,
                     env_seed: i,
+                    directed: None,
                     want_schedule: false,
                 },
             );

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod bandit;
 pub mod bench;
 pub mod config;
@@ -31,8 +32,9 @@ pub mod shrink;
 
 mod driver;
 
+pub use analyze::{analyze_campaign, AnalyzeConfig, AnalyzeReport, ConfirmedRace};
 pub use bench::{measure, ArmThroughput, BenchConfig, ThroughputReport};
-pub use config::{preset_params, CampaignConfig, PRESETS};
+pub use config::{preset_name, preset_params, CampaignConfig, DIRECTED_PRESET, PRESETS};
 pub use corpus::{Corpus, CorpusDecodeError, CorpusEntry};
 pub use dedup::{BugRecord, Deduper, Finding};
 pub use driver::{

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod directed;
 mod mode;
 mod params;
 mod replay;
@@ -52,11 +53,12 @@ mod scheduler;
 mod systematic;
 
 pub use codec::{decode_trace, encode_trace, TraceDecodeError};
+pub use directed::{DirectedScheduler, DirectedSpec};
 pub use mode::Mode;
 pub use params::FuzzParams;
 pub use replay::{
-    Decision, DecisionTrace, RecordingScheduler, ReplayDivergence, ReplayError, ReplayScheduler,
-    ReplayStatusHandle, TraceHandle,
+    Decision, DecisionTrace, Perm, RecordingScheduler, ReplayDivergence, ReplayError,
+    ReplayScheduler, ReplayStatusHandle, TraceFormatError, TraceHandle,
 };
 pub use scheduler::{FuzzScheduler, FuzzStats};
 pub use systematic::{explore, SystematicScheduler};

@@ -9,6 +9,7 @@
 
 use nodefz_rt::{EventLoop, LoopConfig, LoopPool, Scheduler, VanillaScheduler};
 
+use crate::directed::{DirectedScheduler, DirectedSpec};
 use crate::params::FuzzParams;
 use crate::replay::{
     DecisionTrace, RecordingScheduler, ReplayScheduler, ReplayStatusHandle, TraceHandle,
@@ -36,6 +37,11 @@ pub enum Mode {
     /// Re-applies a recorded [`DecisionTrace`] decision-for-decision,
     /// reporting divergence through the shared [`ReplayStatusHandle`].
     Replay(DecisionTrace, ReplayStatusHandle),
+    /// Race-directed scheduling: replays the spec's recorded prefix up to
+    /// its cut, forces the flipped order for a window, then fuzzes. The
+    /// run is recorded into the [`TraceHandle`] so a confirmed race
+    /// becomes a replayable repro.
+    Directed(DirectedSpec, TraceHandle),
 }
 
 impl Mode {
@@ -49,6 +55,7 @@ impl Mode {
             Mode::Custom(_) => "nodeFZ(custom)",
             Mode::Record(..) => "nodeFZ(record)",
             Mode::Replay(..) => "replay",
+            Mode::Directed(..) => "nodeFZ(directed)",
         }
     }
 
@@ -62,6 +69,8 @@ impl Mode {
             Mode::Custom(p) => Some(p.clone()),
             Mode::Record(p, _) => Some(p.clone()),
             Mode::Replay(..) => None,
+            // The directed suffix runs the standard parameterization.
+            Mode::Directed(..) => Some(FuzzParams::standard()),
         }
     }
 
@@ -75,6 +84,10 @@ impl Mode {
             Mode::Replay(trace, status) => {
                 Box::new(ReplayScheduler::attached(trace.clone(), status.clone()))
             }
+            Mode::Directed(spec, handle) => Box::new(RecordingScheduler::with_handle(
+                DirectedScheduler::new(spec.clone(), sched_seed),
+                handle,
+            )),
             _ => match self.params() {
                 None => Box::new(VanillaScheduler::new()),
                 Some(p) => Box::new(FuzzScheduler::new(p, sched_seed)),

@@ -183,7 +183,61 @@ impl DecisionTrace {
     pub fn is_empty(&self) -> bool {
         self.decisions.is_empty()
     }
+
+    /// Checks the trace for values no recording could have produced.
+    ///
+    /// [`decode_trace`](crate::decode_trace) accepts any syntactically
+    /// well-formed document; this catches the *semantically* corrupt ones —
+    /// a shuffle that is not a permutation, a serialized pool with zero
+    /// lookahead — before a replayer silently falls back to inert choices
+    /// on every consultation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceFormatError`] naming the first offending value.
+    pub fn validate(&self) -> Result<(), TraceFormatError> {
+        if let PoolMode::Serialized { lookahead, .. } = self.pool_mode {
+            if lookahead == 0 {
+                return Err(TraceFormatError::ZeroLookahead);
+            }
+        }
+        for (at, d) in self.decisions.iter().enumerate() {
+            if let Decision::Shuffle(perm) = d {
+                if !is_permutation(perm, perm.len()) {
+                    return Err(TraceFormatError::BadShuffle { at });
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// A semantically corrupt [`DecisionTrace`] (see [`DecisionTrace::validate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceFormatError {
+    /// A serialized pool header with a zero-task lookahead window.
+    ZeroLookahead,
+    /// A recorded shuffle whose indices are not a permutation.
+    BadShuffle {
+        /// Zero-based decision index of the bad shuffle.
+        at: usize,
+    },
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormatError::ZeroLookahead => {
+                write!(f, "serialized pool lookahead must be at least 1")
+            }
+            TraceFormatError::BadShuffle { at } => {
+                write!(f, "decision {at} is not a permutation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFormatError {}
 
 /// Shared handle to a trace being recorded.
 #[derive(Clone)]
@@ -332,6 +386,10 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
             .push(Decision::PickTask(pick as u32));
         pick
     }
+
+    fn decision_count(&self) -> u64 {
+        self.trace.borrow().decisions.len() as u64
+    }
 }
 
 /// The first point where a replay could not follow its trace.
@@ -462,6 +520,18 @@ impl ReplayScheduler {
     /// Creates a replayer for `trace`.
     pub fn new(trace: DecisionTrace) -> ReplayScheduler {
         ReplayScheduler::attached(trace, ReplayStatusHandle::fresh())
+    }
+
+    /// Creates a replayer after validating the trace, rejecting
+    /// semantically corrupt input instead of silently replaying it as
+    /// all-inert fallbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TraceFormatError`] from [`DecisionTrace::validate`].
+    pub fn try_new(trace: DecisionTrace) -> Result<ReplayScheduler, TraceFormatError> {
+        trace.validate()?;
+        Ok(ReplayScheduler::new(trace))
     }
 
     /// Creates a replayer plus a status handle that outlives it, for
@@ -642,6 +712,10 @@ impl Scheduler for ReplayScheduler {
             None => self.diverge("end of trace", "pick-task"),
         }
         0
+    }
+
+    fn decision_count(&self) -> u64 {
+        self.cursor as u64
     }
 }
 

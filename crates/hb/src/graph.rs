@@ -1,0 +1,165 @@
+//! The happens-before graph over one run's dispatched callbacks.
+//!
+//! Nodes are the [`EventRecord`]s of a recorded [`EventLog`], identified by
+//! their dense [`CbId`]. Edges are the orderings *every* legal schedule of
+//! this runtime preserves:
+//!
+//! * **registration → dispatch** — [`EventRecord::cause`]: the callback
+//!   that registered a timer, submitted a pool task, issued an I/O
+//!   operation or produced readiness happens before the dispatch it
+//!   caused. Microtasks are absorbed into their parent event, so promise
+//!   chains collapse into this edge too.
+//! * **watcher registration → dispatch** — [`EventRecord::cause2`]: an fd
+//!   event cannot fire before the callback that registered its watcher.
+//! * **timer chaining** — timer dispatches are chained in dispatch order.
+//!   The fuzzer's timer deferral short-circuits the timer phase
+//!   (preserving the `{timeout, registration}` order real suites rely on,
+//!   §4.4 of the paper), so relative timer order is treated as invariant.
+//!
+//! Readiness entries for *different* fds — and, under shuffling, even the
+//! same fd — carry no edge: the epoll shuffle may legally reorder them, so
+//! they stay concurrent. Because every edge points from a lower id to a
+//! higher one, the graph is a DAG by construction and one forward pass
+//! computes the full transitive closure into per-node bitset clocks.
+
+use nodefz_rt::{CbId, EvDetail, EventLog};
+
+/// Transitive-closure happens-before relation for one recorded run.
+///
+/// `O(n²/64)` space; queries are single-bit probes.
+pub struct HbGraph {
+    n: usize,
+    /// Words per clock row.
+    words: usize,
+    /// Row-major bitsets: bit `a` of row `b` means `a ≤HB b`. Every row
+    /// includes its own bit, so `leq` is reflexive.
+    clocks: Vec<u64>,
+}
+
+impl HbGraph {
+    /// Builds the happens-before closure of a recorded log.
+    ///
+    /// Cause edges that would point backwards (possible only in synthetic
+    /// logs; the runtime always dispatches effects after their cause) are
+    /// ignored rather than trusted, keeping the relation a DAG.
+    pub fn from_log(log: &EventLog) -> HbGraph {
+        let n = log.events.len();
+        let words = n.div_ceil(64);
+        let mut clocks = vec![0u64; n * words];
+        let mut last_timer: Option<usize> = None;
+        for (i, ev) in log.events.iter().enumerate() {
+            let mut preds = [
+                ev.cause.map(|c| c.0 as usize),
+                ev.cause2.map(|c| c.0 as usize),
+                None,
+            ];
+            if matches!(ev.detail, EvDetail::Timer { .. }) {
+                preds[2] = last_timer;
+                last_timer = Some(i);
+            }
+            for p in preds.into_iter().flatten() {
+                if p < i {
+                    let (done, rest) = clocks.split_at_mut(i * words);
+                    let src = &done[p * words..p * words + words];
+                    for (dst, s) in rest[..words].iter_mut().zip(src) {
+                        *dst |= s;
+                    }
+                }
+            }
+            clocks[i * words + i / 64] |= 1 << (i % 64);
+        }
+        HbGraph { n, words, clocks }
+    }
+
+    /// Number of events in the graph.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no events.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether `a` happens before (or is) `b`. Reflexive; `false` for
+    /// out-of-range ids.
+    pub fn leq(&self, a: CbId, b: CbId) -> bool {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        a < self.n && b < self.n && self.clocks[b * self.words + a / 64] & (1 << (a % 64)) != 0
+    }
+
+    /// Whether `a` and `b` are unordered — neither happens before the
+    /// other. Distinct concurrent events are exactly the candidate racing
+    /// pairs.
+    pub fn concurrent(&self, a: CbId, b: CbId) -> bool {
+        a != b && !self.leq(a, b) && !self.leq(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_rt::{EventLoop, LoopConfig, VDur};
+
+    fn logged_run(f: impl FnOnce(&mut nodefz_rt::Ctx<'_>) + 'static) -> EventLog {
+        let handle = nodefz_rt::EventLogHandle::fresh();
+        let mut el = EventLoop::new(LoopConfig::seeded(1));
+        el.set_event_log(&handle);
+        el.enter(f);
+        el.run();
+        handle.snapshot()
+    }
+
+    #[test]
+    fn cause_edges_are_transitive() {
+        let log = logged_run(|cx| {
+            cx.set_timeout(VDur::millis(1), |cx| {
+                cx.set_timeout(VDur::millis(1), |_| {});
+            });
+        });
+        let g = HbGraph::from_log(&log);
+        // Setup -> first timer -> second timer, all transitively ordered.
+        assert!(g.leq(CbId(0), CbId(0)), "reflexive");
+        let timers: Vec<CbId> = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.detail, EvDetail::Timer { .. }))
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(timers.len(), 2);
+        assert!(g.leq(CbId(0), timers[1]));
+        assert!(g.leq(timers[0], timers[1]));
+        assert!(!g.leq(timers[1], timers[0]), "antisymmetric");
+        assert!(!g.concurrent(timers[0], timers[1]));
+    }
+
+    #[test]
+    fn pool_completions_from_one_parent_are_concurrent() {
+        let log = logged_run(|cx| {
+            for _ in 0..2 {
+                cx.submit_work(VDur::millis(1), |_| (), |_, ()| {}).unwrap();
+            }
+        });
+        let g = HbGraph::from_log(&log);
+        let dones: Vec<CbId> = log
+            .events
+            .iter()
+            .filter(|e| e.kind == nodefz_rt::EvKind::Cb(nodefz_rt::CbKind::PoolDone))
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(dones.len(), 2);
+        // Two independent submissions: their pool events are unordered.
+        assert!(g.concurrent(dones[0], dones[1]));
+        // But both are after the submitting Setup event.
+        assert!(g.leq(CbId(0), dones[0]));
+        assert!(g.leq(CbId(0), dones[1]));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_unrelated() {
+        let g = HbGraph::from_log(&EventLog::default());
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert!(!g.leq(CbId(0), CbId(1)));
+    }
+}

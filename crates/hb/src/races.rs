@@ -1,0 +1,269 @@
+//! Candidate-race detection and §3.2 classification.
+//!
+//! A *candidate race* is a pair of concurrent events (per [`HbGraph`])
+//! that both access the same instrumented shared site, at least one of
+//! them write-ish. The paper's taxonomy splits these into:
+//!
+//! * **AV** (atomicity violation) — the pair intrudes on a logical
+//!   transaction: some happens-before-ordered pair of accesses to the
+//!   site forms a region one racing event belongs to, and the other
+//!   racing event can land inside that region (it is not ordered after
+//!   the region's end nor before its start).
+//! * **(C)OV** (commutative ordering violation) — every access either
+//!   side makes is a commutative update (`touch_update`), so any order
+//!   converges and only a *count* of completed updates can be observed
+//!   early.
+//! * **OV** (ordering violation) — the rest: the program assumed one
+//!   order of two logically independent operations.
+
+use nodefz_rt::{AccessKind, CbId, EventLog};
+
+use crate::graph::HbGraph;
+
+/// The §3.2 classification of a candidate race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RaceClass {
+    /// Atomicity violation.
+    Av,
+    /// Ordering violation.
+    Ov,
+    /// Commutative ordering violation.
+    Cov,
+}
+
+impl RaceClass {
+    /// The label used in Table 2 and the `nodefz-races-v1` report.
+    pub fn label(self) -> &'static str {
+        match self {
+            RaceClass::Av => "AV",
+            RaceClass::Ov => "OV",
+            RaceClass::Cov => "COV",
+        }
+    }
+}
+
+/// One predicted racing pair at one shared site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RacePair {
+    /// Index into [`EventLog::sites`].
+    pub site: u32,
+    /// The racing event dispatched earlier in the recorded run.
+    pub a: CbId,
+    /// The racing event dispatched later in the recorded run.
+    pub b: CbId,
+    /// Predicted classification.
+    pub class: RaceClass,
+    /// The earlier event's decision stamp: replaying the recorded trace's
+    /// first `cut` decisions reproduces the run up to (but not including)
+    /// the dispatch of `a` — the point where a directed scheduler flips.
+    pub cut: u64,
+}
+
+/// Per-(site, event) aggregate of access kinds.
+struct SiteEvent {
+    event: CbId,
+    read: bool,
+    write: bool,
+    update: bool,
+}
+
+impl SiteEvent {
+    fn writeish(&self) -> bool {
+        self.write || self.update
+    }
+
+    /// Only commutative updates — the (C)OV signature.
+    fn update_only(&self) -> bool {
+        self.update && !self.write && !self.read
+    }
+}
+
+/// Finds every candidate race in a recorded log, classified per §3.2.
+///
+/// Pairs are reported in (site, a, b) order; the same event pair can
+/// appear once per shared site it races on.
+pub fn find_races(log: &EventLog) -> Vec<RacePair> {
+    let graph = HbGraph::from_log(log);
+    find_races_with(log, &graph)
+}
+
+/// [`find_races`] against a caller-built graph (lets one closure serve
+/// both race detection and other queries).
+pub fn find_races_with(log: &EventLog, graph: &HbGraph) -> Vec<RacePair> {
+    // Aggregate accesses into per-site, per-event flag records, keeping
+    // first-touch order so output is deterministic.
+    let mut per_site: Vec<Vec<SiteEvent>> = Vec::new();
+    per_site.resize_with(log.sites.len(), Vec::new);
+    for acc in &log.accesses {
+        let evs = &mut per_site[acc.site as usize];
+        let se = match evs.iter_mut().find(|se| se.event == acc.event) {
+            Some(se) => se,
+            None => {
+                evs.push(SiteEvent {
+                    event: acc.event,
+                    read: false,
+                    write: false,
+                    update: false,
+                });
+                evs.last_mut().expect("just pushed")
+            }
+        };
+        match acc.kind {
+            AccessKind::Read => se.read = true,
+            AccessKind::Write => se.write = true,
+            AccessKind::Update => se.update = true,
+        }
+    }
+
+    let mut races = Vec::new();
+    for (site, evs) in per_site.iter().enumerate() {
+        for i in 0..evs.len() {
+            for j in i + 1..evs.len() {
+                let (x, y) = (&evs[i], &evs[j]);
+                if !x.writeish() && !y.writeish() {
+                    continue;
+                }
+                if !graph.concurrent(x.event, y.event) {
+                    continue;
+                }
+                let (a, b) = if x.event < y.event { (x, y) } else { (y, x) };
+                let class = classify(graph, evs, a, b);
+                races.push(RacePair {
+                    site: site as u32,
+                    a: a.event,
+                    b: b.event,
+                    class,
+                    cut: log.events[a.event.0 as usize].decisions,
+                });
+            }
+        }
+    }
+    races.sort_by_key(|r| (r.site, r.a, r.b));
+    races
+}
+
+fn classify(graph: &HbGraph, evs: &[SiteEvent], a: &SiteEvent, b: &SiteEvent) -> RaceClass {
+    if a.update_only() && b.update_only() {
+        return RaceClass::Cov;
+    }
+    if intrudes(graph, evs, a.event, b.event) || intrudes(graph, evs, b.event, a.event) {
+        return RaceClass::Av;
+    }
+    RaceClass::Ov
+}
+
+/// Whether `intruder` can land inside a happens-before-ordered region of
+/// site accesses that `owner` belongs to: accesses X ≤HB Y with
+/// `owner ∈ {X, Y}` where `intruder` is neither ordered after Y nor
+/// before X.
+fn intrudes(graph: &HbGraph, evs: &[SiteEvent], owner: CbId, intruder: CbId) -> bool {
+    for x in evs {
+        for y in evs {
+            if x.event == y.event || (owner != x.event && owner != y.event) {
+                continue;
+            }
+            if !graph.leq(x.event, y.event) {
+                continue;
+            }
+            if !graph.leq(y.event, intruder) && !graph.leq(intruder, x.event) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_rt::{EventLoop, LoopConfig, VDur};
+
+    fn races_of(f: impl FnOnce(&mut nodefz_rt::Ctx<'_>) + 'static) -> (EventLog, Vec<RacePair>) {
+        let handle = nodefz_rt::EventLogHandle::fresh();
+        let mut el = EventLoop::new(LoopConfig::seeded(2));
+        el.set_event_log(&handle);
+        el.enter(f);
+        el.run();
+        let log = handle.snapshot();
+        let races = find_races(&log);
+        (log, races)
+    }
+
+    #[test]
+    fn ordered_accesses_do_not_race() {
+        let (_, races) = races_of(|cx| {
+            cx.touch_write("s");
+            cx.set_timeout(VDur::millis(1), |cx| cx.touch_write("s"));
+        });
+        assert!(races.is_empty(), "cause-ordered writes are not a race");
+    }
+
+    #[test]
+    fn concurrent_write_read_is_an_av_when_a_region_exists() {
+        // Two pool completions from one parent: completion 1 reads then
+        // (via a chained timer) writes; completion 2 writes. The chained
+        // pair forms a region the other completion intrudes on.
+        let (_, races) = races_of(|cx| {
+            cx.submit_work(
+                VDur::millis(1),
+                |_| (),
+                |cx, ()| {
+                    cx.touch_read("s");
+                    cx.set_timeout(VDur::millis(1), |cx| cx.touch_write("s"));
+                },
+            )
+            .unwrap();
+            cx.submit_work(VDur::millis(2), |_| (), |cx, ()| cx.touch_write("s"))
+                .unwrap();
+        });
+        assert!(races.iter().any(|r| r.class == RaceClass::Av), "{races:?}");
+    }
+
+    #[test]
+    fn concurrent_writes_with_no_region_are_an_ov() {
+        let (_, races) = races_of(|cx| {
+            cx.submit_work(VDur::millis(1), |_| (), |cx, ()| cx.touch_write("s"))
+                .unwrap();
+            cx.submit_work(VDur::millis(2), |_| (), |cx, ()| cx.touch_write("s"))
+                .unwrap();
+        });
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].class, RaceClass::Ov);
+        assert!(races[0].a < races[0].b);
+    }
+
+    #[test]
+    fn concurrent_updates_are_a_cov() {
+        let (_, races) = races_of(|cx| {
+            for d in [1u64, 2] {
+                cx.submit_work(VDur::millis(d), |_| (), |cx, ()| cx.touch_update("n"))
+                    .unwrap();
+            }
+        });
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].class, RaceClass::Cov);
+    }
+
+    #[test]
+    fn cut_is_the_earlier_events_decision_stamp() {
+        let (log, races) = races_of(|cx| {
+            cx.submit_work(VDur::millis(1), |_| (), |cx, ()| cx.touch_write("s"))
+                .unwrap();
+            cx.submit_work(VDur::millis(2), |_| (), |cx, ()| cx.touch_write("s"))
+                .unwrap();
+        });
+        let r = races[0];
+        assert_eq!(r.cut, log.events[r.a.0 as usize].decisions);
+    }
+
+    #[test]
+    fn reads_alone_never_race() {
+        let (_, races) = races_of(|cx| {
+            for d in [1u64, 2] {
+                cx.submit_work(VDur::millis(d), |_| (), |cx, ()| cx.touch_read("r"))
+                    .unwrap();
+            }
+        });
+        assert!(races.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The `nodefz-races-v1` JSON report.
+//!
+//! Layout:
+//!
+//! ```json
+//! {
+//!   "schema": "nodefz-races-v1",
+//!   "sites": ["gho:user-row", "..."],
+//!   "apps": [
+//!     {
+//!       "app": "GHO", "env_seed": 11,
+//!       "events": 64, "accesses": 5, "decisions": 120,
+//!       "races": [
+//!         {
+//!           "site": 0, "class": "AV",
+//!           "a": {"event": 12, "kind": "kv-reply", "decisions": 31},
+//!           "b": {"event": 19, "kind": "kv-reply", "decisions": 55},
+//!           "cut": 31
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Site names are interned once, report-wide, through the trace crate's
+//! [`SiteInterner`]; races refer to sites by table index.
+
+use nodefz_obs::JsonWriter;
+use nodefz_trace::{SiteId, SiteInterner};
+
+use crate::analyze::{AppAnalysis, EventRef};
+
+/// Renders analyses of one or more apps as a `nodefz-races-v1` document.
+pub fn races_report(analyses: &[AppAnalysis]) -> String {
+    let mut sites = SiteInterner::new();
+    for analysis in analyses {
+        for race in &analysis.races {
+            sites.intern(&race.site);
+        }
+    }
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "nodefz-races-v1");
+    w.key("sites");
+    w.begin_array();
+    for i in 0..sites.len() {
+        w.str(sites.resolve(SiteId(i as u32)));
+    }
+    w.end_array();
+    w.key("apps");
+    w.begin_array();
+    for analysis in analyses {
+        w.begin_object();
+        w.field_str("app", &analysis.app);
+        w.field_u64("env_seed", analysis.env_seed);
+        w.field_u64("events", analysis.events as u64);
+        w.field_u64("accesses", analysis.accesses as u64);
+        w.field_u64("decisions", analysis.trace.len() as u64);
+        w.key("races");
+        w.begin_array();
+        for race in &analysis.races {
+            let site = sites.lookup(&race.site).expect("interned above");
+            w.begin_object();
+            w.field_u64("site", u64::from(site.0));
+            w.field_str("class", race.class.label());
+            event_ref(&mut w, "a", &race.a);
+            event_ref(&mut w, "b", &race.b);
+            w.field_u64("cut", race.cut);
+            w.field_u64("chain_cut", race.chain_cut);
+            w.key("flip_cuts");
+            w.begin_array();
+            for &c in &race.flip_cuts {
+                w.u64(c);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+fn event_ref(w: &mut JsonWriter, name: &str, e: &EventRef) {
+    w.key(name);
+    w.begin_object();
+    w.field_u64("event", u64::from(e.event));
+    w.field_str("kind", &e.kind);
+    w.field_u64("decisions", e.decisions);
+    w.end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::races::RaceClass;
+    use nodefz::DecisionTrace;
+
+    fn sample() -> AppAnalysis {
+        AppAnalysis {
+            app: "GHO".into(),
+            env_seed: 11,
+            trace: DecisionTrace {
+                pool_mode: nodefz_rt::PoolMode::Concurrent { workers: 4 },
+                demux_done: false,
+                decisions: Vec::new(),
+            },
+            events: 3,
+            accesses: 2,
+            sites: vec!["gho:user-row".into()],
+            races: vec![crate::analyze::RaceInfo {
+                site: "gho:user-row".into(),
+                class: RaceClass::Av,
+                a: EventRef {
+                    event: 1,
+                    kind: "kv-reply".into(),
+                    decisions: 4,
+                },
+                b: EventRef {
+                    event: 2,
+                    kind: "kv-reply".into(),
+                    decisions: 7,
+                },
+                cut: 4,
+                chain_cut: 2,
+                flip_cuts: vec![2, 3],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_has_schema_site_table_and_race_fields() {
+        let doc = races_report(&[sample()]);
+        assert!(doc.contains("\"schema\": \"nodefz-races-v1\""));
+        assert!(doc.contains("\"sites\": [\"gho:user-row\"]"));
+        assert!(doc.contains("\"class\": \"AV\""));
+        assert!(doc.contains("\"cut\": 4"));
+        assert!(doc.contains("\"flip_cuts\": [2, 3]"));
+        assert!(doc.contains("\"kind\": \"kv-reply\""));
+        assert_eq!(
+            doc.matches("\"gho:user-row\"").count(),
+            1,
+            "site interned once"
+        );
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let doc = races_report(&[]);
+        assert_eq!(
+            doc,
+            "{\"schema\": \"nodefz-races-v1\", \"sites\": [], \"apps\": []}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Golden predictions: for every planted Figure 6 bug, the analyzer must
+//! predict the planted racing pair — site and §3.2 class — from **one**
+//! vanilla-posture recorded trace, without ever manifesting the bug.
+//!
+//! KUEt is excluded: it is the §5.2.3 "race against time", which is not a
+//! happens-before race (no shared-site access pair; the oracle is a
+//! deadline), so predictive analysis has nothing to find.
+
+use nodefz_hb::{analyze_app, AppAnalysis, RaceClass};
+
+/// (app abbreviation, planted site, expected class).
+const GOLDEN: &[(&str, &str, RaceClass)] = &[
+    ("SIO", "sio:manager", RaceClass::Av),
+    ("FPS", "fps:inflight", RaceClass::Av),
+    ("GHO", "gho:user-row", RaceClass::Av),
+    ("MKD", "mkd:fs-tree", RaceClass::Av),
+    ("CLF", "clf:current-file", RaceClass::Av),
+    ("NES", "nes:socket", RaceClass::Av),
+    ("AKA", "aka:agent-state", RaceClass::Av),
+    ("KUE", "kue:job-state", RaceClass::Ov),
+    ("MGS", "mgs:filled", RaceClass::Cov),
+    ("SIO*", "sio*:slot", RaceClass::Av),
+    ("KUE*", "kue*:active-job", RaceClass::Av),
+    ("FPS*", "fps*:completed", RaceClass::Cov),
+];
+
+const ENV_SEED: u64 = 11;
+
+fn analysis_of(abbr: &str) -> AppAnalysis {
+    let app = nodefz_apps::by_abbr(abbr).expect("registry has the app");
+    analyze_app(app.as_ref(), ENV_SEED).expect("vanilla trace analyzes")
+}
+
+#[test]
+fn every_planted_fig6_race_is_predicted_from_one_vanilla_trace() {
+    let mut missed = Vec::new();
+    for &(abbr, site, class) in GOLDEN {
+        let analysis = analysis_of(abbr);
+        let hit = analysis
+            .races
+            .iter()
+            .any(|r| r.site == site && r.class == class);
+        if !hit {
+            missed.push(format!(
+                "{abbr}: wanted ({site}, {}), got {:?}",
+                class.label(),
+                analysis
+                    .races
+                    .iter()
+                    .map(|r| (r.site.as_str(), r.class.label()))
+                    .collect::<Vec<_>>()
+            ));
+        }
+    }
+    assert!(
+        missed.is_empty(),
+        "missed predictions:\n{}",
+        missed.join("\n")
+    );
+}
+
+#[test]
+fn golden_set_is_exactly_the_fig6_apps() {
+    let fig6: Vec<String> = nodefz_apps::registry()
+        .iter()
+        .filter(|app| app.info().in_fig6)
+        .map(|app| app.info().abbr.to_string())
+        .collect();
+    // KUEt is in Figure 6 but is a race against time, not an HB race.
+    let expected: Vec<&str> = GOLDEN.iter().map(|&(a, ..)| a).collect();
+    for abbr in &fig6 {
+        assert!(
+            expected.contains(&abbr.as_str()) || abbr == "KUEt",
+            "fig6 app {abbr} missing from the golden set"
+        );
+    }
+    assert_eq!(expected.len() + 1, fig6.len(), "golden set covers fig6");
+}
+
+#[test]
+fn predictions_carry_usable_cuts() {
+    for &(abbr, site, _) in &GOLDEN[..3] {
+        let analysis = analysis_of(abbr);
+        for r in analysis.races.iter().filter(|r| r.site == site) {
+            assert_eq!(r.cut, r.a.decisions, "{abbr}: cut is a's stamp");
+            assert!(
+                r.cut <= analysis.trace.len() as u64,
+                "{abbr}: cut {} exceeds trace length {}",
+                r.cut,
+                analysis.trace.len()
+            );
+            assert!(r.a.event < r.b.event, "{abbr}: pair ordered by dispatch");
+        }
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let a = analysis_of("GHO");
+    let b = analysis_of("GHO");
+    assert_eq!(a.races, b.races);
+    assert_eq!(a.events, b.events);
+}

@@ -1,0 +1,126 @@
+//! Hardened trace ingestion: truncated, corrupt, or diverging traces must
+//! surface as typed [`AnalyzeError`]s — never a panic, never a silently
+//! wrong analysis.
+
+use nodefz::{
+    decode_trace, encode_trace, Decision, DecisionTrace, Perm, ReplayScheduler, TraceDecodeError,
+    TraceFormatError,
+};
+use nodefz_hb::{analyze_recorded, record_vanilla, AnalyzeError};
+use nodefz_rt::{PoolMode, VDur};
+
+const ENV_SEED: u64 = 11;
+
+fn gho() -> Box<dyn nodefz_apps::common::BugCase> {
+    nodefz_apps::by_abbr("GHO").expect("registry")
+}
+
+#[test]
+fn empty_input_is_a_missing_header() {
+    let app = gho();
+    match analyze_recorded(app.as_ref(), ENV_SEED, "") {
+        Err(AnalyzeError::Decode(TraceDecodeError::MissingHeader)) => {}
+        other => panic!("expected MissingHeader, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_anywhere_is_a_typed_error() {
+    let app = gho();
+    let text = record_vanilla(app.as_ref(), ENV_SEED);
+    // Cut the trace at several byte lengths; every prefix must fail with
+    // a typed decode error (the full text must not).
+    for keep in [0, 1, text.len() / 4, text.len() / 2, text.len() - 2] {
+        let prefix: String = text.chars().take(keep).collect();
+        match analyze_recorded(app.as_ref(), ENV_SEED, &prefix) {
+            Err(AnalyzeError::Decode(_)) => {}
+            other => panic!("prefix of {keep} bytes: expected decode error, got {other:?}"),
+        }
+    }
+    assert!(analyze_recorded(app.as_ref(), ENV_SEED, &text).is_ok());
+}
+
+#[test]
+fn garbage_decision_line_is_a_bad_decision() {
+    let app = gho();
+    let text = record_vanilla(app.as_ref(), ENV_SEED);
+    let corrupt = text.replacen("end", "z 1 2 3\nend", 1);
+    match analyze_recorded(app.as_ref(), ENV_SEED, &corrupt) {
+        Err(AnalyzeError::Decode(TraceDecodeError::BadDecision(..))) => {}
+        other => panic!("expected BadDecision, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_permutation_shuffle_is_a_format_error() {
+    let trace = DecisionTrace {
+        pool_mode: PoolMode::Concurrent { workers: 4 },
+        demux_done: false,
+        decisions: vec![Decision::Shuffle(Perm::from(vec![0, 0]))],
+    };
+    let text = encode_trace(&trace);
+    // The text is syntactically fine — decode accepts it...
+    assert!(decode_trace(&text).is_ok());
+    // ...but analysis rejects it before replaying anything.
+    let app = gho();
+    match analyze_recorded(app.as_ref(), ENV_SEED, &text) {
+        Err(AnalyzeError::Format(TraceFormatError::BadShuffle { at: 0 })) => {}
+        other => panic!("expected BadShuffle, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_lookahead_is_a_format_error_everywhere() {
+    let trace = DecisionTrace {
+        pool_mode: PoolMode::Serialized {
+            lookahead: 0,
+            max_delay: VDur::millis(1),
+        },
+        demux_done: true,
+        decisions: vec![],
+    };
+    assert_eq!(trace.validate(), Err(TraceFormatError::ZeroLookahead));
+    // The replay constructor enforces the same contract...
+    assert!(ReplayScheduler::try_new(trace.clone()).is_err());
+    // ...and so does the analyzer, via the text round trip.
+    let text = encode_trace(&trace);
+    let app = gho();
+    match analyze_recorded(app.as_ref(), ENV_SEED, &text) {
+        Err(AnalyzeError::Format(TraceFormatError::ZeroLookahead)) => {}
+        other => panic!("expected ZeroLookahead, got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_decision_kind_reports_replay_divergence() {
+    let app = gho();
+    let text = record_vanilla(app.as_ref(), ENV_SEED);
+    let mut trace = decode_trace(&text).expect("recorded trace decodes");
+    assert!(!trace.is_empty());
+    // Swap one decision for a different *kind*: the replayed consultation
+    // there can no longer match, so the faithful-replay check must fail.
+    let mid = trace.len() / 2;
+    let original = trace.decisions[mid].kind();
+    trace.decisions[mid] = if original == "defer-close" {
+        Decision::Timer(None)
+    } else {
+        Decision::DeferClose(false)
+    };
+    let tampered = encode_trace(&trace);
+    match analyze_recorded(app.as_ref(), ENV_SEED, &tampered) {
+        Err(AnalyzeError::Replay(e)) => {
+            assert!(e.mismatches > 0);
+        }
+        other => panic!("expected replay divergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn errors_render_for_operators() {
+    let app = gho();
+    let err = analyze_recorded(app.as_ref(), ENV_SEED, "nonsense").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("decode"), "{msg}");
+    let src: &dyn std::error::Error = &err;
+    assert!(src.to_string() == msg);
+}

@@ -20,6 +20,7 @@
 //!   single run's loop-phase and callback timeline in chrome://tracing
 //!   format, loadable in Perfetto.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod json;

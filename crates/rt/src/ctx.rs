@@ -48,6 +48,30 @@ impl<'a> Ctx<'a> {
         self.st.now += dur;
     }
 
+    // ---- Shared-state access instrumentation --------------------------------
+    //
+    // Apps mark the accesses their planted races revolve around; with an
+    // event log attached (see `EventLoop::set_event_log`) each mark becomes
+    // an `Access` row against the currently running event, which is what
+    // the nodefz-hb analyzer joins against the happens-before graph. With
+    // no log attached all three are no-ops.
+
+    /// Records a read of the named shared site by the current callback.
+    pub fn touch_read(&mut self, site: &str) {
+        self.st.touch(site, crate::events::AccessKind::Read);
+    }
+
+    /// Records a write of the named shared site by the current callback.
+    pub fn touch_write(&mut self, site: &str) {
+        self.st.touch(site, crate::events::AccessKind::Write);
+    }
+
+    /// Records a commutative read-modify-write (e.g. a counter increment)
+    /// of the named shared site by the current callback.
+    pub fn touch_update(&mut self, site: &str) {
+        self.st.touch(site, crate::events::AccessKind::Update);
+    }
+
     // ---- Timers -----------------------------------------------------------
 
     /// Schedules `cb` to run once, at least `delay` from now (`setTimeout`).
@@ -58,7 +82,9 @@ impl<'a> Ctx<'a> {
                 f(cx);
             }
         }));
-        self.st.timers.insert(self.st.now + delay, None, wrapped)
+        let id = self.st.timers.insert(self.st.now + delay, None, wrapped);
+        self.note_timer_cause(id);
+        id
     }
 
     /// Schedules `cb` to run every `period`, starting after `period`
@@ -69,9 +95,18 @@ impl<'a> Ctx<'a> {
         cb: impl FnMut(&mut Ctx<'_>) + 'static,
     ) -> TimerId {
         let wrapped = Rc::new(RefCell::new(cb));
-        self.st
+        let id = self
+            .st
             .timers
-            .insert(self.st.now + period, Some(period), wrapped)
+            .insert(self.st.now + period, Some(period), wrapped);
+        self.note_timer_cause(id);
+        id
+    }
+
+    fn note_timer_cause(&mut self, id: TimerId) {
+        if let Some(h) = &self.st.events {
+            h.0.borrow_mut().set_timer_cause(id.0, self.st.current);
+        }
     }
 
     /// Cancels a timer (`clearTimeout`/`clearInterval`). Returns whether it
@@ -96,35 +131,41 @@ impl<'a> Ctx<'a> {
     /// Queues a callback for the check phase of the next loop iteration
     /// (`setImmediate`).
     pub fn set_immediate(&mut self, cb: impl FnOnce(&mut Ctx<'_>) + 'static) {
-        self.st.immediates.push_back(Box::new(cb));
+        let cause = self.st.current;
+        self.st.immediates.push_back((Box::new(cb), cause));
     }
 
     /// Queues a callback for the pending phase of the next loop iteration.
     pub fn defer_pending(&mut self, cb: impl FnOnce(&mut Ctx<'_>) + 'static) {
-        self.st.pending.push_back(Box::new(cb));
+        let cause = self.st.current;
+        self.st.pending.push_back((Box::new(cb), cause));
     }
 
     /// Queues a close callback (the loop's close phase), as when a handle is
     /// being torn down.
     pub fn enqueue_close(&mut self, cb: impl FnOnce(&mut Ctx<'_>) + 'static) {
-        self.st.closing.push_back(Box::new(cb));
+        let cause = self.st.current;
+        self.st.closing.push_back((Box::new(cb), cause));
     }
 
     // ---- Repeating handles -------------------------------------------------
 
     /// Registers an idle handle, run every iteration while active.
     pub fn add_idle(&mut self, cb: impl FnMut(&mut Ctx<'_>) + 'static) -> HandleId {
-        self.st.idle.add(Rc::new(RefCell::new(cb)))
+        let cause = self.st.current;
+        self.st.idle.add(Rc::new(RefCell::new(cb)), cause)
     }
 
     /// Registers a prepare handle, run just before each poll phase.
     pub fn add_prepare(&mut self, cb: impl FnMut(&mut Ctx<'_>) + 'static) -> HandleId {
-        self.st.prepare.add(Rc::new(RefCell::new(cb)))
+        let cause = self.st.current;
+        self.st.prepare.add(Rc::new(RefCell::new(cb)), cause)
     }
 
     /// Registers a check handle, run just after each poll phase.
     pub fn add_check(&mut self, cb: impl FnMut(&mut Ctx<'_>) + 'static) -> HandleId {
-        self.st.check.add(Rc::new(RefCell::new(cb)))
+        let cause = self.st.current;
+        self.st.check.add(Rc::new(RefCell::new(cb)), cause)
     }
 
     /// Removes an idle handle.
@@ -184,6 +225,9 @@ impl<'a> Ctx<'a> {
             submitted: self.st.now,
         });
         self.st.stats_submitted();
+        if let Some(h) = &self.st.events {
+            h.0.borrow_mut().set_task_submit(id.0, self.st.current);
+        }
         Ok(id)
     }
 
@@ -206,12 +250,20 @@ impl<'a> Ctx<'a> {
         cb: impl FnMut(&mut Ctx<'_>, Fd) + 'static,
     ) -> Result<(), Errno> {
         let cb: IoCb = Rc::new(RefCell::new(cb));
-        self.st.poll.set_watcher(fd, cb)
+        self.st.poll.set_watcher(fd, cb)?;
+        self.note_fd_registration(fd);
+        Ok(())
+    }
+
+    fn note_fd_registration(&mut self, fd: Fd) {
+        if let Some(h) = &self.st.events {
+            h.0.borrow_mut().set_fd_reg(fd.0, self.st.current);
+        }
     }
 
     /// Marks one readiness event on `fd` at the current time.
     pub fn mark_ready(&mut self, fd: Fd) -> Result<(), Errno> {
-        self.st.poll.mark_ready(fd, self.st.now)
+        self.st.mark_ready_traced(fd)
     }
 
     /// Closes a descriptor, dropping its watcher and undelivered events.
@@ -260,6 +312,7 @@ impl<'a> Ctx<'a> {
         self.st.poll.set_refd(fd, false)?;
         let wrapped: IoCb = Rc::new(RefCell::new(move |cx: &mut Ctx<'_>, _fd| cb(cx, sig)));
         self.st.poll.set_watcher(fd, wrapped)?;
+        self.note_fd_registration(fd);
         self.st.signals.register(sig, fd);
         Ok(fd)
     }
@@ -281,7 +334,7 @@ impl<'a> Ctx<'a> {
     pub(crate) fn deliver_signal(&mut self, sig: Signal) {
         let fds = self.st.signals.watchers_of(sig);
         for fd in fds {
-            if self.st.poll.mark_ready(fd, self.st.now).is_ok() {
+            if self.st.mark_ready_traced(fd).is_ok() {
                 self.st.signals.delivered += 1;
             }
         }
@@ -336,6 +389,7 @@ impl<'a> Ctx<'a> {
             }
         }));
         self.st.poll.set_watcher(fd, watcher)?;
+        self.note_fd_registration(fd);
         // Schedule the child's environment-side life.
         let runtime = self.st.rng_env.jitter(spec.runtime, 0.3);
         for (offset, bytes) in spec.output {
@@ -387,7 +441,7 @@ impl<'a> Ctx<'a> {
             _ => None,
         };
         if let Some(fd) = fd {
-            let _ = self.st.poll.mark_ready(fd, self.st.now);
+            let _ = self.st.mark_ready_traced(fd);
             self.deliver_signal(Signal::Chld);
         }
     }
@@ -411,9 +465,10 @@ impl<'a> Ctx<'a> {
     /// Schedules an environment effect at an absolute virtual time.
     pub fn schedule_env_at(&mut self, at: VTime, f: impl FnOnce(&mut Ctx<'_>) + 'static) {
         let at = at.max(self.st.now);
+        let cause = self.st.current;
         self.st
             .env
-            .schedule(at, crate::envq::EnvAction::Custom(Box::new(f)));
+            .schedule(at, crate::envq::EnvAction::Custom(Box::new(f), cause));
     }
 
     // ---- Errors and control ---------------------------------------------------

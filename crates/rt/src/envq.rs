@@ -22,7 +22,9 @@ pub(crate) enum EnvAction {
     PoolWakeup,
     /// An arbitrary environment effect (packet delivery, back-end reply…).
     /// Runs with loop context but is not traced as an application callback.
-    Custom(Box<dyn FnOnce(&mut Ctx<'_>)>),
+    /// Carries the event that scheduled it (provenance for the event log;
+    /// `None` when no log is attached or the scheduling code was untracked).
+    Custom(Box<dyn FnOnce(&mut Ctx<'_>)>, Option<crate::events::CbId>),
 }
 
 pub(crate) struct EnvEntry {

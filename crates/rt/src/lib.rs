@@ -60,6 +60,7 @@ mod combinators;
 mod ctx;
 mod envq;
 mod error;
+mod events;
 mod looper;
 #[cfg(feature = "obs")]
 pub mod obs;
@@ -76,6 +77,9 @@ mod trace;
 pub use combinators::{series, Barrier, Emitter, ListenerId, SeriesNext, SeriesStep};
 pub use ctx::{Ctx, HandleId};
 pub use error::{AppError, Errno};
+pub use events::{
+    Access, AccessKind, CbId, EvDetail, EvKind, EventLog, EventLogHandle, EventRecord,
+};
 pub use looper::{EventLoop, LiveCounts, LoopConfig, LoopPool, RunReport, Termination};
 #[cfg(feature = "obs")]
 pub use obs::{LoopObs, ObsHandle, Phase, PhaseProfile, TraceEvent, TraceEventSink};

@@ -17,6 +17,7 @@ use crate::obs::{ObsHandle, ObsSpan, Phase};
 use crate::ctx::{Ctx, HandleId};
 use crate::envq::{EnvAction, EnvQueue};
 use crate::error::AppError;
+use crate::events::{CbId, EvDetail, EvKind, EventLogHandle};
 use crate::poll::{Fd, FdKind, PollState, ReadyEntry};
 use crate::pool::{CompletedTask, PoolState, PoolStats, RunningTask, TaskId, WorkCtx};
 use crate::proc::ProcTable;
@@ -67,26 +68,29 @@ macro_rules! cb_span {
 /// A one-shot queued callback.
 pub(crate) type Job = Box<dyn FnOnce(&mut Ctx<'_>)>;
 
+/// A one-shot queued callback with its registering event (provenance).
+pub(crate) type CausedJob = (Job, Option<CbId>);
+
 type RepeatCb = Rc<RefCell<dyn FnMut(&mut Ctx<'_>)>>;
 
 /// Registry for idle/prepare/check handles.
 #[derive(Default)]
 pub(crate) struct RepeatHandles {
-    items: Vec<(HandleId, RepeatCb)>,
+    items: Vec<(HandleId, RepeatCb, Option<CbId>)>,
     next: u64,
 }
 
 impl RepeatHandles {
-    pub fn add(&mut self, cb: RepeatCb) -> HandleId {
+    pub fn add(&mut self, cb: RepeatCb, cause: Option<CbId>) -> HandleId {
         let id = HandleId(self.next);
         self.next += 1;
-        self.items.push((id, cb));
+        self.items.push((id, cb, cause));
         id
     }
 
     pub fn remove(&mut self, id: HandleId) -> bool {
         let before = self.items.len();
-        self.items.retain(|(hid, _)| *hid != id);
+        self.items.retain(|(hid, _, _)| *hid != id);
         self.items.len() != before
     }
 
@@ -94,8 +98,8 @@ impl RepeatHandles {
         self.items.len()
     }
 
-    fn snapshot_into(&self, out: &mut Vec<RepeatCb>) {
-        out.extend(self.items.iter().map(|(_, cb)| cb.clone()));
+    fn snapshot_into(&self, out: &mut Vec<(RepeatCb, Option<CbId>)>) {
+        out.extend(self.items.iter().map(|(_, cb, cause)| (cb.clone(), *cause)));
     }
 
     /// Clears all handles for a fresh run, keeping allocated capacity.
@@ -256,9 +260,9 @@ pub(crate) struct LoopState {
     pub rng_cost: Rng,
     pub timers: TimerHeap,
     pub micro: std::collections::VecDeque<Job>,
-    pub immediates: std::collections::VecDeque<Job>,
-    pub pending: std::collections::VecDeque<Job>,
-    pub closing: std::collections::VecDeque<Job>,
+    pub immediates: std::collections::VecDeque<CausedJob>,
+    pub pending: std::collections::VecDeque<CausedJob>,
+    pub closing: std::collections::VecDeque<CausedJob>,
     pub idle: RepeatHandles,
     pub prepare: RepeatHandles,
     pub check: RepeatHandles,
@@ -273,10 +277,15 @@ pub(crate) struct LoopState {
     pub hung: bool,
     pub demux_done: bool,
     pub iter: u64,
+    /// Dispatch-provenance log, when one is attached (see
+    /// [`EventLoop::set_event_log`]). `None` costs nothing.
+    pub events: Option<EventLogHandle>,
+    /// The event currently executing (provenance source for registrations).
+    pub current: Option<CbId>,
     /// Scratch for the poll phase's ready list; reused across iterations.
     ready_scratch: Vec<ReadyEntry>,
     /// Scratch for repeat-phase handle snapshots; reused across iterations.
-    repeat_scratch: Vec<RepeatCb>,
+    repeat_scratch: Vec<(RepeatCb, Option<CbId>)>,
 }
 
 impl LoopState {
@@ -308,6 +317,8 @@ impl LoopState {
             hung: false,
             demux_done,
             iter: 0,
+            events: None,
+            current: None,
             ready_scratch: Vec::new(),
             repeat_scratch: Vec::new(),
             cfg,
@@ -344,6 +355,8 @@ impl LoopState {
         self.hung = false;
         self.demux_done = demux_done;
         self.iter = 0;
+        self.events = None;
+        self.current = None;
         self.ready_scratch.clear();
         self.repeat_scratch.clear();
         self.cfg = cfg;
@@ -379,6 +392,30 @@ impl LoopState {
 
     pub fn stats_submitted(&mut self) {
         self.pool.stats.submitted += 1;
+    }
+
+    /// Records a shared-state access against the currently running event.
+    /// No-op when no event log is attached.
+    pub fn touch(&mut self, site: &str, kind: crate::events::AccessKind) {
+        if let (Some(h), Some(cur)) = (&self.events, self.current) {
+            h.0.borrow_mut().touch(cur, site, kind);
+        }
+    }
+
+    /// Marks `fd` ready, crediting the currently running event as the
+    /// readiness producer in the attached event log (if any). All
+    /// app-facing readiness must go through here; the loop's internal
+    /// pool-descriptor marks bypass it because pool completions thread
+    /// their provenance through the task tables instead.
+    pub fn mark_ready_traced(&mut self, fd: Fd) -> Result<(), crate::error::Errno> {
+        let now = self.now;
+        let r = self.poll.mark_ready(fd, now);
+        if r.is_ok() {
+            if let Some(h) = &self.events {
+                h.0.borrow_mut().push_fd_ready(fd.0, self.current);
+            }
+        }
+        r
     }
 
     fn cb_cost(&mut self) -> VDur {
@@ -597,6 +634,42 @@ impl EventLoop {
         }
     }
 
+    /// Attaches (or replaces) a dispatch-provenance event log.
+    ///
+    /// The handle is reset and seeded with the synthetic `Setup` event
+    /// (id 0), to which everything registered via [`EventLoop::enter`] is
+    /// attributed. Every subsequently dispatched callback is recorded with
+    /// its causal provenance; `nodefz-hb` consumes the result.
+    pub fn set_event_log(&mut self, handle: &EventLogHandle) {
+        handle.reset();
+        let decisions = self.sched.decision_count();
+        let id =
+            handle
+                .0
+                .borrow_mut()
+                .push_event(EvKind::Setup, None, None, EvDetail::None, decisions);
+        self.st.events = Some(handle.clone());
+        self.st.current = Some(id);
+    }
+
+    /// Starts a provenance record for a dispatch and makes it current.
+    /// Callers save and restore `st.current` around the dispatch body.
+    fn begin_event(
+        &mut self,
+        kind: EvKind,
+        cause: Option<CbId>,
+        cause2: Option<CbId>,
+        detail: EvDetail,
+    ) {
+        if let Some(h) = &self.st.events {
+            let decisions = self.sched.decision_count();
+            let id =
+                h.0.borrow_mut()
+                    .push_event(kind, cause, cause2, detail, decisions);
+            self.st.current = Some(id);
+        }
+    }
+
     /// Runs a setup closure with a loop context before (or between) runs.
     pub fn enter<R>(&mut self, f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
         let mut cx = Ctx { st: &mut self.st };
@@ -667,8 +740,12 @@ impl EventLoop {
         phased!(self, Close, self.close_phase());
     }
 
-    fn run_traced_job(&mut self, kind: CbKind, job: Job) {
+    fn run_traced_job(&mut self, kind: CbKind, job: Job, cause: Option<CbId>) {
         self.st.trace.record(kind);
+        // Microtasks drained below are absorbed into this event, so the
+        // restore deliberately happens after the whole span.
+        let prev = self.st.current;
+        self.begin_event(EvKind::Cb(kind), cause, None, EvDetail::None);
         cb_span!(self, kind, {
             {
                 let mut cx = Ctx { st: &mut self.st };
@@ -678,10 +755,19 @@ impl EventLoop {
             self.st.now += cost;
             self.drain_micro();
         });
+        self.st.current = prev;
     }
 
-    fn run_traced_repeat(&mut self, kind: CbKind, cb: RepeatCb) {
+    fn run_traced_repeat(
+        &mut self,
+        kind: CbKind,
+        cb: RepeatCb,
+        cause: Option<CbId>,
+        detail: EvDetail,
+    ) {
         self.st.trace.record(kind);
+        let prev = self.st.current;
+        self.begin_event(EvKind::Cb(kind), cause, None, detail);
         cb_span!(self, kind, {
             {
                 let mut cx = Ctx { st: &mut self.st };
@@ -691,6 +777,7 @@ impl EventLoop {
             self.st.now += cost;
             self.drain_micro();
         });
+        self.st.current = prev;
     }
 
     fn drain_micro(&mut self) {
@@ -730,11 +817,20 @@ impl EventLoop {
             match self.sched.on_timer() {
                 TimerVerdict::Run => {
                     let cb = entry.cb.clone();
+                    let detail = EvDetail::Timer {
+                        deadline: entry.deadline,
+                        seq: entry.seq,
+                    };
+                    let cause = self
+                        .st
+                        .events
+                        .as_ref()
+                        .and_then(|h| h.0.borrow().timer_cause(entry.id.0));
                     if let Some(period) = entry.period {
                         let next = self.st.now + period;
                         self.st.timers.reinsert(entry, next);
                     }
-                    self.run_traced_repeat(CbKind::Timer, cb);
+                    self.run_traced_repeat(CbKind::Timer, cb, cause, detail);
                 }
                 TimerVerdict::Defer { delay } => {
                     // Short-circuit: put the timer back untouched (keeping
@@ -755,10 +851,10 @@ impl EventLoop {
             if self.st.stopped {
                 return;
             }
-            let Some(job) = self.st.pending.pop_front() else {
+            let Some((job, cause)) = self.st.pending.pop_front() else {
                 return;
             };
-            self.run_traced_job(CbKind::Pending, job);
+            self.run_traced_job(CbKind::Pending, job, cause);
         }
     }
 
@@ -770,10 +866,10 @@ impl EventLoop {
             if self.st.stopped {
                 return;
             }
-            let Some(job) = self.st.immediates.pop_front() else {
+            let Some((job, cause)) = self.st.immediates.pop_front() else {
                 return;
             };
-            self.run_traced_job(CbKind::Check, job);
+            self.run_traced_job(CbKind::Check, job, cause);
         }
     }
 
@@ -788,11 +884,11 @@ impl EventLoop {
             CbKind::Check => self.st.check.snapshot_into(&mut handles),
             _ => unreachable!("repeat_phase called with {kind:?}"),
         };
-        for cb in handles.drain(..) {
+        for (cb, cause) in handles.drain(..) {
             if self.st.stopped {
                 break;
             }
-            self.run_traced_repeat(kind, cb);
+            self.run_traced_repeat(kind, cb, cause, EvDetail::None);
         }
         handles.clear();
         self.st.repeat_scratch = handles;
@@ -804,14 +900,14 @@ impl EventLoop {
             if self.st.stopped {
                 return;
             }
-            let Some(job) = self.st.closing.pop_front() else {
+            let Some((job, cause)) = self.st.closing.pop_front() else {
                 return;
             };
             if self.sched.defer_close() {
-                self.st.closing.push_back(job);
+                self.st.closing.push_back((job, cause));
                 continue;
             }
-            self.run_traced_job(CbKind::Close, job);
+            self.run_traced_job(CbKind::Close, job, cause);
         }
     }
 
@@ -826,9 +922,14 @@ impl EventLoop {
                 match entry.action {
                     EnvAction::TaskFinish(id) => self.finish_task(id),
                     EnvAction::PoolWakeup => { /* pump below */ }
-                    EnvAction::Custom(job) => {
-                        let mut cx = Ctx { st: &mut self.st };
-                        job(&mut cx);
+                    EnvAction::Custom(job, cause) => {
+                        let prev = self.st.current;
+                        self.begin_event(EvKind::Env, cause, None, EvDetail::None);
+                        {
+                            let mut cx = Ctx { st: &mut self.st };
+                            job(&mut cx);
+                        }
+                        self.st.current = prev;
                     }
                 }
             }
@@ -849,6 +950,23 @@ impl EventLoop {
             ..
         } = task;
         self.st.trace.record(CbKind::PoolTask);
+        let prev = self.st.current;
+        if self.st.events.is_some() {
+            let cause = self
+                .st
+                .events
+                .as_ref()
+                .and_then(|h| h.0.borrow().task_submit(id.0));
+            self.begin_event(
+                EvKind::Cb(CbKind::PoolTask),
+                cause,
+                None,
+                EvDetail::Task(id.0),
+            );
+            if let Some(h) = &self.st.events {
+                h.0.borrow_mut().set_task_event(id.0, self.st.current);
+            }
+        }
         let result;
         cb_span!(self, CbKind::PoolTask, {
             let mut wcx = WorkCtx {
@@ -857,6 +975,7 @@ impl EventLoop {
             };
             result = work(&mut wcx);
         });
+        self.st.current = prev;
         self.st.pool.stats.executed += 1;
         let completed = CompletedTask { id, done, result };
         match demux_fd {
@@ -1061,6 +1180,19 @@ impl EventLoop {
                 let kind = self.st.poll.event_kind(fd);
                 if let Some(cb) = self.st.poll.watcher_cb(fd) {
                     self.st.trace.record(kind);
+                    let prev = self.st.current;
+                    if let Some(h) = &self.st.events {
+                        // Primary cause: whoever produced this readiness
+                        // (FIFO per fd — one mark is one dispatch).
+                        // Secondary: whoever registered the watcher, so
+                        // "accept before anything else on this fd" is an
+                        // HB edge the analyzer can rely on.
+                        let (cause, reg) = {
+                            let mut log = h.0.borrow_mut();
+                            (log.pop_fd_ready(fd.0), log.fd_reg(fd.0))
+                        };
+                        self.begin_event(EvKind::Cb(kind), cause, reg, EvDetail::Fd(fd.0));
+                    }
                     cb_span!(self, kind, {
                         {
                             let mut cx = Ctx { st: &mut self.st };
@@ -1070,6 +1202,7 @@ impl EventLoop {
                         self.st.now += cost;
                         self.drain_micro();
                     });
+                    self.st.current = prev;
                 }
             }
         }
@@ -1078,6 +1211,20 @@ impl EventLoop {
     fn run_done(&mut self, task: CompletedTask) {
         self.st.pool.stats.completed += 1;
         self.st.trace.record(CbKind::PoolDone);
+        let prev = self.st.current;
+        if self.st.events.is_some() {
+            let cause = self
+                .st
+                .events
+                .as_ref()
+                .and_then(|h| h.0.borrow().task_event(task.id.0));
+            self.begin_event(
+                EvKind::Cb(CbKind::PoolDone),
+                cause,
+                None,
+                EvDetail::Task(task.id.0),
+            );
+        }
         cb_span!(self, CbKind::PoolDone, {
             {
                 let mut cx = Ctx { st: &mut self.st };
@@ -1087,6 +1234,7 @@ impl EventLoop {
             self.st.now += cost;
             self.drain_micro();
         });
+        self.st.current = prev;
     }
 }
 

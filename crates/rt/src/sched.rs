@@ -95,6 +95,16 @@ pub trait Scheduler {
         let _ = window;
         0
     }
+
+    /// Number of scheduling decisions this scheduler has made so far.
+    ///
+    /// Recording/replaying schedulers override this so the event log can
+    /// stamp each dispatch with the decision-trace prefix that reproduces
+    /// it (race-directed scheduling keys on that prefix length). Stateless
+    /// schedulers report zero.
+    fn decision_count(&self) -> u64 {
+        0
+    }
 }
 
 /// The libuv-faithful scheduler: FIFO everything, multiplexed done queue,
