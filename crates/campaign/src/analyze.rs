@@ -143,7 +143,7 @@ fn spec_worklist(analysis: &AppAnalysis) -> Vec<(RaceInfo, Vec<DirectedSpec>)> {
 /// predictions both yield no specs (the campaign driver then skips the
 /// arm).
 pub(crate) fn directed_specs(app: &str, env_seed: u64) -> Vec<DirectedSpec> {
-    let Some(case) = nodefz_apps::by_abbr(app) else {
+    let Some(case) = crate::driver::resolve_case(app) else {
         return Vec::new();
     };
     match analyze_app(case.as_ref(), env_seed) {
@@ -167,9 +167,9 @@ pub fn analyze_campaign(cfg: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
         return Err("at least one app must be analyzed".into());
     }
     for app in &cfg.apps {
-        if nodefz_apps::by_abbr(app).is_none() {
+        if crate::driver::resolve_case(app).is_none() {
             return Err(format!(
-                "unknown app '{app}' (known: {})",
+                "unknown app '{app}' (known: {}, plus CONFORM)",
                 nodefz_apps::abbrs().join(", ")
             ));
         }
@@ -185,7 +185,7 @@ pub fn analyze_campaign(cfg: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
     let mut confirmed = Vec::new();
     let mut ctx = RunContext::new();
     for app in &cfg.apps {
-        let case = nodefz_apps::by_abbr(app).expect("validated above");
+        let case = crate::driver::resolve_case(app).expect("validated above");
         let analysis = match analyze_app(case.as_ref(), cfg.env_seed) {
             Ok(a) => a,
             Err(e) => {

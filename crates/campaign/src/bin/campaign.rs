@@ -3,7 +3,7 @@
 //! ```text
 //! campaign [--threads N] [--budget N] [--apps KUE,MKD,...] [--corpus DIR]
 //!          [--deadline-secs S] [--no-shrink] [--replay-checks N]
-//!          [--seed N] [--verify DIR] [--list] [--directed]
+//!          [--seed N] [--verify DIR] [--list] [--directed] [--conform]
 //!          [--analyze] [--races-out PATH] [--attempts N]
 //!          [--metrics-out PATH] [--trace-out PATH] [--obs-level LEVEL]
 //!          [--bench-execs] [--bench-window-ms N] [--bench-warmup-ms N]
@@ -29,6 +29,8 @@ const USAGE: &str = "usage: campaign [options]
   --list             list known bug abbreviations and exit
   --directed         add a race-directed bandit arm per app, fed by
                      happens-before analysis of one recorded run
+  --conform          add the CONFORM arm: generated event-driven programs
+                     judged against the runtime's ordering oracle
   --analyze          predict races from one recorded run per app, confirm
                      them with race-directed runs, and exit
   --races-out PATH   where --analyze writes the nodefz-races-v1 report
@@ -53,6 +55,9 @@ struct AltMode {
     list: bool,
     bench: Option<BenchOpts>,
     analyze: Option<AnalyzeOpts>,
+    /// Append the CONFORM arm to the targeted apps (after the default
+    /// set is filled in, so `--conform` alone fuzzes fig6 + CONFORM).
+    conform: bool,
 }
 
 struct AnalyzeOpts {
@@ -92,11 +97,13 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
         list: false,
         bench: None,
         analyze: None,
+        conform: false,
     };
     let mut bench_opts = BenchOpts::default();
     let mut bench = false;
     let mut analyze_opts = AnalyzeOpts::default();
     let mut analyze = false;
+    let mut conform = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -143,6 +150,7 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
             "--verify" => alt.verify = Some(value("--verify")?),
             "--list" => alt.list = true,
             "--directed" => cfg.directed = true,
+            "--conform" => conform = true,
             "--analyze" => analyze = true,
             "--races-out" => analyze_opts.races_out = value("--races-out")?,
             "--attempts" => {
@@ -178,6 +186,9 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
     }
     if analyze {
         alt.analyze = Some(analyze_opts);
+    }
+    if conform {
+        alt.conform = true;
     }
     Ok((cfg, alt))
 }
@@ -358,6 +369,11 @@ fn main() -> ExitCode {
             let info = case.info();
             println!("{:<4} {:<16} {}", info.abbr, info.name, info.bug_ref);
         }
+        let conform = nodefz_conform::bug_case().info();
+        println!(
+            "{:<4} {:<16} {}",
+            conform.abbr, "conformance arm", conform.bug_ref
+        );
         return ExitCode::SUCCESS;
     }
     if let Some(dir) = alt.verify {
@@ -365,6 +381,9 @@ fn main() -> ExitCode {
     }
     if cfg.apps.is_empty() {
         cfg.apps = default_apps();
+    }
+    if alt.conform && !cfg.apps.iter().any(|a| a.eq_ignore_ascii_case("CONFORM")) {
+        cfg.apps.push("CONFORM".into());
     }
     if let Some(opts) = &alt.bench {
         return run_bench(&cfg, opts);

@@ -109,9 +109,9 @@ impl CampaignConfig {
             return Err("at least one app must be targeted".into());
         }
         for app in &self.apps {
-            if nodefz_apps::by_abbr(app).is_none() {
+            if crate::driver::resolve_case(app).is_none() {
                 return Err(format!(
-                    "unknown app '{app}' (known: {})",
+                    "unknown app '{app}' (known: {}, plus CONFORM)",
                     nodefz_apps::abbrs().join(", ")
                 ));
             }

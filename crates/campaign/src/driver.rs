@@ -3,8 +3,8 @@
 //! The event-loop simulator is single-threaded by design (`Rc` handles,
 //! deterministic virtual time), so a campaign parallelizes across *runs*:
 //! worker OS threads pull jobs from a work-stealing queue, instantiate the
-//! bug case locally (via [`nodefz_apps::by_abbr`] — `Box<dyn BugCase>` is
-//! not `Send`), and report results back over a channel. The controller
+//! bug case locally (via [`resolve_case`] — `Box<dyn BugCase>` is not
+//! `Send`), and report results back over a channel. The controller
 //! thread owns the bandit, the deduplicator, and the corpus:
 //!
 //! ```text
@@ -44,6 +44,17 @@ const SCHEDULE_SAMPLES: u64 = 8;
 /// How often the controller rewrites the `--metrics-out` snapshot while
 /// the campaign runs (a final snapshot is always written at the end).
 const METRICS_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Resolves a campaign app abbreviation to its bug case. Beyond the
+/// studied application bugs ([`nodefz_apps::by_abbr`]), campaigns can run
+/// the conformance arm — generated programs judged against the runtime's
+/// ordering oracle — under the `CONFORM` abbreviation.
+pub(crate) fn resolve_case(app: &str) -> Option<Box<dyn nodefz_apps::common::BugCase>> {
+    if app.eq_ignore_ascii_case(nodefz_conform::ABBR) {
+        return Some(nodefz_conform::bug_case());
+    }
+    nodefz_apps::by_abbr(app)
+}
 
 /// One unit of worker work.
 enum Job {
@@ -292,7 +303,7 @@ impl RunContext {
         directed: Option<DirectedSpec>,
         want_schedule: bool,
     ) -> FuzzExec {
-        let Some(case) = nodefz_apps::by_abbr(app) else {
+        let Some(case) = resolve_case(app) else {
             return FuzzExec {
                 finding: None,
                 dispatched: 0,
@@ -338,7 +349,7 @@ pub(crate) fn replays_to(
     trace: &DecisionTrace,
     expected: &BugSignature,
 ) -> bool {
-    let case = match nodefz_apps::by_abbr(app) {
+    let case = match resolve_case(app) {
         Some(c) => c,
         None => return false,
     };

@@ -12,9 +12,12 @@
 //!   strategies used (integers, floats, choices, byte vectors, collection
 //!   sizes), all drawn from a splitmix64 stream.
 //!
-//! There is no automatic shrinking: generators here are used with small
-//! size bounds, so a failing case is already near-minimal, and the printed
-//! seed makes it trivially replayable under a debugger.
+//! [`forall`] does no automatic shrinking: generators here are used with
+//! small size bounds, so a failing case is already near-minimal, and the
+//! printed seed makes it trivially replayable under a debugger. Harnesses
+//! that *do* want minimization (the conformance tester shrinks whole
+//! generated programs) can reach for the element-agnostic [`ddmin`] in
+//! [`shrink`].
 //!
 //! ```
 //! use nodefz_check::forall;
@@ -31,8 +34,10 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod shrink;
 
 pub use alloc::{AllocStats, CountingAlloc};
+pub use shrink::{ddmin, DdminResult};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

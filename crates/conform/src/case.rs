@@ -1,0 +1,111 @@
+//! The conformance arm as a campaign-compatible [`BugCase`].
+//!
+//! Campaigns fuzz *applications*; the conform arm fuzzes the *runtime
+//! itself*. [`ConformCase`] regenerates a program from the run's
+//! environment seed ([`crate::gen::generate`] is pure, so a finding's
+//! `env_seed` is a complete repro key), executes it under whatever mode
+//! the campaign drives, and applies the ordering oracle to the dispatch
+//! log. A "manifestation" is therefore a **runtime** bug — an illegal
+//! schedule, a crash, or a hang — never an application bug, which is why
+//! the case ignores the buggy/fixed [`Variant`] distinction.
+
+use std::rc::Rc;
+
+use nodefz::Mode;
+use nodefz_apps::common::{BugCase, BugInfo, Outcome, RaceType, RunCfg, Variant};
+use nodefz_rt::{EventLogHandle, Termination};
+
+use crate::oracle::{check, OracleCtx};
+use crate::prog::install;
+
+/// The campaign abbreviation for the conformance arm.
+pub const ABBR: &str = "CONFORM";
+
+/// Generative conformance oracle packaged as a bug case.
+pub struct ConformCase;
+
+/// Returns the conformance arm as a boxed [`BugCase`].
+pub fn bug_case() -> Box<dyn BugCase> {
+    Box::new(ConformCase)
+}
+
+impl BugCase for ConformCase {
+    fn info(&self) -> BugInfo {
+        BugInfo {
+            abbr: ABBR,
+            name: "nodefz runtime (conformance)",
+            bug_ref: "generated programs vs the libuv ordering rules",
+            race: RaceType::Ov,
+            racing_events: "any",
+            race_on: "the event loop itself",
+            impact: "illegal dispatch order / lost event / hang",
+            fix: "n/a (oracle over the runtime, not an app)",
+            in_fig6: false,
+            novel: false,
+        }
+    }
+
+    fn run(&self, cfg: &RunCfg, _variant: Variant) -> Outcome {
+        let prog = Rc::new(crate::gen::generate(cfg.env_seed));
+        let events = cfg.events.clone().unwrap_or_else(EventLogHandle::fresh);
+        let cfg = RunCfg {
+            events: Some(events.clone()),
+            ..cfg.clone()
+        };
+        let mut el = cfg.build_loop();
+        install(&prog, &mut el);
+        let report = el.run();
+        let log = events.snapshot();
+        let demux = match &cfg.mode {
+            Mode::Replay(trace, _) => trace.demux_done,
+            mode => mode.params().is_some_and(|p| p.demux_done),
+        };
+        let completed = matches!(report.termination, Termination::Quiescent);
+        let violations = check(&prog, &log, &OracleCtx { demux, completed });
+        let manifested =
+            !violations.is_empty() || report.crashed() || !report.errors.is_empty() || !completed;
+        let detail = if let Some(v) = violations.first() {
+            format!("oracle: {v} (program seed {})", cfg.env_seed)
+        } else if manifested {
+            format!(
+                "run failed without an oracle violation: termination {:?}, errors {:?}",
+                report.termination, report.errors
+            )
+        } else {
+            format!(
+                "{} events conform ({} program nodes)",
+                log.events.len(),
+                prog.nodes.len()
+            )
+        };
+        Outcome {
+            manifested,
+            detail,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conform_case_is_clean_under_every_stock_mode() {
+        for seed in 0..20 {
+            for mode in [Mode::Vanilla, Mode::NoFuzz, Mode::Fuzz, Mode::Guided] {
+                let label = mode.label();
+                let out = ConformCase.run(&RunCfg::new(mode, seed), Variant::Buggy);
+                assert!(!out.manifested, "seed {seed} under {label}: {}", out.detail);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_is_ignored() {
+        let out_a = ConformCase.run(&RunCfg::new(Mode::Fuzz, 7), Variant::Buggy);
+        let out_b = ConformCase.run(&RunCfg::new(Mode::Fuzz, 7), Variant::Fixed);
+        assert_eq!(out_a.manifested, out_b.manifested);
+        assert_eq!(out_a.report.dispatched, out_b.report.dispatched);
+    }
+}

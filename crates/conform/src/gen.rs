@@ -1,0 +1,155 @@
+//! Seeded random program generation with swarm-testing feature masks.
+//!
+//! [`generate`] is a pure function of its seed: the same seed always
+//! yields the same [`Prog`], which is what lets a campaign regenerate the
+//! program from a finding's environment seed at replay time. Each seed
+//! first draws a nonzero *feature mask* selecting which operation kinds
+//! the program may use (swarm testing: programs that omit features
+//! entirely exercise corners a uniform mix never reaches), then grows a
+//! forward tree under node- and depth-budgets.
+
+use nodefz_check::Gen;
+use nodefz_rt::AccessKind;
+
+use crate::prog::{Node, Op, Prog, Touch, SHARED_SITES};
+
+/// Maximum nodes per generated program (including the root).
+pub const MAX_NODES: usize = 12;
+/// Maximum tree depth (root = depth 0).
+pub const MAX_DEPTH: usize = 4;
+
+/// The op kinds a feature mask can enable, in mask-bit order.
+const OPS: [u8; 7] = [0, 1, 2, 3, 4, 5, 6];
+
+fn op_for(g: &mut Gen, mask: u8) -> Op {
+    let enabled: Vec<u8> = OPS
+        .iter()
+        .copied()
+        .filter(|b| mask & (1 << b) != 0)
+        .collect();
+    match *g.pick(&enabled) {
+        0 => Op::Timer {
+            delay_us: g.range(0, 5_000) as u32,
+        },
+        1 => Op::NextTick,
+        2 => Op::Immediate,
+        3 => Op::Pending,
+        4 => Op::Close,
+        5 => Op::Pool {
+            cost_us: g.range(1, 2_000) as u32,
+        },
+        _ => Op::FdChain {
+            msgs: g.range(1, 4) as u8,
+            gap_us: g.range(10, 500) as u32,
+        },
+    }
+}
+
+fn touches_for(g: &mut Gen) -> Vec<Touch> {
+    let n = g.below(3) as usize;
+    (0..n)
+        .map(|_| Touch {
+            site: g.below(SHARED_SITES as u64) as u8,
+            kind: *g.pick(&[AccessKind::Read, AccessKind::Write, AccessKind::Update]),
+        })
+        .collect()
+}
+
+/// Generates the program for `seed`. Deterministic; always yields a
+/// [`Prog::validate`]-clean tree with at least one non-root node.
+pub fn generate(seed: u64) -> Prog {
+    let mut g = Gen::new(seed ^ 0xC0F0_12A5_9E37_79B9);
+    // Swarm feature mask: nonzero, so at least one op kind is available.
+    let mask = g.range(1, 128) as u8;
+    let budget = g.range_usize(2, MAX_NODES + 1);
+    let mut nodes = vec![Node {
+        op: Op::Root,
+        children: Vec::new(),
+        touches: touches_for(&mut g),
+    }];
+    // Breadth-first growth: (node id, depth) pairs still allowed children.
+    let mut frontier = vec![(0u32, 0usize)];
+    while nodes.len() < budget && !frontier.is_empty() {
+        let slot = g.below(frontier.len() as u64) as usize;
+        let (parent, depth) = frontier[slot];
+        let id = nodes.len() as u32;
+        nodes.push(Node {
+            op: op_for(&mut g, mask),
+            children: Vec::new(),
+            touches: touches_for(&mut g),
+        });
+        nodes[parent as usize].children.push(id);
+        if depth + 1 < MAX_DEPTH {
+            frontier.push((id, depth + 1));
+        }
+        // Parents take at most 3 children; the root is never retired
+        // before it has one (guaranteed: it is the only frontier entry
+        // until its first child exists).
+        if nodes[parent as usize].children.len() >= 3 {
+            frontier.swap_remove(slot);
+        }
+    }
+    let prog = Prog { nodes };
+    debug_assert!(prog.validate().is_ok(), "generator bug: {prog}");
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        for seed in 0..200 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            a.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(a.nodes.len() >= 2, "seed {seed} generated no activity");
+            assert!(a.nodes.len() <= MAX_NODES);
+        }
+    }
+
+    #[test]
+    fn swarm_masks_vary_the_op_mix() {
+        // Across many seeds, every op kind should appear somewhere and
+        // some programs should *omit* common kinds entirely (the swarm
+        // property).
+        let mut seen = [false; 7];
+        let mut omitted_timer = false;
+        for seed in 0..300 {
+            let prog = generate(seed);
+            let mut has_timer = false;
+            for node in &prog.nodes[1..] {
+                let bit = match node.op {
+                    Op::Timer { .. } => {
+                        has_timer = true;
+                        0
+                    }
+                    Op::NextTick => 1,
+                    Op::Immediate => 2,
+                    Op::Pending => 3,
+                    Op::Close => 4,
+                    Op::Pool { .. } => 5,
+                    Op::FdChain { .. } => 6,
+                    Op::Root => unreachable!(),
+                };
+                seen[bit] = true;
+            }
+            if !has_timer && prog.nodes.len() > 4 {
+                omitted_timer = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "op kinds seen: {seen:?}");
+        assert!(omitted_timer, "no sizeable program omitted timers");
+    }
+
+    #[test]
+    fn generated_literals_round_trip() {
+        for seed in [3u64, 17, 404, 9001] {
+            let prog = generate(seed);
+            let text = prog.encode();
+            assert_eq!(Prog::parse(&text).unwrap(), prog);
+        }
+    }
+}

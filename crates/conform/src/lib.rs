@@ -1,0 +1,33 @@
+//! Generative conformance oracle + differential schedule testing.
+//!
+//! Every other crate in this workspace trusts the simulated event loop to
+//! *be* a libuv event loop. This crate tests that trust. It generates
+//! random event-driven programs from a small DSL ([`prog`], [`gen`]),
+//! runs them through the real runtime, and judges the resulting dispatch
+//! logs against an executable encoding of libuv's ordering rules
+//! ([`oracle`]) — every verdict cites the rule it applied. The
+//! differential harness ([`harness`]) then cross-checks the whole stack:
+//! vanilla, fuzzed, replayed, and race-directed executions of the same
+//! program must all produce oracle-legal schedules, replay must
+//! reproduce the recorded log byte-for-byte, and every
+//! happens-before-predicted race must be confirmed by a directed flip or
+//! explicitly classified unconfirmable. Failing programs delta-debug to
+//! a minimal printable `nodefz-prog v1` literal ([`shrink`]), and the
+//! whole thing plugs into campaigns as the `CONFORM` arm ([`case`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod gen;
+pub mod harness;
+pub mod oracle;
+pub mod prog;
+pub mod shrink;
+
+pub use case::{bug_case, ConformCase, ABBR};
+pub use gen::{generate, MAX_DEPTH, MAX_NODES};
+pub use harness::{differential, render_log, DiffConfig, DiffFailure, DiffReport, RaceOutcome};
+pub use oracle::{check, OracleCtx, Violation};
+pub use prog::{install, Node, Op, Prog, ProgError, Touch, SHARED_SITES};
+pub use shrink::{shrink_prog, ShrinkOutcome};

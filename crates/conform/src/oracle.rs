@@ -1,0 +1,429 @@
+//! The executable ordering oracle.
+//!
+//! [`check`] judges a dispatch-provenance [`EventLog`] against the libuv
+//! phase rules the runtime promises to preserve under *any* legal
+//! schedule (DESIGN.md "what fuzzing may and may not reorder"), using the
+//! generated program's marker accesses (`run:<id>`, `msg:<chain>:<k>`) to
+//! tie dispatches back to DSL nodes. Every rule has a stable identifier
+//! so tests can assert *which* invariant a mutated log breaks:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `event-ids` | events are densely numbered in dispatch order |
+//! | `access-range` | accesses reference recorded events and sites |
+//! | `cause-backward` | causes dispatch before their effects |
+//! | `phase-order` | iterations are monotone; within one, phases follow timers → pending → idle → prepare → poll → check → close |
+//! | `close-last` | no non-close event after a close event in the same iteration |
+//! | `micro-before-macro` | a `nextTick` body runs inside its parent's event, before any macrotask |
+//! | `timer-monotone` | timers fire in (deadline, registration seq) order |
+//! | `fd-fifo` | per-fd payloads are observed exactly in write order |
+//! | `done-after-task` | a pool done callback follows its task's execution |
+//! | `mux-done-legal` | with a multiplexed done queue, dones complete in task-finish order |
+//! | `spawn-kind` | a node's dispatch has the event kind its op demands |
+//! | `immediate-phase` | `setImmediate` runs in the iteration its snapshot semantics dictate |
+//! | `run-once` | no node or payload is dispatched twice |
+//! | `all-dispatched` | a quiescent run dispatched every node and payload |
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nodefz_rt::{CbId, CbKind, EvDetail, EvKind, EventLog};
+
+use crate::prog::{Op, Prog};
+
+/// Facts about the run the log cannot carry itself.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleCtx {
+    /// Whether the done queue was de-multiplexed (per-task descriptors).
+    /// With a multiplexed queue, done order must equal task-finish order.
+    pub demux: bool,
+    /// Whether the run terminated quiescent — only then may the oracle
+    /// demand that everything registered was dispatched.
+    pub completed: bool,
+}
+
+/// One rule violation: the rule's stable id plus evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable rule identifier (see the module table).
+    pub rule: &'static str,
+    /// Human-readable evidence naming the offending events.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// Phase rank of an event kind within one loop iteration. The synthetic
+/// `Setup` event (rank 0) only ever occurs at iteration 0; everything
+/// dispatched from the poll phase — fd readiness, pool activity, and
+/// nested environment events — shares rank 5.
+fn rank(kind: EvKind) -> u8 {
+    match kind {
+        EvKind::Setup => 0,
+        EvKind::Cb(CbKind::Timer) => 1,
+        EvKind::Cb(CbKind::Pending) => 2,
+        EvKind::Cb(CbKind::Idle) => 3,
+        EvKind::Cb(CbKind::Prepare) => 4,
+        EvKind::Env
+        | EvKind::Cb(
+            CbKind::NetAccept
+            | CbKind::NetRead
+            | CbKind::NetClose
+            | CbKind::PoolTask
+            | CbKind::PoolDone
+            | CbKind::FsDone
+            | CbKind::KvReply
+            | CbKind::Signal
+            | CbKind::ChildIo
+            | CbKind::Wakeup
+            | CbKind::IoOther,
+        ) => 5,
+        EvKind::Cb(CbKind::Check) => 6,
+        EvKind::Cb(CbKind::Close) => 7,
+    }
+}
+
+const CHECK_RANK: u8 = 6;
+
+/// First event that accessed each marker site, plus the access count.
+fn marker_map(log: &EventLog) -> HashMap<&str, (CbId, usize)> {
+    let mut map: HashMap<&str, (CbId, usize)> = HashMap::new();
+    for acc in &log.accesses {
+        let Some(name) = log.sites.get(acc.site as usize) else {
+            continue; // reported separately by access-range
+        };
+        if !(name.starts_with("run:") || name.starts_with("msg:")) {
+            continue;
+        }
+        map.entry(name.as_str())
+            .and_modify(|(_, n)| *n += 1)
+            .or_insert((acc.event, 1));
+    }
+    map
+}
+
+/// Judges `log` against every conformance rule; an empty result means
+/// the schedule is legal. Violations cite their rule id and evidence.
+pub fn check(prog: &Prog, log: &EventLog, ctx: &OracleCtx) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fail = |rule: &'static str, message: String| {
+        out.push(Violation { rule, message });
+    };
+
+    // --- log-structural rules (program-independent) ----------------------
+    for (i, ev) in log.events.iter().enumerate() {
+        if ev.id.0 as usize != i {
+            fail(
+                "event-ids",
+                format!("event at index {i} has id {:?}", ev.id),
+            );
+        }
+        for cause in [ev.cause, ev.cause2].into_iter().flatten() {
+            if cause >= ev.id {
+                fail(
+                    "cause-backward",
+                    format!("event {:?} caused by later event {cause:?}", ev.id),
+                );
+            }
+        }
+    }
+    for acc in &log.accesses {
+        if acc.event.0 as usize >= log.events.len() || acc.site as usize >= log.sites.len() {
+            fail(
+                "access-range",
+                format!("access ({:?}, site {}) out of range", acc.event, acc.site),
+            );
+        }
+    }
+
+    for pair in log.events.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        if b.iter < a.iter {
+            fail(
+                "phase-order",
+                format!(
+                    "event {:?} in iteration {} after {:?} in iteration {}",
+                    b.id, b.iter, a.id, a.iter
+                ),
+            );
+        } else if b.iter == a.iter && rank(b.kind) < rank(a.kind) {
+            let rule = if a.kind == EvKind::Cb(CbKind::Close) {
+                "close-last"
+            } else {
+                "phase-order"
+            };
+            fail(
+                rule,
+                format!(
+                    "iteration {}: {:?} ({:?}) dispatched after {:?} ({:?})",
+                    b.iter, b.id, b.kind, a.id, a.kind
+                ),
+            );
+        }
+    }
+
+    let mut last_timer: Option<(nodefz_rt::VTime, u64, CbId)> = None;
+    for ev in &log.events {
+        if let EvDetail::Timer { deadline, seq } = ev.detail {
+            if let Some((pd, ps, pid)) = last_timer {
+                if (deadline, seq) < (pd, ps) {
+                    fail(
+                        "timer-monotone",
+                        format!(
+                            "timer {:?} (deadline {deadline:?}, seq {seq}) fired after \
+                             {pid:?} (deadline {pd:?}, seq {ps})",
+                            ev.id
+                        ),
+                    );
+                }
+            }
+            last_timer = Some((deadline, seq, ev.id));
+        }
+    }
+
+    // --- worker-pool rules ------------------------------------------------
+    let mut tasks: Vec<(u64, CbId)> = Vec::new();
+    let mut dones: Vec<(u64, CbId)> = Vec::new();
+    for ev in &log.events {
+        if let EvDetail::Task(task) = ev.detail {
+            match ev.kind {
+                EvKind::Cb(CbKind::PoolTask) => tasks.push((task, ev.id)),
+                EvKind::Cb(CbKind::PoolDone) => dones.push((task, ev.id)),
+                _ => {}
+            }
+        }
+    }
+    for (i, &(task, done_ev)) in dones.iter().enumerate() {
+        match tasks.iter().find(|&&(t, _)| t == task) {
+            None => fail(
+                "done-after-task",
+                format!("done {done_ev:?} for task {task} which never ran"),
+            ),
+            Some(&(_, task_ev)) if task_ev >= done_ev => fail(
+                "done-after-task",
+                format!("done {done_ev:?} precedes its task event {task_ev:?}"),
+            ),
+            Some(_) => {}
+        }
+        if dones[..i].iter().any(|&(t, _)| t == task) {
+            fail("run-once", format!("task {task} completed twice"));
+        }
+        if !ctx.demux {
+            // Multiplexed done queue: the k-th done is the k-th finished
+            // task — done order must match task execution order exactly.
+            match tasks.get(i) {
+                Some(&(t, _)) if t == task => {}
+                other => fail(
+                    "mux-done-legal",
+                    format!(
+                        "multiplexed done #{i} is task {task}, expected task \
+                         {:?} (task order {:?})",
+                        other.map(|&(t, _)| t),
+                        tasks.iter().map(|&(t, _)| t).collect::<Vec<_>>()
+                    ),
+                ),
+            }
+        }
+    }
+
+    // --- program-aware rules ---------------------------------------------
+    let markers = marker_map(log);
+    let run_of = |id: u32| markers.get(Prog::run_marker(id).as_str()).copied();
+    let mut parent = vec![None; prog.nodes.len()];
+    for (id, node) in prog.nodes.iter().enumerate() {
+        for &c in &node.children {
+            parent[c as usize] = Some(id as u32);
+        }
+    }
+
+    for (&name, &(_, count)) in &markers {
+        if count > 1 {
+            fail(
+                "run-once",
+                format!("marker {name} dispatched {count} times"),
+            );
+        }
+    }
+
+    for (id, node) in prog.nodes.iter().enumerate() {
+        let id = id as u32;
+        let Some((ev, _)) = run_of(id) else {
+            if ctx.completed {
+                fail(
+                    "all-dispatched",
+                    format!("quiescent run never dispatched node {id} ({:?})", node.op),
+                );
+            }
+            continue;
+        };
+        let record = &log.events[ev.0 as usize];
+        let expected = match node.op {
+            Op::Root => Some(EvKind::Setup),
+            Op::Timer { .. } => Some(EvKind::Cb(CbKind::Timer)),
+            Op::Immediate => Some(EvKind::Cb(CbKind::Check)),
+            Op::Pending => Some(EvKind::Cb(CbKind::Pending)),
+            Op::Close => Some(EvKind::Cb(CbKind::Close)),
+            Op::Pool { .. } => Some(EvKind::Cb(CbKind::PoolDone)),
+            Op::FdChain { .. } => Some(EvKind::Cb(CbKind::NetRead)),
+            // Checked against the parent's event below instead.
+            Op::NextTick => None,
+        };
+        if let Some(expected) = expected {
+            if record.kind != expected {
+                fail(
+                    "spawn-kind",
+                    format!(
+                        "node {id} ({:?}) ran in {:?} event {ev:?}, expected {expected:?}",
+                        node.op, record.kind
+                    ),
+                );
+            }
+        }
+        let spawn = parent[id as usize].and_then(|p| run_of(p).map(|(e, _)| e));
+        match node.op {
+            Op::NextTick => {
+                // Microtasks are absorbed into the dispatching event:
+                // the child's marker must land in the same event record
+                // as the parent's (transitively collapsing tick chains).
+                if let Some(parent_ev) = spawn {
+                    if parent_ev != ev {
+                        fail(
+                            "micro-before-macro",
+                            format!(
+                                "nextTick node {id} ran in event {ev:?}, not inside its \
+                                 parent's event {parent_ev:?}"
+                            ),
+                        );
+                    }
+                }
+            }
+            Op::Immediate => {
+                // setImmediate snapshot semantics: queued at or after the
+                // check phase (or during setup) → next iteration's check;
+                // queued in an earlier phase → this iteration's check.
+                if let Some(parent_ev) = spawn {
+                    let spawn_rec = &log.events[parent_ev.0 as usize];
+                    let expected_iter = if spawn_rec.iter == 0 {
+                        1
+                    } else if rank(spawn_rec.kind) >= CHECK_RANK {
+                        spawn_rec.iter + 1
+                    } else {
+                        spawn_rec.iter
+                    };
+                    if record.iter != expected_iter {
+                        fail(
+                            "immediate-phase",
+                            format!(
+                                "immediate node {id} spawned in iteration {} ({:?}) ran in \
+                                 iteration {}, expected {expected_iter}",
+                                spawn_rec.iter, spawn_rec.kind, record.iter
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- per-chain FIFO ---------------------------------------------------
+    for (id, node) in prog.nodes.iter().enumerate() {
+        let Op::FdChain { msgs, .. } = node.op else {
+            continue;
+        };
+        let id = id as u32;
+        let prefix = format!("msg:{id}:");
+        let mut observed = Vec::new();
+        for acc in &log.accesses {
+            let Some(name) = log.sites.get(acc.site as usize) else {
+                continue;
+            };
+            if let Some(payload) = name.strip_prefix(&prefix) {
+                observed.push(payload.parse::<u32>().unwrap_or(u32::MAX));
+            }
+        }
+        let in_order = observed
+            .iter()
+            .enumerate()
+            .all(|(k, &p)| p == k as u32 && p < msgs as u32);
+        if !in_order {
+            fail(
+                "fd-fifo",
+                format!(
+                    "chain node {id} observed payloads {observed:?}, expected the \
+                     in-order prefix of 0..{msgs}"
+                ),
+            );
+        } else if ctx.completed && observed.len() != msgs as usize {
+            fail(
+                "all-dispatched",
+                format!(
+                    "quiescent run delivered {}/{} payloads of chain node {id}",
+                    observed.len(),
+                    msgs
+                ),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    use nodefz::Mode;
+    use nodefz_rt::EventLogHandle;
+
+    use crate::gen::generate;
+    use crate::prog::install;
+
+    fn vanilla_log(seed: u64) -> (Prog, EventLog, bool) {
+        let prog = Rc::new(generate(seed));
+        let events = EventLogHandle::fresh();
+        let cfg = nodefz_apps::common::RunCfg::new(Mode::Vanilla, seed).events(&events);
+        let mut el = cfg.build_loop();
+        install(&prog, &mut el);
+        let report = el.run();
+        let completed = matches!(report.termination, nodefz_rt::Termination::Quiescent);
+        ((*prog).clone(), events.snapshot(), completed)
+    }
+
+    #[test]
+    fn vanilla_runs_satisfy_the_oracle() {
+        for seed in 0..40 {
+            let (prog, log, completed) = vanilla_log(seed);
+            assert!(completed, "seed {seed} did not quiesce");
+            let violations = check(
+                &prog,
+                &log,
+                &OracleCtx {
+                    demux: false,
+                    completed,
+                },
+            );
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn incomplete_context_relaxes_only_completeness() {
+        let (prog, log, _) = vanilla_log(7);
+        // Claiming the run did not complete must never *add* violations.
+        let v = check(
+            &prog,
+            &log,
+            &OracleCtx {
+                demux: false,
+                completed: false,
+            },
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Trace-codec round-trip fuzz (ISSUE 5 satellite c).
+//!
+//! Generated programs recorded under seeded swarm parameterizations
+//! produce decision traces; each trace must encode → decode → re-encode
+//! **byte-identically**, and the decoded trace must equal the original
+//! value. This fuzzes the codec with real (not synthetic) traces whose
+//! decision mixes vary with the swarm mask.
+
+use std::rc::Rc;
+
+use nodefz::{decode_trace, encode_trace, FuzzParams, Mode, TraceHandle};
+use nodefz_apps::common::RunCfg;
+use nodefz_rt::{LoopPool, Termination};
+
+use nodefz_conform::{generate, install};
+
+#[test]
+fn recorded_traces_round_trip_byte_identically() {
+    let pool = LoopPool::new();
+    let mut nonempty = 0usize;
+    for seed in 0..200u64 {
+        let prog = Rc::new(generate(seed));
+        let params = FuzzParams::sampled(seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let handle = TraceHandle::fresh();
+        let cfg = RunCfg::new(Mode::Record(params, handle.clone()), seed).pooled(&pool);
+        let mut el = cfg.build_loop();
+        install(&prog, &mut el);
+        let report = el.run();
+        assert!(
+            matches!(report.termination, Termination::Quiescent),
+            "seed {seed}: {:?} (errors {:?})\nprogram:\n{prog}",
+            report.termination,
+            report.errors
+        );
+        let trace = handle.snapshot();
+        if !trace.decisions.is_empty() {
+            nonempty += 1;
+        }
+        let text = encode_trace(&trace);
+        let decoded = decode_trace(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: decode failed: {e}\n{text}"));
+        assert_eq!(decoded, trace, "seed {seed}: decoded trace differs");
+        let text2 = encode_trace(&decoded);
+        assert_eq!(
+            text, text2,
+            "seed {seed}: re-encoding is not byte-identical"
+        );
+    }
+    // The sweep must actually exercise the codec, not just empty traces.
+    assert!(
+        nonempty > 100,
+        "only {nonempty}/200 runs produced decisions — sampled params too tame"
+    );
+}
+
+#[test]
+fn vanilla_programs_record_decision_free_but_valid_traces() {
+    // Record mode with the no-op parameterization still snapshots loop
+    // facts (pool mode, demux) that must survive the codec.
+    for seed in [1u64, 42, 977] {
+        let prog = Rc::new(generate(seed));
+        let handle = TraceHandle::fresh();
+        let cfg = RunCfg::new(Mode::Record(FuzzParams::none(), handle.clone()), seed);
+        let mut el = cfg.build_loop();
+        install(&prog, &mut el);
+        el.run();
+        let trace = handle.snapshot();
+        let text = encode_trace(&trace);
+        let decoded = decode_trace(&text).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(encode_trace(&decoded), text);
+    }
+}

@@ -1,0 +1,142 @@
+//! The CI `conform-smoke` leg (ISSUE 5 satellite e).
+//!
+//! A fixed-seed batch of 200 generated programs through the full
+//! differential harness, sized to finish quickly in CI, plus the
+//! *broken-oracle canary*: deliberate log corruptions that prove the
+//! oracle actually rejects at least three distinct classes of invalid
+//! schedule. A green smoke run therefore certifies both directions — the
+//! runtime produces legal schedules, and the judge is not asleep.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use nodefz::Mode;
+use nodefz_apps::common::RunCfg;
+use nodefz_rt::{CbKind, EvKind, EventLog, EventLogHandle, LoopPool, Termination};
+
+use nodefz_conform::{check, differential, generate, install, DiffConfig, OracleCtx, Prog};
+
+/// The fixed smoke seed family — referenced by `.github/workflows/ci.yml`.
+const SMOKE_BASE: u64 = 0x5EED_0000_0000_0001;
+
+#[test]
+fn smoke_200_programs_differentially_clean() {
+    let pool = LoopPool::new();
+    let cfg = DiffConfig {
+        pool: Some(pool),
+        ..DiffConfig::default()
+    };
+    let mut failures = Vec::new();
+    for i in 0..200u64 {
+        let seed = SMOKE_BASE ^ i;
+        let prog = Rc::new(generate(seed));
+        if let Err(e) = differential(&prog, seed, &cfg) {
+            failures.push(format!("seed {seed}: {e}\nprogram:\n{prog}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of 200 smoke programs failed:\n{}",
+        failures.len(),
+        failures.join("\n---\n")
+    );
+}
+
+fn vanilla_log(seed: u64) -> (Prog, EventLog) {
+    let prog = Rc::new(generate(seed));
+    let events = EventLogHandle::fresh();
+    let cfg = RunCfg::new(Mode::Vanilla, seed).events(&events);
+    let mut el = cfg.build_loop();
+    install(&prog, &mut el);
+    let report = el.run();
+    assert!(matches!(report.termination, Termination::Quiescent));
+    ((*prog).clone(), events.snapshot())
+}
+
+fn violated_rules(prog: &Prog, log: &EventLog) -> BTreeSet<&'static str> {
+    check(
+        prog,
+        log,
+        &OracleCtx {
+            demux: false,
+            completed: true,
+        },
+    )
+    .into_iter()
+    .map(|v| v.rule)
+    .collect()
+}
+
+#[test]
+fn broken_oracle_canary_rejects_three_classes_of_invalid_schedule() {
+    // Corrupt clean logs three structurally different ways; the oracle
+    // must cite a distinct rule class for each. If someone neuters the
+    // oracle, this canary — not a thousand green runs — catches it.
+    let mut rejected: BTreeSet<&'static str> = BTreeSet::new();
+
+    // Class 1: causality — an event claiming a *later* event caused it.
+    for seed in 0..200u64 {
+        let (prog, mut log) = vanilla_log(SMOKE_BASE ^ seed);
+        if log.events.len() < 2 {
+            continue;
+        }
+        log.events[0].cause = Some(log.events[log.events.len() - 1].id);
+        let rules = violated_rules(&prog, &log);
+        assert!(rules.contains("cause-backward"), "got {rules:?}");
+        rejected.insert("cause-backward");
+        break;
+    }
+
+    // Class 2: phase order — drag the last event into an earlier
+    // iteration than its predecessor.
+    for seed in 0..200u64 {
+        let (prog, mut log) = vanilla_log(SMOKE_BASE ^ seed);
+        let n = log.events.len();
+        if n < 2 || log.events[n - 2].iter == 0 {
+            continue;
+        }
+        log.events[n - 1].iter = log.events[n - 2].iter - 1;
+        let rules = violated_rules(&prog, &log);
+        assert!(rules.contains("phase-order"), "got {rules:?}");
+        rejected.insert("phase-order");
+        break;
+    }
+
+    // Class 3: completeness/liveness — erase a dispatched node's marker
+    // from a quiescent run's log.
+    for seed in 0..200u64 {
+        let (prog, mut log) = vanilla_log(SMOKE_BASE ^ seed);
+        let Some(site) = log.sites.iter().position(|s| s == "run:1") else {
+            continue;
+        };
+        log.accesses.retain(|a| a.site != site as u32);
+        let rules = violated_rules(&prog, &log);
+        assert!(rules.contains("all-dispatched"), "got {rules:?}");
+        rejected.insert("all-dispatched");
+        break;
+    }
+
+    // Class 4: dispatch identity — relabel a timer dispatch as a check
+    // callback so the node's kind contradicts its op.
+    for seed in 0..400u64 {
+        let (prog, mut log) = vanilla_log(SMOKE_BASE ^ seed);
+        let Some(idx) = log
+            .events
+            .iter()
+            .position(|e| e.kind == EvKind::Cb(CbKind::Timer))
+        else {
+            continue;
+        };
+        log.events[idx].kind = EvKind::Cb(CbKind::Check);
+        let rules = violated_rules(&prog, &log);
+        if rules.contains("spawn-kind") {
+            rejected.insert("spawn-kind");
+            break;
+        }
+    }
+
+    assert!(
+        rejected.len() >= 3,
+        "oracle only rejected {rejected:?} — need at least three classes"
+    );
+}

@@ -133,6 +133,55 @@ impl FuzzParams {
         }
     }
 
+    /// A seeded *swarm* parameterization: every knob drawn uniformly from
+    /// its legal range, so a population of seeds covers corners of the
+    /// configuration space (mux vs demux done queue, tight vs unlimited
+    /// lookahead, zero vs heavy deferral) that no single hand-picked
+    /// parameterization exercises. Always [`FuzzParams::validate`]-clean.
+    ///
+    /// Used by the `nodefz-conform` differential harness, which must hold
+    /// the fidelity guarantees under *every* legal parameterization, not
+    /// just the paper's three presets.
+    pub fn sampled(seed: u64) -> FuzzParams {
+        // Local splitmix64 so the sampler has no dependency on the
+        // runtime's RNG stream shapes.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let pct = |v: u64| (v % 101) as f64;
+        let serialize_pool = next() % 4 != 0;
+        let wp_dof = if !serialize_pool {
+            None
+        } else {
+            match next() % 3 {
+                0 => None,
+                _ => Some(1 + (next() % 4) as usize),
+            }
+        };
+        FuzzParams {
+            epoll_dof: match next() % 3 {
+                0 => None,
+                _ => Some((next() % 5) as usize),
+            },
+            // Capped below 100%: an always-defer policy would starve ready
+            // fds forever, which is a livelock, not a schedule.
+            epoll_defer_pct: pct(next()) * 0.8,
+            timer_defer_pct: pct(next()) * 0.5,
+            timer_defer_delay: VDur::micros(next() % 10_000),
+            close_defer_pct: pct(next()) * 0.5,
+            wp_dof,
+            wp_max_delay: VDur::micros(next() % 2_000),
+            wp_epoll_threshold: VDur::micros(next() % 2_000),
+            demux_done: next() % 2 == 0,
+            serialize_pool,
+        }
+    }
+
     /// Checks that every field is within its legal range.
     ///
     /// # Errors
@@ -276,6 +325,38 @@ mod tests {
     fn guided_and_aggressive_are_valid() {
         FuzzParams::guided_accurate_timers().validate().unwrap();
         FuzzParams::aggressive().validate().unwrap();
+    }
+
+    #[test]
+    fn sampled_is_deterministic_valid_and_varied() {
+        let (mut demux, mut mux, mut serial, mut concurrent) = (0, 0, 0, 0);
+        for seed in 0..500u64 {
+            let p = FuzzParams::sampled(seed);
+            assert_eq!(
+                p,
+                FuzzParams::sampled(seed),
+                "seed {seed} not deterministic"
+            );
+            p.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // Always-defer epoll policies would livelock a ready fd.
+            assert!(p.epoll_defer_pct < 100.0, "seed {seed} can starve fds");
+            if p.demux_done {
+                demux += 1
+            } else {
+                mux += 1
+            }
+            if p.serialize_pool {
+                serial += 1
+            } else {
+                concurrent += 1
+            }
+        }
+        // The swarm must actually cover both sides of the binary knobs.
+        assert!(demux > 50 && mux > 50, "demux split {demux}/{mux}");
+        assert!(
+            serial > 50 && concurrent > 50,
+            "pool split {serial}/{concurrent}"
+        );
     }
 
     #[test]

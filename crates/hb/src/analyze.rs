@@ -152,33 +152,7 @@ pub fn analyze_recorded(
     app.run(&cfg, Variant::Buggy);
     status.verdict()?;
     let log = events.snapshot();
-    let races = find_races(&log)
-        .into_iter()
-        .map(|r| {
-            let evref = |id: nodefz_rt::CbId| {
-                let ev = &log.events[id.0 as usize];
-                EventRef {
-                    event: id.0,
-                    kind: kind_label(ev.kind).to_string(),
-                    decisions: ev.decisions,
-                }
-            };
-            let flip_cuts = chain_flip_cuts(&log, r.a);
-            let chain_cut = flip_cuts
-                .first()
-                .copied()
-                .unwrap_or_else(|| r.cut.saturating_sub(1));
-            RaceInfo {
-                site: log.sites[r.site as usize].clone(),
-                class: r.class,
-                a: evref(r.a),
-                b: evref(r.b),
-                cut: r.cut,
-                chain_cut,
-                flip_cuts,
-            }
-        })
-        .collect();
+    let races = races_with_cuts(&log);
     Ok(AppAnalysis {
         app: app.info().abbr.to_string(),
         env_seed,
@@ -195,6 +169,42 @@ pub fn analyze_recorded(
 pub fn analyze_app(app: &dyn BugCase, env_seed: u64) -> Result<AppAnalysis, AnalyzeError> {
     let text = record_vanilla(app, env_seed);
     analyze_recorded(app, env_seed, &text)
+}
+
+/// Predicts races over any dispatch-provenance log and resolves each to
+/// a reporting-ready [`RaceInfo`] (named site, kind labels, and the full
+/// ladder of directed flip cuts). This is the log-level core of
+/// [`analyze_recorded`], exposed so harnesses that build their own logs
+/// — e.g. the `nodefz-conform` differential harness — can feed
+/// predictions straight into a directed scheduler.
+pub fn races_with_cuts(log: &nodefz_rt::EventLog) -> Vec<RaceInfo> {
+    find_races(log)
+        .into_iter()
+        .map(|r| {
+            let evref = |id: nodefz_rt::CbId| {
+                let ev = &log.events[id.0 as usize];
+                EventRef {
+                    event: id.0,
+                    kind: kind_label(ev.kind).to_string(),
+                    decisions: ev.decisions,
+                }
+            };
+            let flip_cuts = chain_flip_cuts(log, r.a);
+            let chain_cut = flip_cuts
+                .first()
+                .copied()
+                .unwrap_or_else(|| r.cut.saturating_sub(1));
+            RaceInfo {
+                site: log.sites[r.site as usize].clone(),
+                class: r.class,
+                a: evref(r.a),
+                b: evref(r.b),
+                cut: r.cut,
+                chain_cut,
+                flip_cuts,
+            }
+        })
+        .collect()
 }
 
 /// Candidate flip points for deferring the chain that leads to `a`:

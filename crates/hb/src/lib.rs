@@ -49,7 +49,8 @@ mod races;
 mod report;
 
 pub use analyze::{
-    analyze_app, analyze_recorded, record_vanilla, AnalyzeError, AppAnalysis, EventRef, RaceInfo,
+    analyze_app, analyze_recorded, races_with_cuts, record_vanilla, AnalyzeError, AppAnalysis,
+    EventRef, RaceInfo,
 };
 pub use graph::HbGraph;
 pub use races::{find_races, find_races_with, RaceClass, RacePair};

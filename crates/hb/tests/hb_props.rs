@@ -39,6 +39,7 @@ fn synthetic_log(g: &mut Gen) -> EventLog {
             cause,
             cause2,
             decisions: i as u64,
+            iter: i as u64,
             detail,
         });
     }

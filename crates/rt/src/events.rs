@@ -85,6 +85,12 @@ pub struct EventRecord {
     /// replay-prefix length that reproduces everything up to (but not
     /// including) this dispatch.
     pub decisions: u64,
+    /// The loop iteration the event dispatched in (`0` for the synthetic
+    /// `Setup` event, which runs before the first iteration). Within one
+    /// iteration events follow libuv's phase order — timers, pending,
+    /// idle, prepare, poll, check, close — which is exactly what the
+    /// `nodefz-conform` ordering oracle checks against.
+    pub iter: u64,
     /// Kind-specific detail.
     pub detail: EvDetail,
 }
@@ -157,6 +163,7 @@ impl EventLog {
         cause2: Option<CbId>,
         detail: EvDetail,
         decisions: u64,
+        iter: u64,
     ) -> CbId {
         let id = CbId(u32::try_from(self.events.len()).expect("event log overflow"));
         self.events.push(EventRecord {
@@ -165,6 +172,7 @@ impl EventLog {
             cause,
             cause2,
             decisions,
+            iter,
             detail,
         });
         id
@@ -301,7 +309,7 @@ mod tests {
     #[test]
     fn intern_is_stable_and_dense() {
         let mut log = EventLog::default();
-        let e = log.push_event(EvKind::Setup, None, None, EvDetail::None, 0);
+        let e = log.push_event(EvKind::Setup, None, None, EvDetail::None, 0, 0);
         log.touch(e, "a", AccessKind::Read);
         log.touch(e, "b", AccessKind::Write);
         log.touch(e, "a", AccessKind::Update);
@@ -332,7 +340,7 @@ mod tests {
         let h = EventLogHandle::fresh();
         {
             let mut log = h.0.borrow_mut();
-            let e = log.push_event(EvKind::Env, None, None, EvDetail::None, 2);
+            let e = log.push_event(EvKind::Env, None, None, EvDetail::None, 2, 1);
             log.touch(e, "x", AccessKind::Write);
             log.set_task_submit(0, Some(e));
         }

@@ -355,7 +355,14 @@ impl LoopState {
         self.hung = false;
         self.demux_done = demux_done;
         self.iter = 0;
-        self.events = None;
+        // An attached event log is owned jointly with whoever holds the
+        // other end of the handle: clear it on recycle so one run's
+        // provenance can never leak into (or be misread as) the next
+        // pooled run's. Callers wanting the log must snapshot it before
+        // the state is recycled.
+        if let Some(h) = self.events.take() {
+            h.reset();
+        }
         self.current = None;
         self.ready_scratch.clear();
         self.repeat_scratch.clear();
@@ -368,6 +375,10 @@ impl LoopState {
             self.live_counts().is_zero(),
             "LoopState::reset left live resources: {:?}",
             self.live_counts()
+        );
+        debug_assert!(
+            self.events.is_none(),
+            "LoopState::reset left an event log attached"
         );
     }
 
@@ -643,11 +654,14 @@ impl EventLoop {
     pub fn set_event_log(&mut self, handle: &EventLogHandle) {
         handle.reset();
         let decisions = self.sched.decision_count();
-        let id =
-            handle
-                .0
-                .borrow_mut()
-                .push_event(EvKind::Setup, None, None, EvDetail::None, decisions);
+        let id = handle.0.borrow_mut().push_event(
+            EvKind::Setup,
+            None,
+            None,
+            EvDetail::None,
+            decisions,
+            self.st.iter,
+        );
         self.st.events = Some(handle.clone());
         self.st.current = Some(id);
     }
@@ -665,7 +679,7 @@ impl EventLoop {
             let decisions = self.sched.decision_count();
             let id =
                 h.0.borrow_mut()
-                    .push_event(kind, cause, cause2, detail, decisions);
+                    .push_event(kind, cause, cause2, detail, decisions, self.st.iter);
             self.st.current = Some(id);
         }
     }

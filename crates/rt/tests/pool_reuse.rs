@@ -4,7 +4,9 @@
 //! internally; these tests pin the public [`EventLoop::live_counts`]
 //! view from the outside.
 
-use nodefz_rt::{EventLoop, FdKind, LiveCounts, LoopConfig, LoopPool, VDur};
+use nodefz_rt::{
+    EvKind, EventLogHandle, EventLoop, FdKind, LiveCounts, LoopConfig, LoopPool, VDur,
+};
 
 /// Registers one of everything countable, without running the loop.
 fn dirty(el: &mut EventLoop) {
@@ -103,4 +105,74 @@ fn recycled_state_is_clean_after_a_completed_run() {
         &pool,
     );
     assert!(el.live_counts().is_zero());
+}
+
+/// Recycling a loop state must also clear any attached event log: the
+/// handle is shared, so a stale log would survive into (and corrupt) the
+/// next pooled run's provenance. Records two different programs
+/// back-to-back through one pool and checks both logs are exactly what
+/// their own run produced.
+#[test]
+fn recycled_state_clears_the_attached_event_log() {
+    let pool = LoopPool::new();
+
+    // Run A: a timer chain, recorded into `log_a`.
+    let log_a = EventLogHandle::fresh();
+    let snap_a = {
+        let mut el = EventLoop::with_scheduler_pooled(
+            LoopConfig::seeded(7),
+            Box::new(nodefz_rt::VanillaScheduler::new()),
+            &pool,
+        );
+        el.set_event_log(&log_a);
+        el.enter(|cx| {
+            cx.set_timeout(VDur::millis(1), |cx| {
+                cx.touch_write("a-site");
+                cx.set_timeout(VDur::millis(1), |_| {});
+            });
+        });
+        el.run();
+        // Snapshot *before* the state is recycled: reset clears the handle.
+        log_a.snapshot()
+    };
+    // (el dropped; its state — with log_a still attached — sits in the pool.)
+    assert!(
+        snap_a.events.len() >= 2,
+        "run A recorded nothing: {snap_a:?}"
+    );
+
+    // Run B: a different program (pool work, different site) through the
+    // same pool with its own log. Taking the state back resets it, which
+    // must clear run A's handle.
+    let log_b = EventLogHandle::fresh();
+    let mut el = EventLoop::with_scheduler_pooled(
+        LoopConfig::seeded(8),
+        Box::new(nodefz_rt::VanillaScheduler::new()),
+        &pool,
+    );
+    assert!(
+        log_a.snapshot().events.is_empty(),
+        "recycling must clear the previously attached event log"
+    );
+    el.set_event_log(&log_b);
+    el.enter(|cx| {
+        cx.submit_work(VDur::millis(1), |_| (), |cx, ()| cx.touch_write("b-site"))
+            .unwrap();
+    });
+    el.run();
+    let snap_b = log_b.snapshot();
+
+    // Each log describes only its own program.
+    assert!(snap_a.sites.iter().any(|s| s == "a-site"));
+    assert!(!snap_a.sites.iter().any(|s| s == "b-site"));
+    assert!(snap_b.sites.iter().any(|s| s == "b-site"));
+    assert!(!snap_b.sites.iter().any(|s| s == "a-site"));
+    assert!(snap_b
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EvKind::Cb(nodefz_rt::CbKind::PoolDone))));
+    assert!(!snap_a
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EvKind::Cb(nodefz_rt::CbKind::PoolDone))));
 }

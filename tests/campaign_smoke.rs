@@ -204,3 +204,27 @@ fn campaigns_with_the_same_seed_find_the_same_bugs() {
     };
     assert_eq!(run_once(), run_once(), "finding set is seed-determined");
 }
+
+#[test]
+fn conform_arm_runs_clean_in_a_campaign() {
+    // The CONFORM arm fuzzes the runtime itself: generated programs
+    // judged against the ordering oracle. On a correct runtime a
+    // campaign over it must spend its whole budget without a finding —
+    // any finding here would be a runtime bug, not an application bug.
+    let cfg = CampaignConfig {
+        threads: 2,
+        budget: 40,
+        apps: vec!["CONFORM".into()],
+        base_seed: 11,
+        replay_checks: 1,
+        ..CampaignConfig::default()
+    };
+    let report = run(&cfg).expect("campaign runs");
+    assert_eq!(report.runs, 40, "the whole budget is spent");
+    assert_eq!(
+        report.unique_bugs(),
+        0,
+        "the runtime violated its own ordering oracle: {:#?}",
+        report.bugs
+    );
+}
