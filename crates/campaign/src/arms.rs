@@ -1,0 +1,201 @@
+//! The orchestrator-facing arm space: (app, preset, mode) triples.
+//!
+//! A single campaign process schedules (app, preset) bandit arms
+//! internally; the *orchestrator* schedules whole worker processes, and
+//! its unit of allocation is one (app, preset, mode) triple:
+//!
+//! * `fuzz` — one real preset of one studied app,
+//! * `directed` — the app's race-directed arm (happens-before analysis
+//!   feeding replay-then-flip runs; no fuzz preset),
+//! * `conform` — the generative conformance arm under a real preset.
+//!
+//! `campaign --list --json` prints this enumeration as the
+//! `nodefz-arms-v1` document so an orchestrator — possibly driving a
+//! different build of the binary — consumes a machine-readable contract
+//! instead of scraping human output.
+
+use nodefz_obs::JsonWriter;
+
+use crate::config::PRESETS;
+
+/// How a worker process runs one arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArmMode {
+    /// Schedule fuzzing of a studied app under one preset.
+    Fuzz,
+    /// Race-directed runs fed by happens-before analysis.
+    Directed,
+    /// Generated conformance programs judged by the ordering oracle.
+    Conform,
+}
+
+impl ArmMode {
+    /// The document spelling of the mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArmMode::Fuzz => "fuzz",
+            ArmMode::Directed => "directed",
+            ArmMode::Conform => "conform",
+        }
+    }
+
+    /// Parses the document spelling.
+    pub fn parse(s: &str) -> Option<ArmMode> {
+        match s {
+            "fuzz" => Some(ArmMode::Fuzz),
+            "directed" => Some(ArmMode::Directed),
+            "conform" => Some(ArmMode::Conform),
+            _ => None,
+        }
+    }
+}
+
+/// One orchestrator-schedulable arm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArmSpec {
+    /// Bug abbreviation (or `CONFORM`).
+    pub app: String,
+    /// Preset name, or `directed` for the directed arm.
+    pub preset: String,
+    /// How a worker runs this arm.
+    pub mode: ArmMode,
+}
+
+impl ArmSpec {
+    /// A stable human-readable arm label (`KUE/standard/fuzz`).
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.app, self.preset, self.mode.label())
+    }
+}
+
+/// Enumerates the full arm space over `apps`: every real preset of every
+/// app (mode `fuzz`, or `conform` for the CONFORM pseudo-app) plus one
+/// `directed` arm per studied app.
+pub fn arm_space(apps: &[String]) -> Vec<ArmSpec> {
+    let mut arms = Vec::new();
+    for app in apps {
+        let conform = app.eq_ignore_ascii_case(nodefz_conform::ABBR);
+        for preset in PRESETS {
+            arms.push(ArmSpec {
+                app: app.clone(),
+                preset: preset.to_string(),
+                mode: if conform {
+                    ArmMode::Conform
+                } else {
+                    ArmMode::Fuzz
+                },
+            });
+        }
+        if !conform {
+            arms.push(ArmSpec {
+                app: app.clone(),
+                preset: "directed".to_string(),
+                mode: ArmMode::Directed,
+            });
+        }
+    }
+    arms
+}
+
+/// Serializes an arm enumeration as the `nodefz-arms-v1` document.
+pub fn arms_to_json(arms: &[ArmSpec]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "nodefz-arms-v1");
+    w.key("arms");
+    w.begin_array();
+    for arm in arms {
+        w.begin_object();
+        w.field_str("app", &arm.app);
+        w.field_str("preset", &arm.preset);
+        w.field_str("mode", arm.mode.label());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
+    out
+}
+
+/// Parses a `nodefz-arms-v1` document back into arm specs.
+///
+/// # Errors
+///
+/// Describes the first malformed part.
+pub fn arms_from_json(text: &str) -> Result<Vec<ArmSpec>, String> {
+    let doc = nodefz_obs::JsonValue::parse(text).map_err(|e| format!("arms document: {e}"))?;
+    if doc.get("schema").and_then(|s| s.as_str()) != Some("nodefz-arms-v1") {
+        return Err("arms document: missing nodefz-arms-v1 schema".into());
+    }
+    let arms = doc
+        .get("arms")
+        .and_then(|a| a.as_array())
+        .ok_or("arms document: missing arms array")?;
+    arms.iter()
+        .map(|arm| {
+            let field = |key: &str| {
+                arm.get(key)
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| format!("arms document: arm missing '{key}'"))
+            };
+            Ok(ArmSpec {
+                app: field("app")?.to_string(),
+                preset: field("preset")?.to_string(),
+                mode: ArmMode::parse(field("mode")?)
+                    .ok_or_else(|| format!("arms document: unknown mode in {arm:?}"))?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_space_covers_every_preset_mode_combination() {
+        let apps = vec!["KUE".to_string(), "CONFORM".to_string()];
+        let arms = arm_space(&apps);
+        // KUE: 3 fuzz + 1 directed; CONFORM: 3 conform.
+        assert_eq!(arms.len(), PRESETS.len() + 1 + PRESETS.len());
+        let labels: Vec<String> = arms.iter().map(ArmSpec::label).collect();
+        assert!(
+            labels.contains(&"KUE/standard/fuzz".to_string()),
+            "{labels:?}"
+        );
+        assert!(labels.contains(&"KUE/directed/directed".to_string()));
+        assert!(labels.contains(&"CONFORM/guided/conform".to_string()));
+        assert!(
+            !labels.contains(&"CONFORM/directed/directed".to_string()),
+            "the conform pseudo-app has no directed arm"
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let arms = arm_space(&["GHO".to_string(), "CONFORM".to_string()]);
+        let json = arms_to_json(&arms);
+        assert!(json.contains("\"schema\": \"nodefz-arms-v1\""));
+        assert_eq!(arms_from_json(&json).unwrap(), arms);
+    }
+
+    #[test]
+    fn malformed_documents_are_named() {
+        assert!(arms_from_json("{}").unwrap_err().contains("schema"));
+        assert!(arms_from_json("not json")
+            .unwrap_err()
+            .contains("arms document"));
+        let wrong_mode =
+            r#"{"schema": "nodefz-arms-v1", "arms": [{"app": "A", "preset": "p", "mode": "x"}]}"#;
+        assert!(arms_from_json(wrong_mode).unwrap_err().contains("mode"));
+    }
+
+    #[test]
+    fn modes_round_trip_their_labels() {
+        for mode in [ArmMode::Fuzz, ArmMode::Directed, ArmMode::Conform] {
+            assert_eq!(ArmMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(ArmMode::parse("replay"), None);
+    }
+}

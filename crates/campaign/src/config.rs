@@ -22,6 +22,12 @@ pub fn preset_name(preset: usize) -> &'static str {
     PRESETS.get(preset).copied().unwrap_or("directed")
 }
 
+/// Resolves a preset name (as spelled on the CLI and in reports) to its
+/// index in [`PRESETS`].
+pub fn preset_index(name: &str) -> Option<usize> {
+    PRESETS.iter().position(|p| p.eq_ignore_ascii_case(name))
+}
+
 /// Resolves a preset index to its [`nodefz::FuzzParams`].
 pub fn preset_params(preset: usize) -> nodefz::FuzzParams {
     match preset % PRESETS.len() {
@@ -40,6 +46,13 @@ pub struct CampaignConfig {
     pub budget: u64,
     /// Bug abbreviations to target (Table 2 names, e.g. `["KUE", "MKD"]`).
     pub apps: Vec<String>,
+    /// Which fuzz presets each app gets an arm for, as indices into
+    /// [`PRESETS`] (default: all of them). An orchestrator scheduling
+    /// (app, preset, mode) arms across worker processes restricts each
+    /// worker to exactly one preset; an empty list is only valid together
+    /// with [`CampaignConfig::directed`], yielding a directed-only
+    /// campaign.
+    pub presets: Vec<usize>,
     /// Wall-clock deadline; the campaign drains gracefully when it passes.
     pub deadline: Option<Duration>,
     /// Whether to delta-debug each new finding's decision trace.
@@ -79,6 +92,7 @@ impl Default for CampaignConfig {
             threads: 4,
             budget: 400,
             apps: Vec::new(),
+            presets: (0..PRESETS.len()).collect(),
             deadline: None,
             shrink: true,
             replay_checks: 10,
@@ -108,6 +122,17 @@ impl CampaignConfig {
         if self.apps.is_empty() {
             return Err("at least one app must be targeted".into());
         }
+        if self.presets.is_empty() && !self.directed {
+            return Err("presets may only be empty in a directed-only campaign".into());
+        }
+        for &preset in &self.presets {
+            if preset >= PRESETS.len() {
+                return Err(format!(
+                    "preset index {preset} out of range (presets: {})",
+                    PRESETS.join(", ")
+                ));
+            }
+        }
         for app in &self.apps {
             if crate::driver::resolve_case(app).is_none() {
                 return Err(format!(
@@ -120,14 +145,14 @@ impl CampaignConfig {
             if self.trace_out.is_some() {
                 return Err(
                     "--trace-out needs loop instrumentation, which this binary was built \
-                     without (rebuild with --features nodefz-campaign/obs)"
+                     without (rebuild with --features nodefz-orchestrate/obs)"
                         .into(),
                 );
             }
             if !self.obs_level.is_off() {
                 return Err(format!(
                     "--obs-level {} needs loop instrumentation, which this binary was built \
-                     without (rebuild with --features nodefz-campaign/obs)",
+                     without (rebuild with --features nodefz-orchestrate/obs)",
                     self.obs_level.label()
                 ));
             }
@@ -192,6 +217,48 @@ mod tests {
         for i in 0..PRESETS.len() {
             preset_params(i).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn preset_restrictions_validate() {
+        let base = CampaignConfig {
+            apps: vec!["KUE".into()],
+            ..CampaignConfig::default()
+        };
+        let one = CampaignConfig {
+            presets: vec![1],
+            ..base.clone()
+        };
+        one.validate().unwrap();
+        let out_of_range = CampaignConfig {
+            presets: vec![PRESETS.len()],
+            ..base.clone()
+        };
+        assert!(out_of_range
+            .validate()
+            .unwrap_err()
+            .contains("out of range"));
+        let empty = CampaignConfig {
+            presets: vec![],
+            ..base.clone()
+        };
+        assert!(empty.validate().unwrap_err().contains("directed-only"));
+        let directed_only = CampaignConfig {
+            presets: vec![],
+            directed: true,
+            ..base
+        };
+        directed_only.validate().unwrap();
+    }
+
+    #[test]
+    fn preset_names_resolve_to_indices() {
+        for (i, name) in PRESETS.iter().enumerate() {
+            assert_eq!(preset_index(name), Some(i));
+            assert_eq!(preset_index(&name.to_uppercase()), Some(i));
+        }
+        assert_eq!(preset_index("directed"), None);
+        assert_eq!(preset_index("nope"), None);
     }
 
     #[test]

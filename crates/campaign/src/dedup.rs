@@ -94,6 +94,12 @@ impl Deduper {
         }
     }
 
+    /// The record a signature deduplicates into, if any.
+    pub fn record_for(&mut self, signature: &BugSignature) -> Option<&BugRecord> {
+        let key = SigKey::of(signature, &mut self.interner);
+        self.bugs.get(&key)
+    }
+
     /// Number of distinct bugs seen.
     pub fn unique_bugs(&self) -> usize {
         self.bugs.len()

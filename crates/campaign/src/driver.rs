@@ -30,7 +30,7 @@ use nodefz_trace::BugSignature;
 
 use crate::analyze::directed_specs;
 use crate::bandit::{Arm, Bandit};
-use crate::config::{preset_name, preset_params, CampaignConfig, DIRECTED_PRESET, PRESETS};
+use crate::config::{preset_name, preset_params, CampaignConfig, DIRECTED_PRESET};
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::dedup::{BugRecord, Deduper, Finding};
 use crate::metrics::{self, Discovery, WorkerTelemetry};
@@ -524,12 +524,24 @@ pub fn run_with_progress(
         .iter()
         .flat_map(|app| {
             let directed = specs.get(app).is_some_and(|(_, s)| !s.is_empty());
-            (0..PRESETS.len() + usize::from(directed)).map(move |preset| Arm {
-                app: app.clone(),
-                preset,
-            })
+            cfg.presets
+                .iter()
+                .copied()
+                .chain(directed.then_some(DIRECTED_PRESET))
+                .map(move |preset| Arm {
+                    app: app.clone(),
+                    preset,
+                })
         })
         .collect();
+    if arms.is_empty() {
+        // Only reachable in a directed-only campaign (empty preset list)
+        // where no targeted app's analysis predicted a race.
+        return Err(format!(
+            "no arms: directed analysis predicted no races for {}",
+            cfg.apps.join(", ")
+        ));
+    }
     let mut bandit = Bandit::new(arms);
     let mut deduper = Deduper::new();
 
@@ -711,6 +723,18 @@ pub fn run_with_progress(
                     replays_ok,
                 });
                 deduper.attach_shrunk(&signature, shrunk, replays_ok);
+                // Persist the repro the moment it is ready instead of only
+                // at drain: if this process dies mid-campaign (a worker
+                // shard reaped by the orchestrator), the corpus on disk is
+                // a valid partial result. The drain-time pass below
+                // re-saves every record with final hit counts.
+                if let Some(corpus) = &corpus {
+                    if let Some(record) = deduper.record_for(&signature) {
+                        corpus
+                            .save(&record_to_entry(record))
+                            .map_err(|e| format!("corpus: {e}"))?;
+                    }
+                }
             }
         }
         if let Some(path) = &cfg.metrics_out {
@@ -835,7 +859,10 @@ fn write_metrics(
         discovery,
         &registry.snapshot(),
     );
-    std::fs::write(path, snapshot.to_json())
+    // Atomic (temp file + rename): an orchestrator polls these snapshots
+    // from another process while the campaign runs, and must never read a
+    // torn document.
+    nodefz_obs::write_atomic(path, &snapshot.to_json())
         .map_err(|e| format!("metrics: cannot write {}: {e}", path.display()))
 }
 

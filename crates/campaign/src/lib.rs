@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod arms;
 pub mod bandit;
 pub mod bench;
 pub mod config;
@@ -33,8 +34,11 @@ pub mod shrink;
 mod driver;
 
 pub use analyze::{analyze_campaign, AnalyzeConfig, AnalyzeReport, ConfirmedRace};
+pub use arms::{arm_space, arms_from_json, arms_to_json, ArmMode, ArmSpec};
 pub use bench::{measure, ArmThroughput, BenchConfig, ThroughputReport};
-pub use config::{preset_name, preset_params, CampaignConfig, DIRECTED_PRESET, PRESETS};
+pub use config::{
+    preset_index, preset_name, preset_params, CampaignConfig, DIRECTED_PRESET, PRESETS,
+};
 pub use corpus::{Corpus, CorpusDecodeError, CorpusEntry};
 pub use dedup::{BugRecord, Deduper, Finding};
 pub use driver::{

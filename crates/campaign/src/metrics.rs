@@ -27,7 +27,6 @@ use nodefz_obs::{
 use nodefz_trace::{DiversitySummary, PAPER_TRUNCATION};
 
 use crate::bandit::ArmSnapshot;
-use crate::config::PRESETS;
 
 /// Upper bounds for the per-run dispatched-callback histogram. Bug runs
 /// dispatch hundreds to a few thousand callbacks; the overflow bucket
@@ -354,7 +353,7 @@ pub(crate) fn collect(
             let samples = schedules_of(&a.arm.app, a.arm.preset);
             ArmMetrics {
                 app: a.arm.app.clone(),
-                preset: PRESETS[a.arm.preset % PRESETS.len()],
+                preset: crate::config::preset_name(a.arm.preset),
                 pulls: a.pulls,
                 mean_reward: a.mean_reward,
                 ucb_bound: a.ucb_bound,

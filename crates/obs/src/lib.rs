@@ -16,6 +16,11 @@
 //! * [`JsonWriter`] — a dependency-free JSON emitter shared by the
 //!   `nodefz-metrics-v1` snapshot writer, the `nodefz-throughput-v1`
 //!   bench report, and the chrome-trace exporter.
+//! * [`JsonValue`] — the matching reader: a strict recursive-descent
+//!   parser for consumers of those documents in *other* processes (the
+//!   campaign orchestrator reading worker snapshots).
+//! * [`write_atomic`] — temp-file-plus-rename snapshot persistence, so a
+//!   concurrent reader never observes a torn document.
 //! * [`ChromeTrace`] (feature `rt`) — a `TraceEventSink` that collects a
 //!   single run's loop-phase and callback timeline in chrome://tracing
 //!   format, loadable in Perfetto.
@@ -23,13 +28,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod fsio;
 mod json;
+mod parse;
 mod registry;
 
 #[cfg(feature = "rt")]
 mod chrome;
 
+pub use fsio::write_atomic;
 pub use json::JsonWriter;
+pub use parse::{JsonParseError, JsonValue};
 pub use registry::{
     CounterId, CounterSnapshot, HistogramId, HistogramSnapshot, Registry, RegistryBuilder,
     RegistrySnapshot, ShardHandle,

@@ -1,25 +1,39 @@
-//! Command-line front end for fuzzing campaigns.
+//! Command-line front end for fuzzing campaigns — single-process and
+//! orchestrated.
 //!
 //! ```text
 //! campaign [--threads N] [--budget N] [--apps KUE,MKD,...] [--corpus DIR]
 //!          [--deadline-secs S] [--no-shrink] [--replay-checks N]
-//!          [--seed N] [--verify DIR] [--list] [--directed] [--conform]
-//!          [--analyze] [--races-out PATH] [--attempts N]
-//!          [--metrics-out PATH] [--trace-out PATH] [--obs-level LEVEL]
-//!          [--bench-execs] [--bench-window-ms N] [--bench-warmup-ms N]
-//!          [--bench-out PATH]
+//!          [--seed N] [--presets LIST] [--verify DIR] [--list [--json]]
+//!          [--directed] [--conform] [--analyze] [--races-out PATH]
+//!          [--attempts N] [--metrics-out PATH] [--trace-out PATH]
+//!          [--obs-level LEVEL] [--bench-execs] [--bench-window-ms N]
+//!          [--bench-warmup-ms N] [--bench-out PATH]
+//!          [--orchestrate | --bench-orchestrate] [--shards N] [--rounds N]
+//!          [--round-budget N] [--slices N] [--scheduler thompson|ucb]
+//!          [--workdir DIR] [--merged-corpus DIR] [--orch-out PATH]
+//!          [--worker-deadline-secs S] [--induce-crash K]
+//!          [--bench-orch-out PATH]
 //! ```
 //!
 //! Plain `std::env::args` parsing — no argument-parsing dependency.
+//! Under `--orchestrate` this binary becomes the parent of N copies of
+//! itself, each running one (app, preset, mode) arm in single-campaign
+//! mode.
 
 use std::process::ExitCode;
 
 use nodefz_campaign::{report, run_with_progress, BenchConfig, CampaignConfig, Corpus, Event};
+use nodefz_orchestrate::{OrchConfig, SchedulerKind};
 
 const USAGE: &str = "usage: campaign [options]
   --threads N        worker threads (default 4)
   --budget N         total fuzz runs (default 400)
   --apps A,B,C       bug abbreviations to target (default: the fig6 set)
+  --presets LIST     comma-separated fuzz presets to arm (standard,
+                     aggressive, guided); the special name 'directed'
+                     enables the race-directed arm, alone it means a
+                     directed-only campaign
   --corpus DIR       persist minimized repros into DIR
   --deadline-secs S  wall-clock budget; drain gracefully when exceeded
   --no-shrink        skip delta-debugging of new findings
@@ -27,6 +41,8 @@ const USAGE: &str = "usage: campaign [options]
   --seed N           base environment seed (default 1)
   --verify DIR       replay every corpus entry in DIR and exit
   --list             list known bug abbreviations and exit
+  --json             with --list: print the nodefz-arms-v1 arm space for
+                     the targeted apps instead of the human listing
   --directed         add a race-directed bandit arm per app, fed by
                      happens-before analysis of one recorded run
   --conform          add the CONFORM arm: generated event-driven programs
@@ -47,17 +63,79 @@ const USAGE: &str = "usage: campaign [options]
   --bench-window-ms N  measurement window per arm (default 400)
   --bench-warmup-ms N  warmup per arm, excluded from measurement (default 100)
   --bench-out PATH   where to write the JSON report
-                     (default BENCH_throughput.json)";
+                     (default BENCH_throughput.json)
+  --orchestrate      run the multi-process orchestrator: shard budget
+                     slices of the full app x preset x mode arm space
+                     across child campaign processes and merge their
+                     corpora with cross-shard dedup
+  --shards N         concurrent worker processes (default 2)
+  --rounds N         budget rounds incl. the initial coverage round
+                     (default 3)
+  --round-budget N   fuzz runs per budget slice (default 40)
+  --slices N         slices per post-coverage round (default: arm count)
+  --scheduler S      round allocation policy: thompson | ucb
+                     (default thompson)
+  --workdir DIR      orchestrator scratch dir (default nodefz-orch)
+  --merged-corpus DIR  canonical merged corpus (default WORKDIR/corpus)
+  --orch-out PATH    nodefz-orch-v1 rollup, refreshed per round
+                     (default ORCH_report.json)
+  --worker-deadline-secs S  kill-and-quarantine deadline per worker
+                     (default 120)
+  --induce-crash K   deliberately crash the K-th work item's worker
+                     (crash-robustness testing)
+  --bench-orchestrate  run the same orchestration under thompson and ucb
+                     and write the execs-to-discovery comparison
+  --bench-orch-out PATH  where --bench-orchestrate writes the report
+                     (default BENCH_orchestrate.json)";
 
 /// What to run instead of a campaign, if anything.
 struct AltMode {
     verify: Option<String>,
     list: bool,
+    /// With `list`: emit the machine-readable arm enumeration.
+    list_json: bool,
     bench: Option<BenchOpts>,
     analyze: Option<AnalyzeOpts>,
     /// Append the CONFORM arm to the targeted apps (after the default
     /// set is filled in, so `--conform` alone fuzzes fig6 + CONFORM).
     conform: bool,
+    orchestrate: bool,
+    bench_orchestrate: bool,
+    orch: OrchOpts,
+    /// Undocumented worker sabotage: abort the process after N runs.
+    crash_after_runs: Option<u64>,
+}
+
+struct OrchOpts {
+    shards: usize,
+    rounds: u32,
+    round_budget: u64,
+    slices: Option<usize>,
+    scheduler: SchedulerKind,
+    workdir: String,
+    merged_corpus: Option<String>,
+    orch_out: String,
+    worker_deadline_secs: u64,
+    induce_crash: Option<usize>,
+    bench_out: String,
+}
+
+impl Default for OrchOpts {
+    fn default() -> OrchOpts {
+        OrchOpts {
+            shards: 2,
+            rounds: 3,
+            round_budget: 40,
+            slices: None,
+            scheduler: SchedulerKind::Thompson,
+            workdir: "nodefz-orch".into(),
+            merged_corpus: None,
+            orch_out: "ORCH_report.json".into(),
+            worker_deadline_secs: 120,
+            induce_crash: None,
+            bench_out: "BENCH_orchestrate.json".into(),
+        }
+    }
 }
 
 struct AnalyzeOpts {
@@ -90,14 +168,40 @@ impl Default for BenchOpts {
     }
 }
 
+fn parse_presets(cfg: &mut CampaignConfig, spec: &str) -> Result<(), String> {
+    let mut presets = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if name.eq_ignore_ascii_case("directed") {
+            cfg.directed = true;
+        } else {
+            let index = nodefz_campaign::preset_index(name).ok_or_else(|| {
+                format!(
+                    "--presets: unknown preset '{name}' (known: {}, directed)",
+                    nodefz_campaign::PRESETS.join(", ")
+                )
+            })?;
+            if !presets.contains(&index) {
+                presets.push(index);
+            }
+        }
+    }
+    cfg.presets = presets;
+    Ok(())
+}
+
 fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
     let mut cfg = CampaignConfig::default();
     let mut alt = AltMode {
         verify: None,
         list: false,
+        list_json: false,
         bench: None,
         analyze: None,
         conform: false,
+        orchestrate: false,
+        bench_orchestrate: false,
+        orch: OrchOpts::default(),
+        crash_after_runs: None,
     };
     let mut bench_opts = BenchOpts::default();
     let mut bench = false;
@@ -111,17 +215,12 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value"))
         };
+        fn num<T: std::str::FromStr>(name: &str, raw: String) -> Result<T, String> {
+            raw.parse().map_err(|_| format!("{name}: not a number"))
+        }
         match arg.as_str() {
-            "--threads" => {
-                cfg.threads = value("--threads")?
-                    .parse()
-                    .map_err(|_| "--threads: not a number".to_string())?;
-            }
-            "--budget" => {
-                cfg.budget = value("--budget")?
-                    .parse()
-                    .map_err(|_| "--budget: not a number".to_string())?;
-            }
+            "--threads" => cfg.threads = num("--threads", value("--threads")?)?,
+            "--budget" => cfg.budget = num("--budget", value("--budget")?)?,
             "--apps" => {
                 cfg.apps = value("--apps")?
                     .split(',')
@@ -129,35 +228,28 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
                     .filter(|s| !s.is_empty())
                     .collect();
             }
+            "--presets" => {
+                let spec = value("--presets")?;
+                parse_presets(&mut cfg, &spec)?;
+            }
             "--corpus" => cfg.corpus_dir = Some(value("--corpus")?.into()),
             "--deadline-secs" => {
-                let secs: u64 = value("--deadline-secs")?
-                    .parse()
-                    .map_err(|_| "--deadline-secs: not a number".to_string())?;
+                let secs: u64 = num("--deadline-secs", value("--deadline-secs")?)?;
                 cfg.deadline = Some(std::time::Duration::from_secs(secs));
             }
             "--no-shrink" => cfg.shrink = false,
             "--replay-checks" => {
-                cfg.replay_checks = value("--replay-checks")?
-                    .parse()
-                    .map_err(|_| "--replay-checks: not a number".to_string())?;
+                cfg.replay_checks = num("--replay-checks", value("--replay-checks")?)?;
             }
-            "--seed" => {
-                cfg.base_seed = value("--seed")?
-                    .parse()
-                    .map_err(|_| "--seed: not a number".to_string())?;
-            }
+            "--seed" => cfg.base_seed = num("--seed", value("--seed")?)?,
             "--verify" => alt.verify = Some(value("--verify")?),
             "--list" => alt.list = true,
+            "--json" => alt.list_json = true,
             "--directed" => cfg.directed = true,
             "--conform" => conform = true,
             "--analyze" => analyze = true,
             "--races-out" => analyze_opts.races_out = value("--races-out")?,
-            "--attempts" => {
-                analyze_opts.attempts = value("--attempts")?
-                    .parse()
-                    .map_err(|_| "--attempts: not a number".to_string())?;
-            }
+            "--attempts" => analyze_opts.attempts = num("--attempts", value("--attempts")?)?,
             "--metrics-out" => cfg.metrics_out = Some(value("--metrics-out")?.into()),
             "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.into()),
             "--obs-level" => {
@@ -167,16 +259,40 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
             }
             "--bench-execs" => bench = true,
             "--bench-window-ms" => {
-                bench_opts.window_ms = value("--bench-window-ms")?
-                    .parse()
-                    .map_err(|_| "--bench-window-ms: not a number".to_string())?;
+                bench_opts.window_ms = num("--bench-window-ms", value("--bench-window-ms")?)?;
             }
             "--bench-warmup-ms" => {
-                bench_opts.warmup_ms = value("--bench-warmup-ms")?
-                    .parse()
-                    .map_err(|_| "--bench-warmup-ms: not a number".to_string())?;
+                bench_opts.warmup_ms = num("--bench-warmup-ms", value("--bench-warmup-ms")?)?;
             }
             "--bench-out" => bench_opts.out = value("--bench-out")?,
+            "--orchestrate" => alt.orchestrate = true,
+            "--bench-orchestrate" => alt.bench_orchestrate = true,
+            "--shards" => alt.orch.shards = num("--shards", value("--shards")?)?,
+            "--rounds" => alt.orch.rounds = num("--rounds", value("--rounds")?)?,
+            "--round-budget" => {
+                alt.orch.round_budget = num("--round-budget", value("--round-budget")?)?;
+            }
+            "--slices" => alt.orch.slices = Some(num("--slices", value("--slices")?)?),
+            "--scheduler" => {
+                let spelled = value("--scheduler")?;
+                alt.orch.scheduler = SchedulerKind::parse(&spelled)
+                    .ok_or_else(|| format!("--scheduler: unknown policy '{spelled}'"))?;
+            }
+            "--workdir" => alt.orch.workdir = value("--workdir")?,
+            "--merged-corpus" => alt.orch.merged_corpus = Some(value("--merged-corpus")?),
+            "--orch-out" => alt.orch.orch_out = value("--orch-out")?,
+            "--worker-deadline-secs" => {
+                alt.orch.worker_deadline_secs =
+                    num("--worker-deadline-secs", value("--worker-deadline-secs")?)?;
+            }
+            "--induce-crash" => {
+                alt.orch.induce_crash = Some(num("--induce-crash", value("--induce-crash")?)?);
+            }
+            "--bench-orch-out" => alt.orch.bench_out = value("--bench-orch-out")?,
+            "--crash-after-runs" => {
+                alt.crash_after_runs =
+                    Some(num("--crash-after-runs", value("--crash-after-runs")?)?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -355,6 +471,112 @@ fn run_analyze(cfg: &CampaignConfig, opts: &AnalyzeOpts) -> ExitCode {
     }
 }
 
+fn orch_config(cfg: &CampaignConfig, opts: &OrchOpts) -> Result<OrchConfig, String> {
+    let worker_bin = std::env::current_exe()
+        .map_err(|e| format!("cannot resolve own binary for worker spawns: {e}"))?;
+    Ok(OrchConfig {
+        apps: cfg.apps.clone(),
+        shards: opts.shards,
+        rounds: opts.rounds,
+        slices_per_round: opts.slices,
+        slice_budget: opts.round_budget,
+        base_seed: cfg.base_seed,
+        scheduler: opts.scheduler,
+        workdir: opts.workdir.clone().into(),
+        merged_corpus: opts.merged_corpus.clone().map(Into::into),
+        orch_out: Some(opts.orch_out.clone().into()),
+        worker_deadline: std::time::Duration::from_secs(opts.worker_deadline_secs),
+        worker_bin,
+        induce_crash: opts.induce_crash,
+        replay_checks: cfg.replay_checks,
+    })
+}
+
+fn run_orchestrate(cfg: &CampaignConfig, opts: &OrchOpts) -> ExitCode {
+    let orch = match orch_config(cfg, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "orchestrate: {} apps, {} scheduler, {} rounds x {} runs/slice on {} shard(s)",
+        orch.apps.len(),
+        orch.scheduler.label(),
+        orch.rounds,
+        orch.slice_budget,
+        orch.shards,
+    );
+    match nodefz_orchestrate::orchestrate(&orch, |line| println!("{line}")) {
+        Ok(report) => {
+            for arm in &report.arms {
+                println!(
+                    "  {:<28} {:>3} slice(s)  {:>3} new bug(s)  {:>6} runs{}",
+                    arm.spec.label(),
+                    arm.pulls,
+                    arm.new_bugs,
+                    arm.runs,
+                    arm.quarantined
+                        .as_ref()
+                        .map(|r| format!("  QUARANTINED ({r})"))
+                        .unwrap_or_default(),
+                );
+            }
+            println!(
+                "orchestrate: {} unique bug(s) in merged corpus {} after {} runs",
+                report.unique_bugs(),
+                report.merged_dir.display(),
+                report.total_runs,
+            );
+            println!("wrote {}", opts.orch_out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_bench_orchestrate(cfg: &CampaignConfig, opts: &OrchOpts) -> ExitCode {
+    let orch = match orch_config(cfg, opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match nodefz_orchestrate::bench_orchestrate(&orch, |line| println!("{line}")) {
+        Ok(bench) => {
+            for report in [&bench.thompson, &bench.ucb] {
+                println!(
+                    "  {:<9} {} unique bug(s) in {} runs, full discovery at {}",
+                    report.scheduler.label(),
+                    report.unique_bugs(),
+                    report.total_runs,
+                    report
+                        .execs_to_full_discovery()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            if let Err(e) =
+                nodefz_obs::write_atomic(std::path::Path::new(&opts.bench_out), &bench.to_json())
+            {
+                eprintln!("campaign: cannot write {}: {e}", opts.bench_out);
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", opts.bench_out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mut cfg, alt) = match parse_args(&args) {
@@ -364,7 +586,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = alt.verify {
+        return verify_corpus(&dir);
+    }
+    if cfg.apps.is_empty() {
+        cfg.apps = default_apps();
+    }
+    if alt.conform && !cfg.apps.iter().any(|a| a.eq_ignore_ascii_case("CONFORM")) {
+        cfg.apps.push("CONFORM".into());
+    }
     if alt.list {
+        if alt.list_json {
+            // The machine-readable contract an orchestrating process
+            // consumes: the arm space for the *resolved* app set.
+            print!(
+                "{}",
+                nodefz_campaign::arms_to_json(&nodefz_campaign::arm_space(&cfg.apps))
+            );
+            return ExitCode::SUCCESS;
+        }
         for case in nodefz_apps::registry() {
             let info = case.info();
             println!("{:<4} {:<16} {}", info.abbr, info.name, info.bug_ref);
@@ -376,20 +616,17 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    if let Some(dir) = alt.verify {
-        return verify_corpus(&dir);
-    }
-    if cfg.apps.is_empty() {
-        cfg.apps = default_apps();
-    }
-    if alt.conform && !cfg.apps.iter().any(|a| a.eq_ignore_ascii_case("CONFORM")) {
-        cfg.apps.push("CONFORM".into());
-    }
     if let Some(opts) = &alt.bench {
         return run_bench(&cfg, opts);
     }
     if let Some(opts) = &alt.analyze {
         return run_analyze(&cfg, opts);
+    }
+    if alt.bench_orchestrate {
+        return run_bench_orchestrate(&cfg, &alt.orch);
+    }
+    if alt.orchestrate {
+        return run_orchestrate(&cfg, &alt.orch);
     }
 
     println!(
@@ -402,8 +639,15 @@ fn main() -> ExitCode {
             .map(|d| format!(", corpus {}", d.display()))
             .unwrap_or_default(),
     );
+    let crash_after = alt.crash_after_runs;
     let outcome = run_with_progress(&cfg, |event| {
         if let Event::Run { completed, budget } = event {
+            // Deliberate mid-campaign death for orchestrator
+            // crash-robustness tests: die hard (no exit code, no drain),
+            // exactly like a segfaulting worker would.
+            if crash_after.is_some_and(|n| *completed >= n) {
+                std::process::abort();
+            }
             // Sample run ticks so a large budget does not flood the console.
             let step = (budget / 20).max(1);
             if completed % step == 0 || completed == budget {

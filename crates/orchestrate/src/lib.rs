@@ -1,0 +1,48 @@
+//! # nodefz-orchestrate — multi-process campaign orchestration
+//!
+//! One `campaign` process parallelizes fuzz runs across worker threads;
+//! this crate adds the level above: a campaign *of campaigns*. The
+//! orchestrator enumerates the full arm space — every app × preset ×
+//! mode (fuzz / directed / conform) — and shards budget slices across N
+//! child `campaign` worker processes:
+//!
+//! ```text
+//!             ┌► worker proc (KUE/standard/fuzz)  ──► corpus shard ─┐
+//! orchestrate ┼► worker proc (KUE/directed)       ──► corpus shard ─┼► merge ─► canonical corpus
+//!    ▲        └► worker proc (CONFORM/aggressive) ──► corpus shard ─┘    │
+//!    └──────────── Thompson-sampling budget reallocation ◄──────────────┘
+//! ```
+//!
+//! * [`scheduler`] — Thompson sampling over Beta posteriors (reward =
+//!   new unique bugs per budget slice), with the in-process UCB policy
+//!   kept as a fallback for comparison.
+//! * [`worker`] — child-process lifecycle: spawn the same binary in
+//!   single-campaign mode, poll, kill past the deadline, classify exits.
+//! * [`merge`] — cross-shard corpus merge with [`BugSignature`] dedup;
+//!   the merged corpus is canonical and passes `campaign --verify`.
+//! * [`orch`] — the round loop tying it together, plus the
+//!   `nodefz-orch-v1` rollup and the Thompson-vs-UCB bench.
+//!
+//! Work-item seeds derive from (arm, per-arm pull count) only and round
+//! results are processed in spawn-index order, so the found-bug set is
+//! invariant to the shard count; crashed, stalled, or erroring workers
+//! quarantine their arm and have their partial corpus salvaged instead
+//! of failing the campaign.
+//!
+//! [`BugSignature`]: nodefz_trace::BugSignature
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod merge;
+pub mod orch;
+pub mod scheduler;
+pub mod worker;
+
+pub use merge::MergedCorpus;
+pub use orch::{
+    bench_orchestrate, orchestrate, work_seed, OrchBenchReport, OrchConfig, OrchDiscovery,
+    OrchReport, WorkRecord,
+};
+pub use scheduler::{ArmState, Scheduler, SchedulerKind, SplitMix};
+pub use worker::{Outcome, WorkItem};

@@ -1,0 +1,113 @@
+//! A set of bug signatures, for merging findings across processes.
+//!
+//! The in-campaign [`Deduper`]-style tables key on interner-local
+//! [`SigKey`]s, which are only meaningful inside one process. When an
+//! orchestrator merges corpora produced by *separate* worker processes,
+//! every shard arrives with its own string space — so the merge side
+//! needs a set that re-interns on insert and can answer "is this
+//! signature new to the union?" cheaply and deterministically.
+//!
+//! [`SigSet`] is that set: insertion interns the signature's strings into
+//! the set's own table (two hash lookups after the first sighting) and
+//! reports whether the signature was previously unseen. The insertion
+//! order is recorded, so a cross-shard discovery sequence can be replayed
+//! for reward accounting.
+//!
+//! [`Deduper`]: https://docs.rs/nodefz-campaign
+
+use crate::intern::{SigKey, SiteInterner};
+use crate::signature::BugSignature;
+
+/// An insertion-ordered set of [`BugSignature`]s with its own interner.
+#[derive(Clone, Debug, Default)]
+pub struct SigSet {
+    interner: SiteInterner,
+    seen: std::collections::HashSet<SigKey>,
+    order: Vec<BugSignature>,
+}
+
+impl SigSet {
+    /// Creates an empty set.
+    pub fn new() -> SigSet {
+        SigSet::default()
+    }
+
+    /// Inserts a signature; returns `true` when it was previously unseen.
+    pub fn insert(&mut self, sig: &BugSignature) -> bool {
+        let key = SigKey::of(sig, &mut self.interner);
+        let new = self.seen.insert(key);
+        if new {
+            self.order.push(sig.clone());
+        }
+        new
+    }
+
+    /// Whether the set already contains `sig` (interns its strings but
+    /// never records the signature).
+    pub fn contains(&mut self, sig: &BugSignature) -> bool {
+        let key = SigKey::of(sig, &mut self.interner);
+        self.seen.contains(&key)
+    }
+
+    /// Number of distinct signatures inserted.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The distinct signatures, in first-insertion order.
+    pub fn in_order(&self) -> &[BugSignature] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(app: &str, site: &str, kinds: u32) -> BugSignature {
+        BugSignature {
+            app: app.into(),
+            site: site.into(),
+            kinds,
+        }
+    }
+
+    #[test]
+    fn first_insertion_is_new_repeats_are_not() {
+        let mut s = SigSet::new();
+        assert!(s.insert(&sig("KUE", "lost # jobs", 3)));
+        assert!(!s.insert(&sig("KUE", "lost # jobs", 3)));
+        assert!(s.insert(&sig("MKD", "lost # jobs", 3)), "app splits");
+        assert!(s.insert(&sig("KUE", "lost # jobs", 7)), "kinds split");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn merging_two_shards_yields_the_union_in_insertion_order() {
+        // Two shards found overlapping bugs; the union dedups and keeps
+        // first-seen order — the cross-shard discovery sequence.
+        let shard_a = [sig("KUE", "a", 1), sig("GHO", "b", 2)];
+        let shard_b = [sig("GHO", "b", 2), sig("MKD", "c", 4)];
+        let mut union = SigSet::new();
+        let new_a: usize = shard_a.iter().filter(|s| union.insert(s)).count();
+        let new_b: usize = shard_b.iter().filter(|s| union.insert(s)).count();
+        assert_eq!((new_a, new_b), (2, 1));
+        let apps: Vec<&str> = union.in_order().iter().map(|s| s.app.as_str()).collect();
+        assert_eq!(apps, ["KUE", "GHO", "MKD"]);
+    }
+
+    #[test]
+    fn contains_does_not_insert() {
+        let mut s = SigSet::new();
+        assert!(!s.contains(&sig("KUE", "x", 0)));
+        assert!(s.is_empty());
+        s.insert(&sig("KUE", "x", 0));
+        assert!(s.contains(&sig("KUE", "x", 0)));
+        assert_eq!(s.len(), 1);
+    }
+}
