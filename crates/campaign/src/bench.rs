@@ -1,31 +1,48 @@
-//! Executions-per-second throughput measurement.
+//! Schedule-space throughput measurement (`nodefz-throughput-v2`).
 //!
 //! Node.fz's value proposition is schedule bugs manifested *per unit of
-//! testing time* (<1.1x overhead, Table 5 of the paper), and the campaign
-//! driver turns that into bugs per execution budget — so raw record-mode
-//! executions per second is the system's throughput currency. This module
-//! measures it: for each (app, preset) arm it runs fuzzed executions
-//! back-to-back inside a wall-clock window (after a warmup) and reports
-//! execs/sec and dispatched-callbacks/sec. The report serializes to a small
-//! hand-rolled JSON document (`BENCH_throughput.json` at the repo root) so
-//! successive PRs accumulate a perf trajectory to regress against.
+//! testing time* (<1.1x overhead, Table 5 of the paper). Raw executions
+//! per second was this bench's v1 currency — but raw throughput
+//! overstates value: two happens-before-equivalent schedules manifest
+//! exactly the same races, so the true currency is *distinct schedule
+//! classes per second*. The v2 bench measures three windows per
+//! (app, preset) arm:
 //!
-//! The measurement loop is exactly the campaign worker's hot path
-//! ([`RunContext::fuzz_once`]): a record-mode run of the buggy variant with
-//! the decision trace captured, signature-checked on manifestation — and
-//! the counting goes through the same [`metrics`](crate::metrics) registry
-//! layout the campaign workers record into, so the bench exercises the
-//! telemetry path it reports on. Single-threaded on purpose — the campaign
-//! scales across threads, but throughput per worker is what this
-//! trajectory tracks (the CI container exposes one CPU).
+//! 1. **raw** — the v1 measurement, unchanged for trajectory
+//!    comparability: record-mode executions back-to-back, counted through
+//!    the campaign's metrics registry ([`RunContext::fuzz_once`]).
+//! 2. **canon** — the same loop with the pruning kit attached
+//!    ([`RunContext::enable_prune`]): every run's event log folds into an
+//!    HB canonical key, a seen-set splits runs into distinct vs
+//!    redundant. `distinct_per_sec` is the honest throughput;
+//!    `redundancy_ratio` is what raw counting was overstating.
+//! 3. **pruned** — the [`ForkExplorer`] engine: record one run, memoize
+//!    its decision prefix, then fork — replay the prefix, steer the first
+//!    fresh decision away from already-explored classes, count draws
+//!    rejected at the divergence as *skipped* (schedules dispositioned
+//!    without executing their suffix). `effective_per_sec` counts
+//!    distinct + skipped per second — classes dispositioned per second.
+//!
+//! A separate **snapshot-fork microbench** measures the other pruning
+//! primitive: one admissible loop is snapshotted once and resumed many
+//! times, each resume under a differently-seeded suffix scheduler
+//! (`restore` + `replace_scheduler`), with each resumed run's canonical
+//! key deduped. Fig6 app arms cannot use loop snapshots (their custom
+//! environments are snapshot-inadmissible), so this primitive is measured
+//! on a synthetic timer workload and reported once, not per arm.
+//!
+//! The report serializes to `BENCH_throughput.json` at the repo root;
+//! [`read_summary`] reads both v1 and v2 documents so the perf trajectory
+//! spans the schema change.
 
 use std::time::{Duration, Instant};
 
-use nodefz_obs::{JsonWriter, ObsLevel};
+use nodefz_obs::{JsonValue, JsonWriter, ObsLevel};
 
 use crate::config::PRESETS;
 use crate::driver::{arm_seed, derive_seed, RunContext};
 use crate::metrics::{build_registry, WorkerTelemetry};
+use crate::prune::{ForkExplorer, PruneCounters, SEEN_CAP};
 
 /// Configuration of one throughput measurement.
 #[derive(Clone, Debug)]
@@ -34,7 +51,7 @@ pub struct BenchConfig {
     pub apps: Vec<String>,
     /// Wall-clock warmup per arm, excluded from the measurement.
     pub warmup: Duration,
-    /// Wall-clock measurement window per arm.
+    /// Wall-clock measurement window (per arm *and* per window kind).
     pub window: Duration,
     /// Base environment seed; per-run seeds derive like the campaign's.
     pub base_seed: u64,
@@ -51,6 +68,58 @@ impl Default for BenchConfig {
     }
 }
 
+/// The canon window: raw execution with online HB-class dedup.
+#[derive(Clone, Debug)]
+pub struct CanonWindow {
+    /// Executions completed inside the window.
+    pub runs: u64,
+    /// Executions that opened a new HB-equivalence class.
+    pub distinct: u64,
+    /// Executions whose class was already seen.
+    pub redundant: u64,
+    /// Actual measured wall-clock time (>= the configured window).
+    pub elapsed: Duration,
+}
+
+impl CanonWindow {
+    /// Distinct HB classes per second — the honest throughput.
+    pub fn distinct_per_sec(&self) -> f64 {
+        self.distinct as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Fraction of executions that were HB-redundant.
+    pub fn redundancy_ratio(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.redundant as f64 / self.runs as f64
+        }
+    }
+}
+
+/// The pruned window: [`ForkExplorer`] counters over one wall-clock
+/// window.
+#[derive(Clone, Debug)]
+pub struct PrunedWindow {
+    /// The explorer's counters at window end.
+    pub counters: PruneCounters,
+    /// Actual measured wall-clock time (>= the configured window).
+    pub elapsed: Duration,
+}
+
+impl PrunedWindow {
+    /// Distinct HB classes per second under pruned exploration.
+    pub fn distinct_per_sec(&self) -> f64 {
+        self.counters.distinct as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Schedule classes dispositioned per second: executed-and-distinct
+    /// plus skipped-without-executing.
+    pub fn effective_per_sec(&self) -> f64 {
+        self.counters.effective() as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
 /// Measured throughput of one (app, preset) arm.
 #[derive(Clone, Debug)]
 pub struct ArmThroughput {
@@ -58,16 +127,20 @@ pub struct ArmThroughput {
     pub app: String,
     /// Preset name ("standard", "aggressive", "guided").
     pub preset: &'static str,
-    /// Fuzzed executions completed inside the window.
+    /// Fuzzed executions completed inside the raw window.
     pub runs: u64,
     /// Callbacks dispatched across those executions.
     pub events: u64,
-    /// Actual measured wall-clock time (>= the configured window).
+    /// Actual measured raw-window wall-clock time.
     pub elapsed: Duration,
+    /// The canon window's measurement.
+    pub canon: CanonWindow,
+    /// The pruned window's measurement.
+    pub pruned: PrunedWindow,
 }
 
 impl ArmThroughput {
-    /// Executions per second.
+    /// Raw executions per second.
     pub fn execs_per_sec(&self) -> f64 {
         self.runs as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
     }
@@ -78,36 +151,92 @@ impl ArmThroughput {
     }
 }
 
-/// A full throughput report: one entry per (app, preset) arm.
+/// The snapshot-fork microbench: one admissible loop snapshotted once,
+/// resumed many times under distinct suffix schedulers.
+#[derive(Clone, Debug)]
+pub struct SnapshotBench {
+    /// Resumes performed (each one `restore` + `replace_scheduler` + run).
+    pub forks: u64,
+    /// Resumed runs that opened a new HB class.
+    pub distinct: u64,
+    /// Actual measured wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl SnapshotBench {
+    /// Snapshot resumes per second.
+    pub fn forks_per_sec(&self) -> f64 {
+        self.forks as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Distinct HB classes per second across resumed runs.
+    pub fn distinct_per_sec(&self) -> f64 {
+        self.distinct as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// A full throughput report: one entry per (app, preset) arm plus the
+/// snapshot-fork microbench.
 #[derive(Clone, Debug)]
 pub struct ThroughputReport {
     /// Per-arm measurements, in (app, preset) order.
     pub arms: Vec<ArmThroughput>,
+    /// The snapshot-fork microbench result.
+    pub snapshot_fork: SnapshotBench,
     /// The configuration that produced the report.
     pub config: BenchConfig,
 }
 
 impl ThroughputReport {
-    /// Total executions across all arms.
+    /// Total raw executions across all arms.
     pub fn total_runs(&self) -> u64 {
         self.arms.iter().map(|a| a.runs).sum()
     }
 
-    /// Total measured wall-clock time across all arms.
+    /// Total raw-window wall-clock time across all arms.
     pub fn total_elapsed(&self) -> Duration {
         self.arms.iter().map(|a| a.elapsed).sum()
     }
 
-    /// Aggregate executions per second (total runs / total elapsed).
+    /// Aggregate raw executions per second (total runs / total elapsed).
     pub fn total_execs_per_sec(&self) -> f64 {
         self.total_runs() as f64 / self.total_elapsed().as_secs_f64().max(f64::EPSILON)
     }
 
-    /// Serializes the report as the `nodefz-throughput-v1` JSON document.
+    /// Aggregate distinct HB classes per second across canon windows.
+    pub fn total_distinct_per_sec(&self) -> f64 {
+        let distinct: u64 = self.arms.iter().map(|a| a.canon.distinct).sum();
+        let elapsed: Duration = self.arms.iter().map(|a| a.canon.elapsed).sum();
+        distinct as f64 / elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Aggregate classes dispositioned per second across pruned windows.
+    pub fn total_effective_per_sec(&self) -> f64 {
+        let effective: u64 = self
+            .arms
+            .iter()
+            .map(|a| a.pruned.counters.effective())
+            .sum();
+        let elapsed: Duration = self.arms.iter().map(|a| a.pruned.elapsed).sum();
+        effective as f64 / elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Aggregate canon-window redundancy.
+    pub fn total_redundancy_ratio(&self) -> f64 {
+        let runs: u64 = self.arms.iter().map(|a| a.canon.runs).sum();
+        let redundant: u64 = self.arms.iter().map(|a| a.canon.redundant).sum();
+        if runs == 0 {
+            0.0
+        } else {
+            redundant as f64 / runs as f64
+        }
+    }
+
+    /// Serializes the report as the `nodefz-throughput-v2` JSON document.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_str("schema", "nodefz-throughput-v1");
+        w.field_str("schema", "nodefz-throughput-v2");
         w.field_u64("warmup_ms", self.config.warmup.as_millis() as u64);
         w.field_u64("window_ms", self.config.window.as_millis() as u64);
         w.field_u64("base_seed", self.config.base_seed);
@@ -122,14 +251,53 @@ impl ThroughputReport {
             w.field_f64("elapsed_ms", arm.elapsed.as_secs_f64() * 1e3, 3);
             w.field_f64("execs_per_sec", arm.execs_per_sec(), 1);
             w.field_f64("events_per_sec", arm.events_per_sec(), 1);
+            w.key("canon");
+            w.begin_object();
+            w.field_u64("runs", arm.canon.runs);
+            w.field_u64("distinct", arm.canon.distinct);
+            w.field_u64("redundant", arm.canon.redundant);
+            w.field_f64("elapsed_ms", arm.canon.elapsed.as_secs_f64() * 1e3, 3);
+            w.field_f64("distinct_per_sec", arm.canon.distinct_per_sec(), 1);
+            w.field_f64("redundancy_ratio", arm.canon.redundancy_ratio(), 6);
+            w.end_object();
+            w.key("pruned");
+            w.begin_object();
+            let c = &arm.pruned.counters;
+            w.field_u64("runs", c.runs);
+            w.field_u64("distinct", c.distinct);
+            w.field_u64("redundant", c.redundant);
+            w.field_u64("skipped", c.skipped);
+            w.field_u64("forked", c.forked);
+            w.field_u64("prefix_hits", c.prefix_hits);
+            w.field_u64("snapshot_forks", c.snapshot_forks);
+            w.field_f64("elapsed_ms", arm.pruned.elapsed.as_secs_f64() * 1e3, 3);
+            w.field_f64("distinct_per_sec", arm.pruned.distinct_per_sec(), 1);
+            w.field_f64("effective_per_sec", arm.pruned.effective_per_sec(), 1);
+            w.field_f64("prefix_hit_rate", c.prefix_hit_rate(), 6);
+            w.end_object();
             w.end_object();
         }
         w.end_array();
+        w.key("snapshot_fork");
+        w.begin_object();
+        w.field_u64("forks", self.snapshot_fork.forks);
+        w.field_u64("distinct", self.snapshot_fork.distinct);
+        w.field_f64(
+            "elapsed_ms",
+            self.snapshot_fork.elapsed.as_secs_f64() * 1e3,
+            3,
+        );
+        w.field_f64("forks_per_sec", self.snapshot_fork.forks_per_sec(), 1);
+        w.field_f64("distinct_per_sec", self.snapshot_fork.distinct_per_sec(), 1);
+        w.end_object();
         w.key("total");
         w.begin_object();
         w.field_u64("runs", self.total_runs());
         w.field_f64("elapsed_ms", self.total_elapsed().as_secs_f64() * 1e3, 3);
         w.field_f64("execs_per_sec", self.total_execs_per_sec(), 1);
+        w.field_f64("distinct_per_sec", self.total_distinct_per_sec(), 1);
+        w.field_f64("effective_per_sec", self.total_effective_per_sec(), 1);
+        w.field_f64("redundancy_ratio", self.total_redundancy_ratio(), 6);
         w.end_object();
         w.end_object();
         let mut out = w.finish();
@@ -178,6 +346,9 @@ pub fn measure(cfg: &BenchConfig) -> Result<ThroughputReport, String> {
                 let _ = ctx.fuzz_once(app, preset, derive_seed(base, seed_no));
                 seed_no += 1;
             }
+
+            // Raw window: the v1 measurement, byte-for-byte comparable
+            // with the pre-v2 trajectory.
             let (runs_before, events_before) = scrape(&registry);
             let start = Instant::now();
             let elapsed = loop {
@@ -190,18 +361,233 @@ pub fn measure(cfg: &BenchConfig) -> Result<ThroughputReport, String> {
                 }
             };
             let (runs_after, events_after) = scrape(&registry);
+
             arms.push(ArmThroughput {
                 app: app.clone(),
                 preset: preset_name,
                 runs: runs_after - runs_before,
                 events: events_after - events_before,
                 elapsed,
+                canon: canon_window(app, preset, base, seed_no, cfg.window),
+                pruned: pruned_window(app, preset, cfg.base_seed, cfg.window),
             });
         }
     }
     Ok(ThroughputReport {
         arms,
+        snapshot_fork: snapshot_fork_bench(cfg.base_seed, cfg.window),
         config: cfg.clone(),
+    })
+}
+
+/// The canon window: continue the arm's seed stream with the pruning kit
+/// attached, deduping canonical keys online.
+fn canon_window(
+    app: &str,
+    preset: usize,
+    base: u64,
+    mut seed_no: u64,
+    window: Duration,
+) -> CanonWindow {
+    let mut ctx = RunContext::new();
+    ctx.enable_prune();
+    let mut seen = nodefz_hb::SeenSet::new(SEEN_CAP);
+    let mut out = CanonWindow {
+        runs: 0,
+        distinct: 0,
+        redundant: 0,
+        elapsed: Duration::ZERO,
+    };
+    let start = Instant::now();
+    loop {
+        let exec = ctx.fuzz_once(app, preset, derive_seed(base, seed_no));
+        seed_no += 1;
+        out.runs += 1;
+        let (key, _scope) = exec.canon.expect("pruning context yields keys");
+        if seen.insert(key) {
+            out.distinct += 1;
+        } else {
+            out.redundant += 1;
+        }
+        out.elapsed = start.elapsed();
+        if out.elapsed >= window {
+            return out;
+        }
+    }
+}
+
+/// The pruned window: the fork explorer's step loop.
+fn pruned_window(app: &str, preset: usize, base_seed: u64, window: Duration) -> PrunedWindow {
+    let mut explorer =
+        ForkExplorer::new(app, preset, base_seed).expect("apps validated before measuring");
+    let start = Instant::now();
+    loop {
+        explorer.step();
+        let elapsed = start.elapsed();
+        if elapsed >= window {
+            return PrunedWindow {
+                counters: *explorer.counters(),
+                elapsed,
+            };
+        }
+    }
+}
+
+/// The snapshot-fork microbench (module docs): a one-shot-free timer
+/// program under a fork-capable fuzz scheduler, snapshotted at an
+/// iteration boundary, then resumed in a loop — each resume restoring the
+/// prefix state (no prefix re-execution) and swapping in a fresh-seeded
+/// suffix scheduler.
+fn snapshot_fork_bench(base_seed: u64, window: Duration) -> SnapshotBench {
+    use nodefz_rt::{EventLogHandle, EventLoop, LoopConfig, VDur, VTime};
+
+    let params = crate::config::preset_params(0);
+    let cfg = LoopConfig {
+        max_vtime: VTime::ZERO + VDur::millis(40),
+        ..LoopConfig::seeded(base_seed)
+    };
+    let mut el = EventLoop::with_scheduler(
+        cfg,
+        Box::new(nodefz::FuzzScheduler::new(params.clone(), base_seed)),
+    );
+    let log = EventLogHandle::fresh();
+    el.set_event_log(&log);
+    el.enter(|cx| {
+        cx.set_interval(VDur::millis(3), |cx| {
+            cx.touch_write("bench:a");
+        });
+        cx.set_interval(VDur::millis(5), |cx| {
+            cx.touch_read("bench:a");
+            cx.touch_update("bench:b");
+        });
+        cx.set_interval(VDur::millis(7), |cx| {
+            cx.touch_write("bench:b");
+        });
+    });
+    assert!(
+        el.run_bounded(4).is_none(),
+        "bench prefix outlasts 4 iterations"
+    );
+    let snap = el.snapshot().expect("timer-only loop is admissible");
+
+    let mut canon = nodefz_hb::CanonBuilder::new();
+    let mut scratch = Vec::new();
+    let mut seen = nodefz_hb::SeenSet::new(SEEN_CAP);
+    let mut out = SnapshotBench {
+        forks: 0,
+        distinct: 0,
+        elapsed: Duration::ZERO,
+    };
+    let start = Instant::now();
+    loop {
+        assert!(el.restore(&snap), "one-shot-free snapshot never stales");
+        let sched_seed = derive_seed(base_seed ^ 0x736e_6170, out.forks);
+        el.replace_scheduler(Box::new(nodefz::FuzzScheduler::new(
+            params.clone(),
+            sched_seed,
+        )));
+        el.run();
+        out.forks += 1;
+        let key = log.with(|l| canon.build(l, &mut scratch));
+        if seen.insert(key) {
+            out.distinct += 1;
+        }
+        out.elapsed = start.elapsed();
+        if out.elapsed >= window {
+            return out;
+        }
+    }
+}
+
+/// One arm row of a normalized bench summary ([`read_summary`]).
+#[derive(Clone, Debug)]
+pub struct BenchArmSummary {
+    /// Bug abbreviation.
+    pub app: String,
+    /// Preset name.
+    pub preset: String,
+    /// Raw executions per second.
+    pub execs_per_sec: f64,
+    /// Distinct HB classes per second (`None` in v1 documents).
+    pub distinct_per_sec: Option<f64>,
+    /// Canon-window redundancy (`None` in v1 documents).
+    pub redundancy_ratio: Option<f64>,
+}
+
+/// A normalized view over a persisted bench document, any schema version.
+#[derive(Clone, Debug)]
+pub struct BenchSummary {
+    /// The document's schema tag.
+    pub schema: String,
+    /// Per-arm rows, in document order.
+    pub arms: Vec<BenchArmSummary>,
+    /// Aggregate raw executions per second.
+    pub total_execs_per_sec: f64,
+    /// Aggregate distinct HB classes per second (`None` in v1 documents).
+    pub total_distinct_per_sec: Option<f64>,
+    /// Aggregate classes dispositioned per second (`None` in v1).
+    pub total_effective_per_sec: Option<f64>,
+}
+
+/// Reads a persisted bench document — `nodefz-throughput-v1` or `-v2` —
+/// into a normalized summary, so trajectory tooling spans the schema
+/// change (v1 documents simply have no pruning columns).
+///
+/// # Errors
+///
+/// Fails on malformed JSON, an unknown schema tag, or missing fields.
+pub fn read_summary(json: &str) -> Result<BenchSummary, String> {
+    let doc = JsonValue::parse(json).map_err(|e| format!("bench document: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("bench document: missing schema")?
+        .to_string();
+    if schema != "nodefz-throughput-v1" && schema != "nodefz-throughput-v2" {
+        return Err(format!("bench document: unknown schema '{schema}'"));
+    }
+    let arms = doc
+        .get("arms")
+        .and_then(|a| a.as_array())
+        .ok_or("bench document: missing arms")?
+        .iter()
+        .map(|arm| {
+            Ok(BenchArmSummary {
+                app: arm
+                    .get("app")
+                    .and_then(|v| v.as_str())
+                    .ok_or("arm: missing app")?
+                    .to_string(),
+                preset: arm
+                    .get("preset")
+                    .and_then(|v| v.as_str())
+                    .ok_or("arm: missing preset")?
+                    .to_string(),
+                execs_per_sec: arm
+                    .get("execs_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("arm: missing execs_per_sec")?,
+                distinct_per_sec: arm
+                    .get("canon")
+                    .and_then(|c| c.get("distinct_per_sec"))
+                    .and_then(|v| v.as_f64()),
+                redundancy_ratio: arm
+                    .get("canon")
+                    .and_then(|c| c.get("redundancy_ratio"))
+                    .and_then(|v| v.as_f64()),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let total = doc.get("total").ok_or("bench document: missing total")?;
+    Ok(BenchSummary {
+        schema,
+        arms,
+        total_execs_per_sec: total
+            .get("execs_per_sec")
+            .and_then(|v| v.as_f64())
+            .ok_or("total: missing execs_per_sec")?,
+        total_distinct_per_sec: total.get("distinct_per_sec").and_then(|v| v.as_f64()),
+        total_effective_per_sec: total.get("effective_per_sec").and_then(|v| v.as_f64()),
     })
 }
 
@@ -226,8 +612,19 @@ mod tests {
             assert!(arm.runs > 0, "no executions in window for {}", arm.app);
             assert!(arm.events > 0);
             assert!(arm.execs_per_sec() > 0.0);
+            assert!(arm.canon.runs > 0);
+            assert_eq!(arm.canon.distinct + arm.canon.redundant, arm.canon.runs);
+            assert!(arm.canon.distinct_per_sec() > 0.0);
+            let c = &arm.pruned.counters;
+            assert!(c.runs > 0);
+            assert_eq!(c.distinct + c.redundant, c.runs);
+            assert!(c.forked > 0, "pruned window must fork: {c:?}");
         }
         assert!(report.total_execs_per_sec() > 0.0);
+        assert!(report.total_distinct_per_sec() > 0.0);
+        assert!(report.total_effective_per_sec() > 0.0);
+        assert!(report.snapshot_fork.forks > 0);
+        assert!(report.snapshot_fork.distinct > 0);
     }
 
     #[test]
@@ -235,13 +632,37 @@ mod tests {
         let report = measure(&tiny()).unwrap();
         let json = report.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\": \"nodefz-throughput-v1\""));
-        assert!(json.contains("\"execs_per_sec\""));
+        assert!(json.contains("\"schema\": \"nodefz-throughput-v2\""));
+        assert!(json.contains("\"distinct_per_sec\""));
+        assert!(json.contains("\"redundancy_ratio\""));
+        assert!(json.contains("\"snapshot_fork\""));
         assert_eq!(
             json.matches("\"app\"").count(),
             PRESETS.len(),
             "one arm object per preset"
         );
+    }
+
+    #[test]
+    fn summary_reads_back_the_v2_document() {
+        let report = measure(&tiny()).unwrap();
+        let summary = read_summary(&report.to_json()).unwrap();
+        assert_eq!(summary.schema, "nodefz-throughput-v2");
+        assert_eq!(summary.arms.len(), report.arms.len());
+        for (row, arm) in summary.arms.iter().zip(&report.arms) {
+            assert_eq!(row.app, arm.app);
+            assert!(row.distinct_per_sec.is_some());
+            assert!(row.redundancy_ratio.is_some());
+        }
+        assert!(summary.total_distinct_per_sec.is_some());
+        assert!(summary.total_effective_per_sec.is_some());
+    }
+
+    #[test]
+    fn summary_rejects_garbage() {
+        assert!(read_summary("not json").is_err());
+        assert!(read_summary("{\"schema\": \"nodefz-throughput-v9\"}").is_err());
+        assert!(read_summary("{}").is_err());
     }
 
     #[test]

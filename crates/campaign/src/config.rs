@@ -84,6 +84,13 @@ pub struct CampaignConfig {
     /// the workers profile loop phases and per-kind dispatches into the
     /// metrics registry; requires a build with the `obs` feature.
     pub obs_level: ObsLevel,
+    /// Whether to classify every run by its happens-before canonical key
+    /// ([`crate::prune`]): the controller counts distinct vs redundant
+    /// schedule classes, memoizes each class's outcome as an online
+    /// soundness check, and reports the counters in metrics snapshots.
+    /// Classification is pure accounting — the dispatched run stream is
+    /// byte-for-byte identical with pruning on or off, so corpora match.
+    pub prune: bool,
 }
 
 impl Default for CampaignConfig {
@@ -102,6 +109,7 @@ impl Default for CampaignConfig {
             metrics_out: None,
             trace_out: None,
             obs_level: ObsLevel::Off,
+            prune: false,
         }
     }
 }

@@ -25,7 +25,8 @@ use std::time::{Duration, Instant};
 
 use nodefz::{DecisionTrace, DirectedSpec, Mode, ReplayStatusHandle, TraceHandle};
 use nodefz_apps::common::{RunCfg, Variant};
-use nodefz_rt::TypeSchedule;
+use nodefz_hb::{CanonBuilder, CanonKey};
+use nodefz_rt::{EventLogHandle, TypeSchedule};
 use nodefz_trace::BugSignature;
 
 use crate::analyze::directed_specs;
@@ -34,6 +35,7 @@ use crate::config::{preset_name, preset_params, CampaignConfig, DIRECTED_PRESET}
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::dedup::{BugRecord, Deduper, Finding};
 use crate::metrics::{self, Discovery, WorkerTelemetry};
+use crate::prune::{PruneCounters, Pruner, SEEN_CAP};
 use crate::shrink::shrink;
 
 /// How many early runs of each arm have their type schedule sampled for
@@ -89,6 +91,9 @@ enum Msg {
         finding: Option<Finding>,
         /// The run's type schedule, when the job asked for it.
         schedule: Option<TypeSchedule>,
+        /// The run's HB canonical key plus its environment scope (see
+        /// [`crate::prune::env_scope`]), when pruning is on.
+        canon: Option<(CanonKey, u64)>,
     },
     ShrinkDone {
         signature: BugSignature,
@@ -224,6 +229,10 @@ pub struct FuzzExec {
     pub dispatched: u64,
     /// The run's type schedule, when sampling was requested.
     pub schedule: Option<TypeSchedule>,
+    /// The run's HB-equivalence canonical key plus its environment scope
+    /// ([`crate::prune::env_scope`]), when the context prunes
+    /// ([`RunContext::enable_prune`]).
+    pub canon: Option<(CanonKey, u64)>,
 }
 
 /// Per-worker reusable execution state: the campaign/bench hot path.
@@ -239,10 +248,23 @@ pub struct FuzzExec {
 pub struct RunContext {
     pool: nodefz_rt::LoopPool,
     handle: TraceHandle,
+    /// HB-canonicalization kit attached when pruning is on: the event-log
+    /// handle every run records into plus the reusable canon builder and
+    /// its scratch buffer — allocation-free at steady state, and purely
+    /// observational (recording never changes seeds or schedules, so the
+    /// executed run stream is identical with pruning on or off).
+    prune: Option<PruneKit>,
     /// Loop-observability handle attached to every fuzz run (profiling
     /// only — it never changes seeds, decisions, or schedules).
     #[cfg(feature = "obs")]
     obs: Option<nodefz_rt::ObsHandle>,
+}
+
+/// The per-worker state [`RunContext::enable_prune`] attaches.
+struct PruneKit {
+    events: EventLogHandle,
+    canon: CanonBuilder,
+    scratch: Vec<u64>,
 }
 
 impl Default for RunContext {
@@ -257,9 +279,21 @@ impl RunContext {
         RunContext {
             pool: nodefz_rt::LoopPool::new(),
             handle: TraceHandle::fresh(),
+            prune: None,
             #[cfg(feature = "obs")]
             obs: None,
         }
+    }
+
+    /// Attaches the pruning kit: every subsequent fuzz run records an
+    /// event log and reports its HB canonical key in
+    /// [`FuzzExec::canon`].
+    pub fn enable_prune(&mut self) {
+        self.prune = Some(PruneKit {
+            events: EventLogHandle::fresh(),
+            canon: CanonBuilder::new(),
+            scratch: Vec::new(),
+        });
     }
 
     /// Attaches a loop-observability handle to every subsequent fuzz run.
@@ -308,6 +342,7 @@ impl RunContext {
                 finding: None,
                 dispatched: 0,
                 schedule: None,
+                canon: None,
             };
         };
         // The recording scheduler resets the shared handle in place, so
@@ -318,6 +353,9 @@ impl RunContext {
         };
         #[allow(unused_mut)]
         let mut run_cfg = RunCfg::new(mode, env_seed).pooled(&self.pool);
+        if let Some(kit) = &self.prune {
+            run_cfg = run_cfg.events(&kit.events);
+        }
         #[cfg(feature = "obs")]
         if let Some(obs) = &self.obs {
             run_cfg = run_cfg.observed(obs);
@@ -333,10 +371,17 @@ impl RunContext {
             detail: out.detail,
             trace: self.handle.snapshot(),
         });
+        let canon = self.prune.as_mut().map(|kit| {
+            let key = kit
+                .events
+                .with(|log| kit.canon.build(log, &mut kit.scratch));
+            (key, crate::prune::env_scope(app, env_seed))
+        });
         FuzzExec {
             finding,
             dispatched,
             schedule,
+            canon,
         }
     }
 }
@@ -384,8 +429,12 @@ fn worker_loop(
     stop: Arc<AtomicBool>,
     tx: mpsc::Sender<Msg>,
     telemetry: WorkerTelemetry,
+    prune: bool,
 ) {
     let mut ctx = RunContext::new();
+    if prune {
+        ctx.enable_prune();
+    }
     // In instrumented builds above `off`, every fuzz run on this worker is
     // profiled through a thread-local handle (`Rc`-based, so it is created
     // here, not shipped across the spawn) and flushed into the shard.
@@ -413,6 +462,7 @@ fn worker_loop(
                         preset,
                         finding: exec.finding,
                         schedule: exec.schedule,
+                        canon: exec.canon,
                     })
                     .is_err()
                 {
@@ -544,6 +594,10 @@ pub fn run_with_progress(
     }
     let mut bandit = Bandit::new(arms);
     let mut deduper = Deduper::new();
+    // Controller-side pruning: classify every run's canonical key and
+    // cross-check class outcomes. Accounting only — the dispatched run
+    // stream is identical with pruning on or off (corpora match bytewise).
+    let mut pruner = cfg.prune.then(|| Pruner::new(SEEN_CAP));
 
     // One registry shard per worker: fuzz executions record into their
     // own shard with relaxed atomic adds; snapshots fold them here.
@@ -561,11 +615,12 @@ pub fn run_with_progress(
             let shard = registry.shard(me);
             let ids = metric_ids.clone();
             let level = cfg.obs_level;
+            let prune = cfg.prune;
             std::thread::Builder::new()
                 .name(format!("campaign-{me}"))
                 .spawn(move || {
                     let telemetry = WorkerTelemetry::new(shard, ids, level);
-                    worker_loop(queue, me, stop, tx, telemetry)
+                    worker_loop(queue, me, stop, tx, telemetry, prune)
                 })
                 .expect("spawn worker")
         })
@@ -654,9 +709,13 @@ pub fn run_with_progress(
                 preset,
                 finding,
                 schedule,
+                canon,
             } => {
                 completed += 1;
                 let arm = Arm { app, preset };
+                if let (Some(pruner), Some((key, scope))) = (pruner.as_mut(), canon) {
+                    pruner.observe(key, scope, finding.as_ref().map(|f| &f.signature));
+                }
                 if let Some(schedule) = schedule {
                     arm_schedules
                         .entry((arm.app.clone(), arm.preset))
@@ -750,6 +809,7 @@ pub fn run_with_progress(
                     &discovery,
                     &registry,
                     deduper.records().len() as u64,
+                    pruner.as_ref().map(Pruner::counters),
                 )?;
             }
         }
@@ -772,6 +832,7 @@ pub fn run_with_progress(
             &discovery,
             &registry,
             deduper.records().len() as u64,
+            pruner.as_ref().map(Pruner::counters),
         )?;
     }
     #[cfg(feature = "obs")]
@@ -843,6 +904,7 @@ fn write_metrics(
     discovery: &[Discovery],
     registry: &nodefz_obs::Registry,
     unique_bugs: u64,
+    pruning: Option<&PruneCounters>,
 ) -> Result<(), String> {
     let snapshot = metrics::collect(
         start.elapsed(),
@@ -858,6 +920,7 @@ fn write_metrics(
         },
         discovery,
         &registry.snapshot(),
+        pruning,
     );
     // Atomic (temp file + rename): an orchestrator polls these snapshots
     // from another process while the campaign runs, and must never read a

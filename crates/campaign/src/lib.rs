@@ -28,6 +28,7 @@ pub mod config;
 pub mod corpus;
 pub mod dedup;
 pub mod metrics;
+pub mod prune;
 pub mod report;
 pub mod shrink;
 
@@ -35,7 +36,10 @@ mod driver;
 
 pub use analyze::{analyze_campaign, AnalyzeConfig, AnalyzeReport, ConfirmedRace};
 pub use arms::{arm_space, arms_from_json, arms_to_json, ArmMode, ArmSpec};
-pub use bench::{measure, ArmThroughput, BenchConfig, ThroughputReport};
+pub use bench::{
+    measure, read_summary, ArmThroughput, BenchArmSummary, BenchConfig, BenchSummary, CanonWindow,
+    PrunedWindow, SnapshotBench, ThroughputReport,
+};
 pub use config::{
     preset_index, preset_name, preset_params, CampaignConfig, DIRECTED_PRESET, PRESETS,
 };
@@ -45,4 +49,5 @@ pub use driver::{
     run, run_with_progress, verify_entry, BugSummary, CampaignReport, Event, FuzzExec, RunContext,
 };
 pub use metrics::{ArmMetrics, Discovery, MetricsSnapshot, PhaseMetrics};
+pub use prune::{env_scope, ClassVerdict, ForkExplorer, PruneCounters, Pruner, ScheduleTrie};
 pub use shrink::{shrink, ShrinkResult};

@@ -27,6 +27,7 @@ use nodefz_obs::{
 use nodefz_trace::{DiversitySummary, PAPER_TRUNCATION};
 
 use crate::bandit::ArmSnapshot;
+use crate::prune::PruneCounters;
 
 /// Upper bounds for the per-run dispatched-callback histogram. Bug runs
 /// dispatch hundreds to a few thousand callbacks; the overflow bucket
@@ -211,6 +212,10 @@ pub struct MetricsSnapshot {
     pub callbacks: Vec<(&'static str, u64)>,
     /// Per-run dispatched-callback distribution.
     pub run_dispatched: Option<HistogramSnapshot>,
+    /// Schedule-space pruning counters (`None` unless the campaign ran
+    /// with pruning on). Additive to the `nodefz-metrics-v1` schema:
+    /// existing readers that ignore unknown fields keep working.
+    pub pruning: Option<PruneCounters>,
 }
 
 impl MetricsSnapshot {
@@ -324,6 +329,21 @@ impl MetricsSnapshot {
             }
             None => w.null(),
         }
+
+        if let Some(p) = &self.pruning {
+            w.key("pruning");
+            w.begin_object();
+            w.field_u64("runs", p.runs);
+            w.field_u64("distinct", p.distinct);
+            w.field_u64("redundant", p.redundant);
+            w.field_u64("skipped", p.skipped);
+            w.field_u64("forked", p.forked);
+            w.field_u64("prefix_hits", p.prefix_hits);
+            w.field_u64("snapshot_forks", p.snapshot_forks);
+            w.field_u64("mismatches", p.mismatches);
+            w.field_f64("redundancy_ratio", p.redundancy_ratio(), 6);
+            w.end_object();
+        }
         w.end_object();
         let mut out = w.finish();
         out.push('\n');
@@ -346,6 +366,7 @@ pub(crate) fn collect(
     schedules_of: impl Fn(&str, usize) -> Vec<nodefz_rt::TypeSchedule>,
     discovery: &[Discovery],
     registry: &RegistrySnapshot,
+    pruning: Option<&PruneCounters>,
 ) -> MetricsSnapshot {
     let arms = arms
         .iter()
@@ -375,6 +396,7 @@ pub(crate) fn collect(
         phases: collect_phases(registry),
         callbacks: collect_callbacks(registry),
         run_dispatched: registry.histogram("run.dispatched").cloned(),
+        pruning: pruning.copied(),
     }
 }
 
@@ -467,6 +489,7 @@ mod tests {
             },
             &[],
             &reg.snapshot(),
+            None,
         );
         let div = snap.arms[0].diversity.as_ref().expect("sampled arm");
         assert_eq!(div.runs, 2);
@@ -490,6 +513,7 @@ mod tests {
             |_, _| Vec::new(),
             &[],
             &reg.snapshot(),
+            None,
         );
         assert!(snap.arms[0].diversity.is_none());
         let json = snap.to_json();
@@ -514,6 +538,7 @@ mod tests {
             |_, _| Vec::new(),
             &[],
             &reg.snapshot(),
+            None,
         );
         assert_eq!(snap.runs, 3);
         assert_eq!(snap.dispatched, 1100);
@@ -554,6 +579,7 @@ mod tests {
             |_, _| Vec::new(),
             &discovery,
             &reg.snapshot(),
+            None,
         );
         assert!(
             snap.discovery

@@ -1,0 +1,102 @@
+//! Soundness invariance of schedule-space pruning: a pruned campaign
+//! must find the *byte-identical* deduplicated bug set an unpruned
+//! campaign finds at the same seed. Pruning classifies runs into
+//! happens-before equivalence classes on the side; it must never change
+//! which seeds are dispatched, which schedules execute, or which repros
+//! are persisted.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use nodefz_campaign::{run, CampaignConfig};
+use nodefz_obs::JsonValue;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nodefz-prunesound-{tag}-{}", std::process::id()))
+}
+
+/// Reads every file in a corpus directory into (name, bytes) pairs.
+fn corpus_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("corpus dir exists") {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            files.insert(
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            );
+        }
+    }
+    files
+}
+
+fn campaign(prune: bool, tag: &str) -> (BTreeMap<String, Vec<u8>>, PathBuf) {
+    let corpus_dir = temp_dir(tag);
+    let metrics_path = corpus_dir.with_extension("metrics.json");
+    let _ = std::fs::remove_dir_all(&corpus_dir);
+    let _ = std::fs::remove_file(&metrics_path);
+    let cfg = CampaignConfig {
+        apps: vec!["GHO".into(), "AKA".into(), "KUE".into()],
+        budget: 120,
+        // One worker thread: with more, the bandit's dispatch stream (and
+        // so per-bug hit counts) depends on completion timing, which
+        // would make the byte-for-byte diff flaky for reasons unrelated
+        // to pruning.
+        threads: 1,
+        base_seed: 7,
+        shrink: true,
+        corpus_dir: Some(corpus_dir.clone()),
+        metrics_out: Some(metrics_path.clone()),
+        prune,
+        ..CampaignConfig::default()
+    };
+    let report = run(&cfg).expect("campaign runs");
+    assert_eq!(report.runs, 120);
+    let files = corpus_files(&corpus_dir);
+    std::fs::remove_dir_all(&corpus_dir).unwrap();
+    (files, metrics_path)
+}
+
+#[test]
+fn pruned_and_unpruned_campaigns_persist_byte_identical_corpora() {
+    let (plain, plain_metrics) = campaign(false, "off");
+    let (pruned, pruned_metrics) = campaign(true, "on");
+
+    assert!(
+        !pruned.is_empty(),
+        "the fixed-seed campaign must find at least one bug for the diff to mean anything"
+    );
+    let plain_names: Vec<&String> = plain.keys().collect();
+    let pruned_names: Vec<&String> = pruned.keys().collect();
+    assert_eq!(
+        plain_names, pruned_names,
+        "pruning changed which repros were persisted"
+    );
+    for (name, bytes) in &plain {
+        assert_eq!(
+            Some(bytes),
+            pruned.get(name),
+            "repro {name} differs between pruned and unpruned campaigns"
+        );
+    }
+
+    // The unpruned campaign's metrics carry no pruning block; the pruned
+    // one's does, and its online soundness tripwire never fired.
+    let plain_doc = JsonValue::parse(&std::fs::read_to_string(&plain_metrics).unwrap()).unwrap();
+    assert!(plain_doc.get("pruning").is_none());
+    let pruned_doc = JsonValue::parse(&std::fs::read_to_string(&pruned_metrics).unwrap()).unwrap();
+    let block = pruned_doc.get("pruning").expect("pruned metrics block");
+    assert_eq!(block.get("runs").and_then(|v| v.as_u64()), Some(120));
+    assert_eq!(
+        block.get("mismatches").and_then(|v| v.as_u64()),
+        Some(0),
+        "an HB class manifested differently across equivalent schedules"
+    );
+    let distinct = block.get("distinct").and_then(|v| v.as_u64()).unwrap();
+    let redundant = block.get("redundant").and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(distinct + redundant, 120, "every run must be classified");
+    assert!(distinct > 0, "at least one class must be fresh");
+
+    std::fs::remove_file(&plain_metrics).unwrap();
+    std::fs::remove_file(&pruned_metrics).unwrap();
+}

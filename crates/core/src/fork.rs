@@ -1,0 +1,724 @@
+//! Prefix-forked fuzzing: resume a recorded decision prefix, then diverge
+//! into fresh schedules the campaign has not seen.
+//!
+//! A campaign pruning HB-equivalent schedules (see `nodefz-hb`'s canonical
+//! keys) learns, run by run, which *first divergent decision* after a
+//! shared prefix leads to an already-explored equivalence class. The
+//! [`ForkScheduler`] exploits that: it replays a recorded prefix verbatim
+//! (so a snapshot-restored loop and the scheduler stay in lock-step), and
+//! at the first fresh consultation — the *divergence point* — it redraws
+//! from its inner [`FuzzScheduler`] up to [`ForkScheduler::RETRY_LIMIT`]
+//! times until the drawn decision's [fingerprint](decision_fingerprint) is
+//! not in the caller's [`AvoidSet`]. From then on it is a pure fuzz
+//! suffix. Rejected draws are counted as *skipped schedules*: each one is
+//! a run the campaign did not have to execute to know its class.
+//!
+//! This is the scheduler half of sleep sets (Godefroid): the avoid set
+//! plays the sleep set's role of decisions whose exploration is already
+//! covered, and the bounded retry keeps the scheduler total — when every
+//! reachable decision is avoided, the last draw is accepted rather than
+//! deadlocking the run.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+use nodefz_rt::{PoolMode, ReadyEntry, Scheduler, TimerVerdict, VDur};
+
+use crate::params::FuzzParams;
+use crate::replay::{Decision, DecisionTrace, Perm};
+use crate::scheduler::FuzzScheduler;
+
+/// Mixes a 64-bit value (splitmix64 finalizer).
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Stable 64-bit fingerprint of a scheduling decision.
+///
+/// Two decisions fingerprint equal exactly when a [`RecordingScheduler`]
+/// would record them equal, so fingerprints taken from recorded traces and
+/// fingerprints computed online by a [`ForkScheduler`] index the same
+/// space. The kind is mixed in, so `Timer(None)` and `DeferReady(false)`
+/// do not collide structurally.
+///
+/// [`RecordingScheduler`]: crate::RecordingScheduler
+pub fn decision_fingerprint(d: &Decision) -> u64 {
+    match d {
+        Decision::Timer(None) => mix(0x11),
+        Decision::Timer(Some(ns)) => mix(0x12 ^ mix(*ns)),
+        Decision::Shuffle(perm) => {
+            let mut h = mix(0x21 ^ perm.len() as u64);
+            for (slot, &src) in perm.iter().enumerate() {
+                h = mix(h ^ (((slot as u64) << 32) | u64::from(src)));
+            }
+            h
+        }
+        Decision::DeferReady(b) => mix(0x31 ^ u64::from(*b)),
+        Decision::DeferClose(b) => mix(0x41 ^ u64::from(*b)),
+        Decision::PickTask(i) => mix(0x51 ^ u64::from(*i)),
+    }
+}
+
+/// Fingerprints of first-divergence decisions whose schedules are already
+/// covered (the sleep set of a forked exploration).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AvoidSet {
+    fps: HashSet<u64>,
+}
+
+impl AvoidSet {
+    /// Creates an empty set.
+    pub fn new() -> AvoidSet {
+        AvoidSet::default()
+    }
+
+    /// Adds a fingerprint; returns whether it was new.
+    pub fn insert(&mut self, fp: u64) -> bool {
+        self.fps.insert(fp)
+    }
+
+    /// Adds a decision's fingerprint; returns whether it was new.
+    pub fn insert_decision(&mut self, d: &Decision) -> bool {
+        self.insert(decision_fingerprint(d))
+    }
+
+    /// Whether the fingerprint is covered.
+    pub fn contains(&self, fp: u64) -> bool {
+        self.fps.contains(&fp)
+    }
+
+    /// Number of covered fingerprints.
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// Whether nothing is covered.
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+}
+
+impl FromIterator<u64> for AvoidSet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> AvoidSet {
+        AvoidSet {
+            fps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<u64> for AvoidSet {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.fps.extend(iter);
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct ForkStatus {
+    replayed: u64,
+    skipped: u64,
+    diverged: bool,
+    exhausted: bool,
+    divergence_fp: Option<u64>,
+}
+
+/// Shared view of a [`ForkScheduler`]'s counters, readable after the event
+/// loop consumed the boxed scheduler.
+#[derive(Clone, Default)]
+pub struct ForkStatusHandle {
+    inner: Rc<RefCell<ForkStatus>>,
+}
+
+impl ForkStatusHandle {
+    /// Creates a fresh, unattached handle (all-zero until a scheduler
+    /// built from it runs).
+    pub fn fresh() -> ForkStatusHandle {
+        ForkStatusHandle::default()
+    }
+
+    /// Prefix decisions replayed verbatim.
+    pub fn replayed(&self) -> u64 {
+        self.inner.borrow().replayed
+    }
+
+    /// Draws rejected at the divergence point — each one a schedule the
+    /// campaign skipped without executing.
+    pub fn skipped(&self) -> u64 {
+        self.inner.borrow().skipped
+    }
+
+    /// Whether the run reached its divergence point (made any fresh
+    /// decision past the prefix).
+    pub fn diverged(&self) -> bool {
+        self.inner.borrow().diverged
+    }
+
+    /// Whether the bounded retry gave up and accepted an avoided decision.
+    pub fn retries_exhausted(&self) -> bool {
+        self.inner.borrow().exhausted
+    }
+
+    /// Fingerprint of the decision actually taken at the divergence point,
+    /// once the run got there. This is what a campaign's prefix trie
+    /// records so the *next* fork from the same prefix can avoid it.
+    pub fn divergence_fingerprint(&self) -> Option<u64> {
+        self.inner.borrow().divergence_fp
+    }
+
+    fn reset(&self) {
+        *self.inner.borrow_mut() = ForkStatus::default();
+    }
+}
+
+impl PartialEq for ForkStatusHandle {
+    /// Handles are equal when they share the same underlying counters.
+    fn eq(&self, other: &ForkStatusHandle) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for ForkStatusHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.borrow();
+        write!(
+            f,
+            "ForkStatusHandle(replayed {}, skipped {})",
+            st.replayed, st.skipped
+        )
+    }
+}
+
+/// Everything a forked run needs, bundled for [`crate::Mode::Forked`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ForkSpec {
+    /// Parameters of the fuzz suffix.
+    pub params: FuzzParams,
+    /// The decision prefix replayed verbatim.
+    pub prefix: DecisionTrace,
+    /// Fingerprints of first-divergence decisions already covered.
+    pub avoid: Vec<u64>,
+    /// Shared counters, readable after the run.
+    pub status: ForkStatusHandle,
+}
+
+impl ForkSpec {
+    /// A spec replaying `prefix` and then fuzzing with `params`, with
+    /// nothing avoided yet.
+    pub fn new(params: FuzzParams, prefix: DecisionTrace) -> ForkSpec {
+        ForkSpec {
+            params,
+            prefix,
+            avoid: Vec::new(),
+            status: ForkStatusHandle::fresh(),
+        }
+    }
+}
+
+/// Replays a decision prefix, then fuzzes — steering its first fresh
+/// decision away from an [`AvoidSet`] (see the module docs).
+///
+/// Must be used with the same program and environment seed that produced
+/// the prefix; a consultation that does not match the recorded kind
+/// abandons the rest of the prefix and falls through to the fuzz suffix
+/// (the recorded schedule no longer applies, so fuzzing on is the graceful
+/// degradation).
+pub struct ForkScheduler {
+    prefix: DecisionTrace,
+    cursor: usize,
+    inner: FuzzScheduler,
+    avoid: AvoidSet,
+    status: ForkStatusHandle,
+    /// Scratch for re-drawing shuffles and applying recorded permutations.
+    scratch: Vec<ReadyEntry>,
+}
+
+impl ForkScheduler {
+    /// Redraws attempted at the divergence point before accepting an
+    /// avoided decision. Bounded so a fully-covered decision space cannot
+    /// deadlock the run. Each rejected redraw is a schedule class
+    /// dispositioned without executing it, so the bound trades a few
+    /// cheap PRNG draws for whole avoided runs.
+    pub const RETRY_LIMIT: u32 = 16;
+
+    /// Creates a forked scheduler plus its status handle.
+    pub fn new(
+        prefix: DecisionTrace,
+        params: FuzzParams,
+        sched_seed: u64,
+        avoid: AvoidSet,
+    ) -> (ForkScheduler, ForkStatusHandle) {
+        let status = ForkStatusHandle::fresh();
+        let spec = ForkSpec {
+            params,
+            prefix,
+            avoid: Vec::new(),
+            status: status.clone(),
+        };
+        let mut sched = ForkScheduler::attached(&spec, sched_seed);
+        sched.avoid = avoid;
+        (sched, status)
+    }
+
+    /// Builds the scheduler a [`ForkSpec`] describes, reporting into the
+    /// spec's status handle (whose previous state is cleared, so one spec
+    /// can drive many runs).
+    pub fn attached(spec: &ForkSpec, sched_seed: u64) -> ForkScheduler {
+        spec.status.reset();
+        ForkScheduler {
+            prefix: spec.prefix.clone(),
+            cursor: 0,
+            inner: FuzzScheduler::new(spec.params.clone(), sched_seed),
+            avoid: spec.avoid.iter().copied().collect(),
+            status: spec.status.clone(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Marks this consultation as past the prefix. Returns whether it is
+    /// the divergence point (the first such consultation), where the avoid
+    /// set applies.
+    fn leave_prefix(&mut self) -> bool {
+        self.cursor = self.prefix.decisions.len();
+        let mut st = self.status.inner.borrow_mut();
+        let first = !st.diverged;
+        st.diverged = true;
+        first
+    }
+
+    fn note_replayed(&mut self) {
+        self.status.inner.borrow_mut().replayed += 1;
+    }
+
+    fn note_skipped(&mut self) {
+        self.status.inner.borrow_mut().skipped += 1;
+    }
+
+    fn note_exhausted(&mut self) {
+        self.status.inner.borrow_mut().exhausted = true;
+    }
+
+    fn note_divergence(&mut self, fp: u64) {
+        let mut st = self.status.inner.borrow_mut();
+        if st.divergence_fp.is_none() {
+            st.divergence_fp = Some(fp);
+        }
+    }
+
+    /// Accepts or rejects `fp` at the divergence point. Returns `true` to
+    /// accept (recording the fingerprint — and exhaustion, if the bounded
+    /// retry ran out while `fp` is still avoided), `false` to redraw.
+    fn accept_at_divergence(&mut self, fp: u64, attempt: u32) -> bool {
+        let avoided = self.avoid.contains(fp);
+        if avoided && attempt < ForkScheduler::RETRY_LIMIT {
+            self.note_skipped();
+            return false;
+        }
+        if avoided {
+            self.note_exhausted();
+        }
+        self.note_divergence(fp);
+        true
+    }
+}
+
+impl Scheduler for ForkScheduler {
+    fn name(&self) -> &'static str {
+        "forked"
+    }
+
+    fn pool_mode(&self) -> PoolMode {
+        // The prefix was recorded under the original scheduler's pool
+        // regime; an empty prefix has no regime to honour.
+        if self.prefix.decisions.is_empty() {
+            self.inner.pool_mode()
+        } else {
+            self.prefix.pool_mode
+        }
+    }
+
+    fn demux_done(&self) -> bool {
+        if self.prefix.decisions.is_empty() {
+            self.inner.demux_done()
+        } else {
+            self.prefix.demux_done
+        }
+    }
+
+    fn on_timer(&mut self) -> TimerVerdict {
+        if let Some(&Decision::Timer(rec)) = self.prefix.decisions.get(self.cursor) {
+            self.cursor += 1;
+            self.note_replayed();
+            return match rec {
+                None => TimerVerdict::Run,
+                Some(ns) => TimerVerdict::Defer {
+                    delay: VDur::nanos(ns),
+                },
+            };
+        }
+        let at_divergence = self.leave_prefix();
+        let mut verdict = self.inner.on_timer();
+        if at_divergence {
+            for attempt in 0..=ForkScheduler::RETRY_LIMIT {
+                let rec = match verdict {
+                    TimerVerdict::Run => None,
+                    TimerVerdict::Defer { delay } => Some(delay.as_nanos()),
+                };
+                let fp = decision_fingerprint(&Decision::Timer(rec));
+                if self.accept_at_divergence(fp, attempt) {
+                    return verdict;
+                }
+                verdict = self.inner.on_timer();
+            }
+        }
+        verdict
+    }
+
+    fn shuffle_ready(&mut self, ready: &mut Vec<ReadyEntry>) {
+        let at = self.cursor;
+        if let Some(Decision::Shuffle(perm)) = self.prefix.decisions.get(at) {
+            if perm.len() == ready.len() {
+                self.cursor += 1;
+                self.note_replayed();
+                // Split-borrow: the permutation stays in the prefix while
+                // the scratch buffer holds the pre-shuffle entries.
+                let ForkScheduler {
+                    prefix, scratch, ..
+                } = self;
+                let Some(Decision::Shuffle(perm)) = prefix.decisions.get(at) else {
+                    unreachable!("checked above")
+                };
+                scratch.clear();
+                scratch.extend_from_slice(ready);
+                for (slot, &src) in perm.iter().enumerate() {
+                    ready[slot] = scratch[src as usize];
+                }
+                return;
+            }
+        }
+        let at_divergence = self.leave_prefix();
+        if !at_divergence {
+            self.inner.shuffle_ready(ready);
+            return;
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(ready);
+        for attempt in 0..=ForkScheduler::RETRY_LIMIT {
+            self.inner.shuffle_ready(ready);
+            let perm: Perm = ready
+                .iter()
+                .map(|e| {
+                    self.scratch
+                        .iter()
+                        .position(|s| s.seq == e.seq)
+                        .expect("shuffle is a permutation") as u32
+                })
+                .collect();
+            let fp = decision_fingerprint(&Decision::Shuffle(perm));
+            if self.accept_at_divergence(fp, attempt) {
+                return;
+            }
+            ready.clear();
+            ready.extend_from_slice(&self.scratch);
+        }
+    }
+
+    fn defer_ready(&mut self, entry: &ReadyEntry) -> bool {
+        if let Some(&Decision::DeferReady(d)) = self.prefix.decisions.get(self.cursor) {
+            self.cursor += 1;
+            self.note_replayed();
+            return d;
+        }
+        let at_divergence = self.leave_prefix();
+        let mut defer = self.inner.defer_ready(entry);
+        if at_divergence {
+            for attempt in 0..=ForkScheduler::RETRY_LIMIT {
+                let fp = decision_fingerprint(&Decision::DeferReady(defer));
+                if self.accept_at_divergence(fp, attempt) {
+                    return defer;
+                }
+                defer = self.inner.defer_ready(entry);
+            }
+        }
+        defer
+    }
+
+    fn defer_close(&mut self) -> bool {
+        if let Some(&Decision::DeferClose(d)) = self.prefix.decisions.get(self.cursor) {
+            self.cursor += 1;
+            self.note_replayed();
+            return d;
+        }
+        let at_divergence = self.leave_prefix();
+        let mut defer = self.inner.defer_close();
+        if at_divergence {
+            for attempt in 0..=ForkScheduler::RETRY_LIMIT {
+                let fp = decision_fingerprint(&Decision::DeferClose(defer));
+                if self.accept_at_divergence(fp, attempt) {
+                    return defer;
+                }
+                defer = self.inner.defer_close();
+            }
+        }
+        defer
+    }
+
+    fn pick_task(&mut self, window: usize) -> usize {
+        if let Some(&Decision::PickTask(i)) = self.prefix.decisions.get(self.cursor) {
+            if (i as usize) < window {
+                self.cursor += 1;
+                self.note_replayed();
+                return i as usize;
+            }
+        }
+        let at_divergence = self.leave_prefix();
+        let mut pick = self.inner.pick_task(window);
+        if at_divergence {
+            for attempt in 0..=ForkScheduler::RETRY_LIMIT {
+                let fp = decision_fingerprint(&Decision::PickTask(pick as u32));
+                if self.accept_at_divergence(fp, attempt) {
+                    return pick;
+                }
+                pick = self.inner.pick_task(window);
+            }
+        }
+        pick
+    }
+
+    fn decision_count(&self) -> u64 {
+        self.cursor as u64
+    }
+
+    fn fork_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(ForkScheduler {
+            prefix: self.prefix.clone(),
+            cursor: self.cursor,
+            inner: self.inner.clone(),
+            avoid: self.avoid.clone(),
+            status: self.status.clone(),
+            scratch: Vec::new(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::RecordingScheduler;
+    use nodefz_rt::{EventLoop, LoopConfig};
+
+    fn program(el: &mut EventLoop) {
+        el.enter(|cx| {
+            for i in 1..8u64 {
+                cx.set_timeout(VDur::micros(i * 211), move |cx| {
+                    cx.submit_work(
+                        VDur::micros(100 + i * 31),
+                        |_| (),
+                        |cx, ()| {
+                            cx.set_immediate(|_| {});
+                        },
+                    )
+                    .unwrap();
+                });
+            }
+        });
+    }
+
+    fn recorded_run(env_seed: u64, sched_seed: u64) -> (nodefz_rt::RunReport, DecisionTrace) {
+        let fuzz = FuzzScheduler::new(FuzzParams::standard(), sched_seed);
+        let (recorder, handle) = RecordingScheduler::new(fuzz);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(env_seed), Box::new(recorder));
+        program(&mut el);
+        let report = el.run();
+        (report, handle.snapshot())
+    }
+
+    #[test]
+    fn fingerprints_separate_kinds_and_payloads() {
+        let decisions = [
+            Decision::Timer(None),
+            Decision::Timer(Some(5_000_000)),
+            Decision::Timer(Some(1)),
+            Decision::DeferReady(false),
+            Decision::DeferReady(true),
+            Decision::DeferClose(false),
+            Decision::DeferClose(true),
+            Decision::PickTask(0),
+            Decision::PickTask(1),
+            Decision::Shuffle(vec![0, 1, 2].into()),
+            Decision::Shuffle(vec![1, 0, 2].into()),
+            Decision::Shuffle(vec![0, 1].into()),
+        ];
+        let fps: Vec<u64> = decisions.iter().map(decision_fingerprint).collect();
+        for (i, a) in fps.iter().enumerate() {
+            for (j, b) in fps.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "{:?} vs {:?}", decisions[i], decisions[j]);
+                }
+            }
+        }
+        // Stability: the same decision always fingerprints the same.
+        for (d, fp) in decisions.iter().zip(&fps) {
+            assert_eq!(decision_fingerprint(d), *fp);
+        }
+    }
+
+    #[test]
+    fn empty_prefix_empty_avoid_is_plain_fuzzing() {
+        let bare = FuzzScheduler::new(FuzzParams::standard(), 77);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(4), Box::new(bare));
+        program(&mut el);
+        let plain = el.run();
+
+        let spec = ForkSpec::new(
+            FuzzParams::standard(),
+            DecisionTrace {
+                pool_mode: PoolMode::Concurrent { workers: 4 },
+                demux_done: false,
+                decisions: Vec::new(),
+            },
+        );
+        let forked = ForkScheduler::attached(&spec, 77);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(4), Box::new(forked));
+        program(&mut el);
+        let via_fork = el.run();
+
+        assert_eq!(plain.schedule, via_fork.schedule);
+        assert_eq!(plain.end_time, via_fork.end_time);
+        assert!(spec.status.diverged());
+        assert_eq!(spec.status.replayed(), 0);
+        assert_eq!(spec.status.skipped(), 0);
+        assert!(
+            spec.status.divergence_fingerprint().is_some(),
+            "the first fresh decision is fingerprinted even with nothing avoided"
+        );
+    }
+
+    #[test]
+    fn full_prefix_reproduces_the_recorded_schedule() {
+        let (original, trace) = recorded_run(9, 33);
+        assert!(!trace.is_empty());
+        let n = trace.len() as u64;
+
+        // A different inner seed: the suffix would fuzz differently, but a
+        // full prefix leaves no suffix to draw.
+        let spec = ForkSpec::new(FuzzParams::standard(), trace);
+        let forked = ForkScheduler::attached(&spec, 123_456);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(9), Box::new(forked));
+        program(&mut el);
+        let replayed = el.run();
+
+        assert_eq!(original.schedule, replayed.schedule);
+        assert_eq!(original.end_time, replayed.end_time);
+        assert_eq!(spec.status.replayed(), n);
+    }
+
+    #[test]
+    fn half_prefix_replays_then_fuzzes_to_completion() {
+        let (original, trace) = recorded_run(9, 33);
+        let half = trace.len() / 2;
+        let prefix = DecisionTrace {
+            pool_mode: trace.pool_mode,
+            demux_done: trace.demux_done,
+            decisions: trace.decisions[..half].to_vec(),
+        };
+
+        let spec = ForkSpec::new(FuzzParams::standard(), prefix);
+        let forked = ForkScheduler::attached(&spec, 999);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(9), Box::new(forked));
+        program(&mut el);
+        let report = el.run();
+
+        assert!(!report.crashed());
+        assert_eq!(report.pool.completed, original.pool.completed);
+        assert_eq!(spec.status.replayed(), half as u64);
+        assert!(spec.status.diverged());
+    }
+
+    #[test]
+    fn avoid_set_steers_the_divergence_point() {
+        // The decision the bare scheduler would make first.
+        let mut probe = FuzzScheduler::new(FuzzParams::standard(), 55);
+        let first = match probe.on_timer() {
+            TimerVerdict::Run => Decision::Timer(None),
+            TimerVerdict::Defer { delay } => Decision::Timer(Some(delay.as_nanos())),
+        };
+
+        let avoid: AvoidSet = [decision_fingerprint(&first)].into_iter().collect();
+        let (mut forked, status) = ForkScheduler::new(
+            DecisionTrace {
+                pool_mode: PoolMode::Concurrent { workers: 4 },
+                demux_done: false,
+                decisions: Vec::new(),
+            },
+            FuzzParams::standard(),
+            55,
+            avoid,
+        );
+        let steered = match forked.on_timer() {
+            TimerVerdict::Run => Decision::Timer(None),
+            TimerVerdict::Defer { delay } => Decision::Timer(Some(delay.as_nanos())),
+        };
+        assert_ne!(steered, first, "the avoided decision must be redrawn");
+        assert!(status.skipped() >= 1, "rejections are counted");
+        assert!(!status.retries_exhausted());
+        assert_eq!(
+            status.divergence_fingerprint(),
+            Some(decision_fingerprint(&steered)),
+            "the accepted decision's fingerprint is reported"
+        );
+    }
+
+    #[test]
+    fn avoidance_applies_only_at_the_divergence_point() {
+        // Avoid *both* timer outcomes: the divergence point exhausts its
+        // retries; later consultations must not keep retrying.
+        let avoid: AvoidSet = [
+            decision_fingerprint(&Decision::Timer(None)),
+            decision_fingerprint(&Decision::Timer(Some(
+                FuzzParams::standard().timer_defer_delay.as_nanos(),
+            ))),
+        ]
+        .into_iter()
+        .collect();
+        let (mut forked, status) = ForkScheduler::new(
+            DecisionTrace {
+                pool_mode: PoolMode::Concurrent { workers: 4 },
+                demux_done: false,
+                decisions: Vec::new(),
+            },
+            FuzzParams::standard(),
+            7,
+            avoid,
+        );
+        let _ = forked.on_timer();
+        assert!(status.retries_exhausted());
+        let after_divergence = status.skipped();
+        assert_eq!(after_divergence, u64::from(ForkScheduler::RETRY_LIMIT));
+        for _ in 0..50 {
+            let _ = forked.on_timer();
+        }
+        assert_eq!(status.skipped(), after_divergence, "suffix is pure fuzz");
+    }
+
+    #[test]
+    fn forked_fork_box_continues_in_lock_step() {
+        let (_, trace) = recorded_run(9, 33);
+        let spec = ForkSpec::new(FuzzParams::standard(), trace);
+        let mut a = ForkScheduler::attached(&spec, 321);
+        for _ in 0..5 {
+            let _ = a.on_timer();
+        }
+        let mut b = a.fork_box().expect("fork schedulers fork");
+        for _ in 0..200 {
+            assert_eq!(a.on_timer(), b.on_timer());
+            assert_eq!(a.defer_close(), b.defer_close());
+            assert_eq!(a.pick_task(5), b.pick_task(5));
+        }
+    }
+}

@@ -46,6 +46,7 @@
 
 mod codec;
 mod directed;
+mod fork;
 mod mode;
 mod params;
 mod replay;
@@ -54,6 +55,7 @@ mod systematic;
 
 pub use codec::{decode_trace, encode_trace, TraceDecodeError};
 pub use directed::{DirectedScheduler, DirectedSpec};
+pub use fork::{decision_fingerprint, AvoidSet, ForkScheduler, ForkSpec, ForkStatusHandle};
 pub use mode::Mode;
 pub use params::FuzzParams;
 pub use replay::{
@@ -61,4 +63,4 @@ pub use replay::{
     ReplayScheduler, ReplayStatusHandle, TraceFormatError, TraceHandle,
 };
 pub use scheduler::{FuzzScheduler, FuzzStats};
-pub use systematic::{explore, SystematicScheduler};
+pub use systematic::{explore, explore_pruned, OpportunityProbe, PruneStats, SystematicScheduler};

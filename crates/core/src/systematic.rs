@@ -16,6 +16,9 @@
 //! `delay_budget`, which bounds the distance from the natural schedule
 //! exactly as delay-bounded scheduling prescribes.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use nodefz_rt::{PoolMode, ReadyEntry, Scheduler, TimerVerdict, VDur};
 
 /// Deterministic delay-bounded scheduler.
@@ -42,11 +45,58 @@ use nodefz_rt::{PoolMode, ReadyEntry, Scheduler, TimerVerdict, VDur};
 /// }
 /// assert!(distinct.len() > 1, "delays produce distinct schedules");
 /// ```
+#[derive(Clone)]
 pub struct SystematicScheduler {
     schedule_id: u64,
     delay_budget: u32,
     opportunity: u32,
     delays_used: u32,
+    /// Mirror of `opportunity` readable after the event loop consumed the
+    /// scheduler (see [`SystematicScheduler::probed`]). Shared by clones,
+    /// so a snapshot fork keeps reporting into the same probe.
+    probe: Option<OpportunityProbe>,
+}
+
+/// Shared view of how many delay opportunities a [`SystematicScheduler`]
+/// consulted, readable after the run (the loop consumes the boxed
+/// scheduler, so a direct accessor would be unreachable by then).
+///
+/// This is the key to sleep-set-style pruning: a run that consulted `k`
+/// opportunities read only the low `k` bits of its `schedule_id`, so every
+/// id agreeing on those bits yields the *identical* schedule and need not
+/// be run (see [`explore_pruned`]).
+#[derive(Clone, Debug, Default)]
+pub struct OpportunityProbe {
+    consulted: Rc<Cell<u32>>,
+}
+
+impl OpportunityProbe {
+    /// Creates a fresh probe (zero until a probed scheduler runs).
+    pub fn fresh() -> OpportunityProbe {
+        OpportunityProbe::default()
+    }
+
+    /// Delay opportunities consulted by the probed run so far.
+    pub fn consulted(&self) -> u32 {
+        self.consulted.get()
+    }
+
+    /// The set of `schedule_id` bits the probed run actually read, as a
+    /// mask over the low bits (all-ones once 64+ opportunities were
+    /// consulted).
+    pub fn decided_mask(&self) -> u64 {
+        match self.consulted.get() {
+            k if k >= 64 => u64::MAX,
+            k => (1u64 << k) - 1,
+        }
+    }
+}
+
+impl PartialEq for OpportunityProbe {
+    /// Probes are equal when they share the same underlying counter.
+    fn eq(&self, other: &OpportunityProbe) -> bool {
+        Rc::ptr_eq(&self.consulted, &other.consulted)
+    }
 }
 
 impl SystematicScheduler {
@@ -61,12 +111,28 @@ impl SystematicScheduler {
             delay_budget,
             opportunity: 0,
             delays_used: 0,
+            probe: None,
         }
+    }
+
+    /// Like [`new`](SystematicScheduler::new), plus a probe that stays
+    /// readable after the event loop consumed the scheduler.
+    pub fn probed(schedule_id: u64, delay_budget: u32) -> (SystematicScheduler, OpportunityProbe) {
+        let probe = OpportunityProbe::fresh();
+        let mut sched = SystematicScheduler::new(schedule_id, delay_budget);
+        sched.probe = Some(probe.clone());
+        (sched, probe)
     }
 
     /// Delays inserted so far in this run.
     pub fn delays_used(&self) -> u32 {
         self.delays_used
+    }
+
+    /// Delay opportunities consulted so far: the number of low
+    /// `schedule_id` bits this run's outcome depends on.
+    pub fn opportunities_seen(&self) -> u32 {
+        self.opportunity
     }
 
     fn take_opportunity(&mut self) -> bool {
@@ -75,6 +141,9 @@ impl SystematicScheduler {
         }
         let bit = self.opportunity;
         self.opportunity = self.opportunity.saturating_add(1);
+        if let Some(probe) = &self.probe {
+            probe.consulted.set(self.opportunity);
+        }
         if bit >= 64 {
             return false;
         }
@@ -124,6 +193,10 @@ impl Scheduler for SystematicScheduler {
         // keeping them undelayed keeps the opportunity indices stable.
         false
     }
+
+    fn fork_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Runs an exploration over `ids` schedules, returning for each id whether
@@ -145,6 +218,55 @@ pub fn explore<R>(
         }
     }
     None
+}
+
+/// Counters from a pruned exploration (see [`explore_pruned`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Schedules actually executed.
+    pub explored: u64,
+    /// Schedules skipped as provably identical to an executed one.
+    pub skipped: u64,
+}
+
+/// [`explore`] with sleep-set-style pruning of redundant ids.
+///
+/// A run that consulted `k` delay opportunities read only the low `k` bits
+/// of its `schedule_id`; every later id agreeing on those bits would
+/// re-execute the *identical* schedule, so it is skipped without running.
+/// The outcome (first oracle hit or exhaustion) is exactly [`explore`]'s —
+/// a skipped id's representative was already executed and judged — but the
+/// number of runs can shrink dramatically when programs consult few
+/// opportunities.
+///
+/// The explored-prefix list is scanned linearly per id, which is the right
+/// trade for enumeration ranges in the thousands; callers walking much
+/// larger ranges should shard them.
+pub fn explore_pruned<R>(
+    ids: std::ops::Range<u64>,
+    delay_budget: u32,
+    mut run_one: impl FnMut(SystematicScheduler) -> R,
+    mut oracle: impl FnMut(&R) -> bool,
+) -> (Option<(u64, R)>, PruneStats) {
+    // Explored (bits, mask) pairs: any id with `id & mask == bits` is
+    // schedule-identical to an already-executed run.
+    let mut seen: Vec<(u64, u64)> = Vec::new();
+    let mut stats = PruneStats::default();
+    for id in ids {
+        if seen.iter().any(|&(bits, mask)| id & mask == bits) {
+            stats.skipped += 1;
+            continue;
+        }
+        let (sched, probe) = SystematicScheduler::probed(id, delay_budget);
+        let result = run_one(sched);
+        stats.explored += 1;
+        let mask = probe.decided_mask();
+        seen.push((id & mask, mask));
+        if oracle(&result) {
+            return (Some((id, result)), stats);
+        }
+    }
+    (None, stats)
 }
 
 #[cfg(test)]
@@ -222,6 +344,98 @@ mod tests {
             assert_eq!(report.pool.completed, 4, "id {id}");
             assert!(!report.crashed());
         }
+    }
+
+    #[test]
+    fn probe_reports_consulted_opportunities() {
+        let (sched, probe) = SystematicScheduler::probed(0b101, 8);
+        assert_eq!(probe.consulted(), 0);
+        assert_eq!(probe.decided_mask(), 0);
+        let mut el = EventLoop::with_scheduler(LoopConfig::seeded(17), Box::new(sched));
+        el.enter(|cx| {
+            for i in 1..5u64 {
+                cx.set_timeout(VDur::micros(i * 400), move |cx| {
+                    cx.submit_work(VDur::micros(150), |_| (), |_, ()| {})
+                        .unwrap();
+                });
+            }
+        });
+        el.run();
+        let k = probe.consulted();
+        assert!(k > 0, "the run consulted opportunities");
+        assert!(k < 64, "small program consults few opportunities");
+        assert_eq!(probe.decided_mask(), (1u64 << k) - 1);
+    }
+
+    #[test]
+    fn forked_systematic_scheduler_continues_identically() {
+        let mut a = SystematicScheduler::new(0b1101_0110, 8);
+        for _ in 0..3 {
+            let _ = a.on_timer();
+        }
+        let mut b = a.fork_box().expect("systematic schedulers fork");
+        for _ in 0..20 {
+            assert_eq!(a.on_timer(), b.on_timer());
+        }
+    }
+
+    #[test]
+    fn pruned_exploration_matches_explore_with_fewer_runs() {
+        let budget = 6;
+        let ids = 0u64..64;
+        let baseline = run_id(0).schedule;
+        let mut oracle = |report: &nodefz_rt::RunReport| report.schedule != baseline;
+        let plain = explore(ids.clone(), budget, drive, &mut oracle);
+        let (pruned, stats) = explore_pruned(ids, budget, drive, &mut oracle);
+        // Identical verdict: a skipped id is schedule-identical to an
+        // executed representative, so pruning cannot change the first hit.
+        assert_eq!(plain.as_ref().map(|(id, _)| *id), pruned.map(|(id, _)| id));
+        assert_eq!(
+            stats.explored + stats.skipped,
+            plain.as_ref().map(|(id, _)| id + 1).unwrap_or(64)
+        );
+
+        fn drive(sched: SystematicScheduler) -> nodefz_rt::RunReport {
+            let mut el = EventLoop::with_scheduler(LoopConfig::seeded(17), Box::new(sched));
+            el.enter(|cx| {
+                for i in 1..5u64 {
+                    cx.set_timeout(VDur::micros(i * 400), move |cx| {
+                        cx.submit_work(
+                            VDur::micros(150 + i * 41),
+                            |_| (),
+                            |cx, ()| {
+                                cx.set_immediate(|_| {});
+                            },
+                        )
+                        .unwrap();
+                    });
+                }
+            });
+            el.run()
+        }
+    }
+
+    #[test]
+    fn pruning_skips_ids_beyond_the_consulted_bits() {
+        // A single timer consults one opportunity per (re-deferred) firing:
+        // only ids of the form 0b1…1 reach a fresh opportunity, so of 32
+        // ids at most 6 distinct schedules exist and the rest are skipped.
+        let run = |sched: SystematicScheduler| {
+            let mut el = EventLoop::with_scheduler(LoopConfig::seeded(3), Box::new(sched));
+            el.enter(|cx| {
+                cx.set_timeout(VDur::millis(1), |cx| cx.report_error("t", ""));
+            });
+            el.run()
+        };
+        let (hit, stats) = explore_pruned(0..32, 4, run, |_| false);
+        assert!(hit.is_none());
+        assert_eq!(stats.explored + stats.skipped, 32);
+        assert!(
+            stats.explored <= 6,
+            "all-ones prefixes only, got {} explored",
+            stats.explored
+        );
+        assert!(stats.skipped >= 26);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod analyze;
+mod canon;
 mod graph;
 mod races;
 mod report;
@@ -52,6 +53,7 @@ pub use analyze::{
     analyze_app, analyze_recorded, races_with_cuts, record_vanilla, AnalyzeError, AppAnalysis,
     EventRef, RaceInfo,
 };
+pub use canon::{canon_key, CanonBuilder, CanonKey, SeenSet};
 pub use graph::HbGraph;
 pub use races::{find_races, find_races_with, RaceClass, RacePair};
 pub use report::races_report;

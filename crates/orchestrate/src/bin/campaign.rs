@@ -5,7 +5,7 @@
 //! campaign [--threads N] [--budget N] [--apps KUE,MKD,...] [--corpus DIR]
 //!          [--deadline-secs S] [--no-shrink] [--replay-checks N]
 //!          [--seed N] [--presets LIST] [--verify DIR] [--list [--json]]
-//!          [--directed] [--conform] [--analyze] [--races-out PATH]
+//!          [--directed] [--conform] [--prune] [--analyze] [--races-out PATH]
 //!          [--attempts N] [--metrics-out PATH] [--trace-out PATH]
 //!          [--obs-level LEVEL] [--bench-execs] [--bench-window-ms N]
 //!          [--bench-warmup-ms N] [--bench-out PATH]
@@ -47,6 +47,12 @@ const USAGE: &str = "usage: campaign [options]
                      happens-before analysis of one recorded run
   --conform          add the CONFORM arm: generated event-driven programs
                      judged against the runtime's ordering oracle
+  --prune            classify every run into its happens-before
+                     equivalence class online and report pruning counters
+                     (distinct/redundant and redundancy ratio) in metrics
+                     snapshots; the dispatched run stream is unchanged,
+                     so found bugs and corpora are byte-identical with or
+                     without the flag
   --analyze          predict races from one recorded run per app, confirm
                      them with race-directed runs, and exit
   --races-out PATH   where --analyze writes the nodefz-races-v1 report
@@ -247,6 +253,7 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
             "--json" => alt.list_json = true,
             "--directed" => cfg.directed = true,
             "--conform" => conform = true,
+            "--prune" => cfg.prune = true,
             "--analyze" => analyze = true,
             "--races-out" => analyze_opts.races_out = value("--races-out")?,
             "--attempts" => analyze_opts.attempts = num("--attempts", value("--attempts")?)?,
@@ -385,18 +392,28 @@ fn run_bench(cfg: &CampaignConfig, opts: &BenchOpts) -> ExitCode {
     };
     for arm in &report.arms {
         println!(
-            "  {:<4} {:<10} {:>8} runs  {:>10.1} execs/s  {:>12.1} events/s",
+            "  {:<4} {:<10} {:>8} runs  {:>9.1} execs/s  {:>8.1} distinct/s  {:>10.1} effective/s  {:>5.3} redundancy",
             arm.app,
             arm.preset,
             arm.runs,
             arm.execs_per_sec(),
-            arm.events_per_sec(),
+            arm.canon.distinct_per_sec(),
+            arm.pruned.effective_per_sec(),
+            arm.canon.redundancy_ratio(),
         );
     }
     println!(
-        "  total: {} runs, {:.1} execs/s",
+        "  snapshot-fork: {:.1} forks/s, {:.1} distinct/s",
+        report.snapshot_fork.forks_per_sec(),
+        report.snapshot_fork.distinct_per_sec(),
+    );
+    println!(
+        "  total: {} runs, {:.1} execs/s, {:.1} distinct/s, {:.1} effective/s ({:.3} redundancy)",
         report.total_runs(),
-        report.total_execs_per_sec()
+        report.total_execs_per_sec(),
+        report.total_distinct_per_sec(),
+        report.total_effective_per_sec(),
+        report.total_redundancy_ratio(),
     );
     if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
         eprintln!("campaign: cannot write {}: {e}", opts.out);
@@ -489,6 +506,7 @@ fn orch_config(cfg: &CampaignConfig, opts: &OrchOpts) -> Result<OrchConfig, Stri
         worker_bin,
         induce_crash: opts.induce_crash,
         replay_checks: cfg.replay_checks,
+        prune: cfg.prune,
     })
 }
 
@@ -510,17 +528,32 @@ fn run_orchestrate(cfg: &CampaignConfig, opts: &OrchOpts) -> ExitCode {
     );
     match nodefz_orchestrate::orchestrate(&orch, |line| println!("{line}")) {
         Ok(report) => {
-            for arm in &report.arms {
+            let arm_pruning = report.arm_pruning();
+            for (arm, pruning) in report.arms.iter().zip(&arm_pruning) {
                 println!(
-                    "  {:<28} {:>3} slice(s)  {:>3} new bug(s)  {:>6} runs{}",
+                    "  {:<28} {:>3} slice(s)  {:>3} new bug(s)  {:>6} runs{}{}",
                     arm.spec.label(),
                     arm.pulls,
                     arm.new_bugs,
                     arm.runs,
+                    pruning
+                        .map(|p| {
+                            format!("  {} distinct / {} effective", p.distinct, p.effective())
+                        })
+                        .unwrap_or_default(),
                     arm.quarantined
                         .as_ref()
                         .map(|r| format!("  QUARANTINED ({r})"))
                         .unwrap_or_default(),
+                );
+            }
+            if let Some(p) = report.pruning_totals() {
+                println!(
+                    "orchestrate: pruning saw {} runs, {} distinct class(es), {} skipped ({} effective dispositions)",
+                    p.runs,
+                    p.distinct,
+                    p.skipped,
+                    p.effective(),
                 );
             }
             println!(

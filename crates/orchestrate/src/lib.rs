@@ -42,7 +42,7 @@ pub mod worker;
 pub use merge::MergedCorpus;
 pub use orch::{
     bench_orchestrate, orchestrate, work_seed, OrchBenchReport, OrchConfig, OrchDiscovery,
-    OrchReport, WorkRecord,
+    OrchReport, WorkPruning, WorkRecord,
 };
 pub use scheduler::{ArmState, Scheduler, SchedulerKind, SplitMix};
 pub use worker::{Outcome, WorkItem};

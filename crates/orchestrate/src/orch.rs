@@ -59,6 +59,11 @@ pub struct OrchConfig {
     pub induce_crash: Option<usize>,
     /// Replay acceptance checks forwarded to workers.
     pub replay_checks: u32,
+    /// Forward `--prune` to workers: each child campaign classifies its
+    /// runs into happens-before equivalence classes and reports pruning
+    /// counters in its metrics snapshot, which the rollup aggregates into
+    /// effective throughput per arm.
+    pub prune: bool,
 }
 
 impl Default for OrchConfig {
@@ -78,6 +83,7 @@ impl Default for OrchConfig {
             worker_bin: PathBuf::new(),
             induce_crash: None,
             replay_checks: 10,
+            prune: false,
         }
     }
 }
@@ -115,6 +121,48 @@ impl OrchConfig {
     }
 }
 
+/// Pruning counters one worker reported — the optional `pruning` block
+/// of its `nodefz-metrics-v1` snapshot, present when the child campaign
+/// ran with `--prune`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkPruning {
+    /// Runs the child's pruner classified.
+    pub runs: u64,
+    /// Runs landing in a fresh happens-before class (seen-set inserts).
+    pub distinct: u64,
+    /// Runs landing in an already-seen class.
+    pub redundant: u64,
+    /// Schedule classes dispositioned without executing them.
+    pub skipped: u64,
+    /// Prefix-forked runs.
+    pub forked: u64,
+}
+
+impl WorkPruning {
+    /// Classes dispositioned: executed-and-distinct plus
+    /// skipped-without-executing.
+    pub fn effective(&self) -> u64 {
+        self.distinct + self.skipped
+    }
+
+    fn add(&mut self, other: &WorkPruning) {
+        self.runs += other.runs;
+        self.distinct += other.distinct;
+        self.redundant += other.redundant;
+        self.skipped += other.skipped;
+        self.forked += other.forked;
+    }
+
+    fn write_fields(&self, w: &mut JsonWriter) {
+        w.field_u64("runs", self.runs);
+        w.field_u64("distinct", self.distinct);
+        w.field_u64("redundant", self.redundant);
+        w.field_u64("skipped", self.skipped);
+        w.field_u64("forked", self.forked);
+        w.field_u64("effective", self.effective());
+    }
+}
+
 /// One executed budget slice, for the rollup.
 #[derive(Clone, Debug)]
 pub struct WorkRecord {
@@ -134,6 +182,9 @@ pub struct WorkRecord {
     pub new_bugs: u64,
     /// Corpus files skipped while salvaging the shard.
     pub salvage_skipped: u64,
+    /// Pruning counters the worker reported (`None` when the child ran
+    /// without `--prune` or died before its first snapshot).
+    pub pruning: Option<WorkPruning>,
 }
 
 /// When one merged bug was first discovered, in global execs.
@@ -190,6 +241,40 @@ impl OrchReport {
         self.discovery.iter().map(|d| d.exec).max()
     }
 
+    /// Campaign-wide pruning totals summed over all slices that reported
+    /// counters; `None` when no worker pruned.
+    pub fn pruning_totals(&self) -> Option<WorkPruning> {
+        let mut total = WorkPruning::default();
+        let mut any = false;
+        for rec in &self.work {
+            if let Some(p) = &rec.pruning {
+                total.add(p);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    /// Per-arm pruning totals in `self.arms` order (arms whose slices
+    /// never reported counters get `None`).
+    pub fn arm_pruning(&self) -> Vec<Option<WorkPruning>> {
+        self.arms
+            .iter()
+            .map(|arm| {
+                let label = arm.spec.label();
+                let mut total = WorkPruning::default();
+                let mut any = false;
+                for rec in self.work.iter().filter(|r| r.arm == label) {
+                    if let Some(p) = &rec.pruning {
+                        total.add(p);
+                        any = true;
+                    }
+                }
+                any.then_some(total)
+            })
+            .collect()
+    }
+
     /// Arms quarantined by worker failure, as (label, reason).
     pub fn quarantined(&self) -> Vec<(String, String)> {
         self.arms
@@ -215,9 +300,16 @@ impl OrchReport {
         w.field_u64("total_runs", self.total_runs);
         w.field_u64("unique_bugs", self.merged_entries as u64);
         w.field_bool("finished", self.finished);
+        if let Some(total) = self.pruning_totals() {
+            w.key("pruning");
+            w.begin_object();
+            total.write_fields(&mut w);
+            w.end_object();
+        }
+        let arm_pruning = self.arm_pruning();
         w.key("arms");
         w.begin_array();
-        for arm in &self.arms {
+        for (arm, pruning) in self.arms.iter().zip(&arm_pruning) {
             w.begin_object();
             w.field_str("app", &arm.spec.app);
             w.field_str("preset", &arm.spec.preset);
@@ -230,6 +322,12 @@ impl OrchReport {
             w.field_bool("quarantined", arm.quarantined.is_some());
             if let Some(reason) = &arm.quarantined {
                 w.field_str("quarantine_reason", reason);
+            }
+            if let Some(p) = pruning {
+                w.key("pruning");
+                w.begin_object();
+                p.write_fields(&mut w);
+                w.end_object();
             }
             w.end_object();
         }
@@ -246,6 +344,12 @@ impl OrchReport {
             w.field_u64("runs", rec.runs);
             w.field_u64("new_bugs", rec.new_bugs);
             w.field_u64("salvage_skipped", rec.salvage_skipped);
+            if let Some(p) = &rec.pruning {
+                w.key("pruning");
+                w.begin_object();
+                p.write_fields(&mut w);
+                w.end_object();
+            }
             w.end_object();
         }
         w.end_array();
@@ -288,6 +392,8 @@ struct WorkerMetrics {
     runs: u64,
     /// (signature, first_exec) per discovered bug.
     discovery: Vec<(String, u64)>,
+    /// The optional `pruning` counter block.
+    pruning: Option<WorkPruning>,
 }
 
 /// Parses a worker metrics snapshot leniently: a missing or torn file
@@ -314,7 +420,20 @@ fn read_worker_metrics(path: &Path) -> Option<WorkerMetrics> {
                 .collect()
         })
         .unwrap_or_default();
-    Some(WorkerMetrics { runs, discovery })
+    let pruning = doc.get("pruning").and_then(|p| {
+        Some(WorkPruning {
+            runs: p.get("runs")?.as_u64()?,
+            distinct: p.get("distinct")?.as_u64()?,
+            redundant: p.get("redundant")?.as_u64()?,
+            skipped: p.get("skipped")?.as_u64()?,
+            forked: p.get("forked")?.as_u64()?,
+        })
+    });
+    Some(WorkerMetrics {
+        runs,
+        discovery,
+        pruning,
+    })
 }
 
 /// Runs one round's work items with at most `shards` live workers,
@@ -334,7 +453,7 @@ fn run_items(
                 break;
             };
             let spec = &arms[item.arm].spec;
-            match worker::spawn(&cfg.worker_bin, spec, &item, cfg.replay_checks) {
+            match worker::spawn(&cfg.worker_bin, spec, &item, cfg.replay_checks, cfg.prune) {
                 Ok(handle) => running.push(handle),
                 Err(e) => {
                     progress(format!("  worker {} failed to start: {e}", spec.label()));
@@ -444,6 +563,7 @@ pub fn orchestrate(
                 .fold_shard(&item.corpus_dir())
                 .map_err(|e| format!("merge shard {}: {e}", item.dir.display()))?;
             let metrics = read_worker_metrics(&item.metrics_path());
+            let pruning = metrics.as_ref().and_then(|m| m.pruning);
             let runs = metrics
                 .as_ref()
                 .map(|m| m.runs)
@@ -485,6 +605,7 @@ pub fn orchestrate(
                 runs,
                 new_bugs: new_sigs.len() as u64,
                 salvage_skipped: skipped.len() as u64,
+                pruning,
             });
         }
         scheduler.end_round();
@@ -683,6 +804,13 @@ mod tests {
                 runs: 40,
                 new_bugs: 1,
                 salvage_skipped: 0,
+                pruning: Some(WorkPruning {
+                    runs: 40,
+                    distinct: 4,
+                    redundant: 36,
+                    skipped: 120,
+                    forked: 30,
+                }),
             }],
             discovery: vec![OrchDiscovery {
                 signature: "KUE:00deadbeef000000".into(),
@@ -705,6 +833,56 @@ mod tests {
         );
         assert_eq!(report.execs_to_full_discovery(), Some(17));
         assert_eq!(report.quarantined().len(), 1);
+
+        let totals = report.pruning_totals().unwrap();
+        assert_eq!(totals.effective(), 124);
+        let pruning = doc.get("pruning").unwrap();
+        assert_eq!(pruning.get("skipped").and_then(|v| v.as_u64()), Some(120));
+        assert_eq!(pruning.get("effective").and_then(|v| v.as_u64()), Some(124));
+        assert_eq!(
+            arm.get("pruning")
+                .and_then(|p| p.get("distinct"))
+                .and_then(|v| v.as_u64()),
+            Some(4)
+        );
+        let work = &doc.get("work").and_then(|w| w.as_array()).unwrap()[0];
+        assert_eq!(
+            work.get("pruning")
+                .and_then(|p| p.get("forked"))
+                .and_then(|v| v.as_u64()),
+            Some(30)
+        );
+    }
+
+    #[test]
+    fn rollup_omits_pruning_when_no_worker_pruned() {
+        let report = OrchReport {
+            scheduler: SchedulerKind::Thompson,
+            shards: 1,
+            rounds_done: 1,
+            rounds: 1,
+            slice_budget: 10,
+            total_runs: 10,
+            arms: vec![],
+            work: vec![WorkRecord {
+                index: 0,
+                round: 0,
+                arm: "KUE/standard/fuzz".into(),
+                seed: 1,
+                outcome: "ok".into(),
+                runs: 10,
+                new_bugs: 0,
+                salvage_skipped: 0,
+                pruning: None,
+            }],
+            discovery: vec![],
+            merged_entries: 0,
+            merged_dir: PathBuf::from("x"),
+            finished: true,
+        };
+        assert!(report.pruning_totals().is_none());
+        let doc = JsonValue::parse(&report.to_json()).unwrap();
+        assert!(doc.get("pruning").is_none());
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub struct Handle {
 /// restricted to exactly one (app, preset, mode) arm: `--presets NAME`
 /// for fuzz/conform arms, `--presets directed` for a directed-only
 /// campaign.
-pub fn worker_args(arm: &ArmSpec, item: &WorkItem, replay_checks: u32) -> Vec<String> {
+pub fn worker_args(arm: &ArmSpec, item: &WorkItem, replay_checks: u32, prune: bool) -> Vec<String> {
     let preset = match arm.mode {
         ArmMode::Fuzz | ArmMode::Conform => arm.preset.clone(),
         ArmMode::Directed => "directed".to_string(),
@@ -117,6 +117,9 @@ pub fn worker_args(arm: &ArmSpec, item: &WorkItem, replay_checks: u32) -> Vec<St
         "--metrics-out".into(),
         item.metrics_path().display().to_string(),
     ];
+    if prune {
+        args.push("--prune".into());
+    }
     if item.sabotage {
         args.push("--crash-after-runs".into());
         args.push((item.budget / 2).max(1).to_string());
@@ -136,6 +139,7 @@ pub fn spawn(
     arm: &ArmSpec,
     item: &WorkItem,
     replay_checks: u32,
+    prune: bool,
 ) -> Result<Handle, String> {
     std::fs::create_dir_all(&item.dir)
         .map_err(|e| format!("workdir {}: {e}", item.dir.display()))?;
@@ -143,7 +147,7 @@ pub fn spawn(
         .map_err(|e| format!("worker log: {e}"))?;
     let log_err = log.try_clone().map_err(|e| format!("worker log: {e}"))?;
     let child = Command::new(bin)
-        .args(worker_args(arm, item, replay_checks))
+        .args(worker_args(arm, item, replay_checks, prune))
         .stdin(Stdio::null())
         .stdout(log)
         .stderr(log_err)
@@ -205,13 +209,25 @@ mod tests {
             preset: "aggressive".into(),
             mode: ArmMode::Fuzz,
         };
-        let args = worker_args(&arm, &item(false), 5);
+        let args = worker_args(&arm, &item(false), 5, false);
         let joined = args.join(" ");
         assert!(joined.contains("--apps KUE"), "{joined}");
         assert!(joined.contains("--presets aggressive"), "{joined}");
         assert!(joined.contains("--budget 30"), "{joined}");
         assert!(joined.contains("--seed 42"), "{joined}");
         assert!(!joined.contains("--crash-after-runs"), "{joined}");
+        assert!(!joined.contains("--prune"), "{joined}");
+    }
+
+    #[test]
+    fn pruning_campaigns_forward_the_flag_to_workers() {
+        let arm = ArmSpec {
+            app: "KUE".into(),
+            preset: "standard".into(),
+            mode: ArmMode::Fuzz,
+        };
+        let joined = worker_args(&arm, &item(false), 5, true).join(" ");
+        assert!(joined.contains("--prune"), "{joined}");
     }
 
     #[test]
@@ -221,7 +237,7 @@ mod tests {
             preset: "directed".into(),
             mode: ArmMode::Directed,
         };
-        let joined = worker_args(&arm, &item(false), 5).join(" ");
+        let joined = worker_args(&arm, &item(false), 5, false).join(" ");
         assert!(joined.contains("--presets directed"), "{joined}");
     }
 
@@ -232,7 +248,7 @@ mod tests {
             preset: "standard".into(),
             mode: ArmMode::Fuzz,
         };
-        let joined = worker_args(&arm, &item(true), 5).join(" ");
+        let joined = worker_args(&arm, &item(true), 5, false).join(" ");
         assert!(joined.contains("--crash-after-runs 15"), "{joined}");
     }
 }

@@ -282,6 +282,13 @@ impl EventLogHandle {
         self.0.borrow().clone()
     }
 
+    /// Runs `f` against the live log without cloning it — the read path
+    /// for per-run analyses (canonical-key folding) that would otherwise
+    /// pay a full log copy on every execution.
+    pub fn with<R>(&self, f: impl FnOnce(&EventLog) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
     /// Resets the log in place (so a handle can be reused across runs).
     pub(crate) fn reset(&self) {
         let mut log = self.0.borrow_mut();

@@ -70,6 +70,7 @@ mod proc;
 mod rng;
 mod sched;
 mod signal;
+pub mod snapshot;
 mod time;
 mod timers;
 mod trace;
@@ -89,6 +90,7 @@ pub use proc::{ChildSpec, Pid};
 pub use rng::{Rng, ShuffleScratch};
 pub use sched::{PoolMode, Scheduler, TimerVerdict, VanillaScheduler};
 pub use signal::Signal;
+pub use snapshot::LoopSnapshot;
 pub use time::{VDur, VTime};
 pub use timers::TimerId;
 pub use trace::{CbKind, TraceRecorder, TypeSchedule};

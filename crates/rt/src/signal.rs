@@ -43,7 +43,7 @@ impl Signal {
 }
 
 /// Registry mapping signals to their watcher descriptors.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct SignalState {
     watchers: HashMap<Signal, Vec<Fd>>,
     pub delivered: u64,

@@ -1,0 +1,225 @@
+//! Prefix snapshotting: cheap capture/restore of a paused loop.
+//!
+//! A fuzz campaign exploring many schedules that share a decision prefix
+//! re-executes that prefix on every run. [`LoopSnapshot`] removes the
+//! waste: pause the loop at an iteration boundary, capture its state once,
+//! and restore it into (the same or another) loop arbitrarily many times —
+//! each restore re-forks the captured scheduler, so the resumed run draws
+//! exactly the decisions the original would have drawn from that point.
+//!
+//! ## Admissibility
+//!
+//! Not every paused loop is forkable. Queued one-shot callbacks (`FnOnce`
+//! jobs: microtasks, immediates, pending/close queues, worker-pool task
+//! bodies and done callbacks, custom environment effects) cannot be
+//! duplicated, so [`EventLoop::fork_admissible`] requires those queues to
+//! be empty and the installed scheduler to implement
+//! [`Scheduler::fork_box`]. Timers, I/O watchers and idle/prepare/check
+//! handles hold `Rc<RefCell<dyn FnMut>>` callbacks, which a snapshot
+//! *shares* with the original run.
+//!
+//! ## Fork safety
+//!
+//! Because repeatable callbacks are shared, restoring is sound exactly for
+//! *fork-safe* programs: callbacks whose control flow does not depend on
+//! captured mutable state (captured `Rc<Cell<_>>` counters mutated by one
+//! resumed run are visible to the next). One structural hazard is detected
+//! rather than documented away: a captured one-shot (`set_timeout`)
+//! callback is an `FnOnce` consumed by whichever run fires it first, so
+//! each snapshot carries the one-shots' shared spent flags and
+//! [`EventLoop::restore`] refuses once any has been consumed — a snapshot
+//! holding live one-shots supports exactly one resumed execution, never a
+//! silent no-op replay. The deterministic fig6 substrate programs that
+//! drive campaign runs through `EnvAction::Custom` are conservatively
+//! rejected by the admissibility check; forking is an opt-in fast path,
+//! never a silent unsoundness.
+//!
+//! [`EventLoop::fork_admissible`]: crate::EventLoop::fork_admissible
+//! [`Scheduler::fork_box`]: crate::Scheduler::fork_box
+
+use crate::envq::EnvQueue;
+use crate::error::AppError;
+use crate::events::{CbId, EventLog};
+use crate::looper::{LoopConfig, LoopState, RepeatHandles};
+use crate::poll::PollState;
+use crate::pool::PoolState;
+use crate::proc::ProcTable;
+use crate::rng::Rng;
+use crate::sched::{PoolMode, Scheduler};
+use crate::signal::SignalState;
+use crate::time::VTime;
+use crate::timers::TimerHeap;
+use crate::trace::TraceRecorder;
+
+/// A captured loop prefix: everything needed to resume execution from the
+/// capture point, including a forked scheduler and a deep copy of the
+/// attached event log (if any).
+///
+/// Created by [`EventLoop::snapshot`], consumed (any number of times) by
+/// [`EventLoop::restore`].
+///
+/// [`EventLoop::snapshot`]: crate::EventLoop::snapshot
+/// [`EventLoop::restore`]: crate::EventLoop::restore
+pub struct LoopSnapshot {
+    pub(crate) cfg: LoopConfig,
+    pub(crate) now: VTime,
+    pub(crate) rng_env: Rng,
+    pub(crate) rng_cost: Rng,
+    pub(crate) timers: TimerHeap,
+    pub(crate) idle: RepeatHandles,
+    pub(crate) prepare: RepeatHandles,
+    pub(crate) check: RepeatHandles,
+    pub(crate) poll: PollState,
+    pub(crate) pool: PoolState,
+    pub(crate) env: EnvQueue,
+    pub(crate) signals: SignalState,
+    pub(crate) procs: ProcTable,
+    pub(crate) trace: TraceRecorder,
+    pub(crate) errors: Vec<AppError>,
+    pub(crate) stopped: bool,
+    pub(crate) hung: bool,
+    pub(crate) demux_done: bool,
+    pub(crate) iter: u64,
+    /// Deep copy of the attached event log's content at capture time,
+    /// plus the event that was current (`None` = no log attached).
+    pub(crate) events: Option<(EventLog, Option<CbId>)>,
+    pub(crate) sched: Box<dyn Scheduler>,
+    pub(crate) pool_mode: PoolMode,
+}
+
+impl std::fmt::Debug for LoopSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopSnapshot")
+            .field("now", &self.now)
+            .field("iter", &self.iter)
+            .field("scheduler", &self.sched.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Whether the state is at a forkable point (see module docs): no queued
+/// one-shot callbacks anywhere, and a scheduler that can fork itself.
+pub(crate) fn fork_admissible(st: &LoopState, sched: &dyn Scheduler) -> bool {
+    st.micro.is_empty()
+        && st.immediates.is_empty()
+        && st.pending.is_empty()
+        && st.closing.is_empty()
+        && !st.pool.busy()
+        && !st.env.has_custom()
+        && sched.fork_box().is_some()
+}
+
+impl LoopSnapshot {
+    /// Captures a snapshot of `st`, or `None` if the state is not at a
+    /// forkable point.
+    pub(crate) fn capture(
+        st: &LoopState,
+        sched: &dyn Scheduler,
+        pool_mode: PoolMode,
+    ) -> Option<LoopSnapshot> {
+        if !(st.micro.is_empty()
+            && st.immediates.is_empty()
+            && st.pending.is_empty()
+            && st.closing.is_empty())
+        {
+            return None;
+        }
+        let env = st.env.try_clone()?;
+        let pool = st.pool.try_clone()?;
+        let sched = sched.fork_box()?;
+        Some(LoopSnapshot {
+            cfg: st.cfg.clone(),
+            now: st.now,
+            rng_env: st.rng_env.clone(),
+            rng_cost: st.rng_cost.clone(),
+            timers: st.timers.clone(),
+            idle: st.idle.clone(),
+            prepare: st.prepare.clone(),
+            check: st.check.clone(),
+            poll: st.poll.clone(),
+            pool,
+            env,
+            signals: st.signals.clone(),
+            procs: st.procs.clone(),
+            trace: st.trace.clone(),
+            errors: st.errors.clone(),
+            stopped: st.stopped,
+            hung: st.hung,
+            demux_done: st.demux_done,
+            iter: st.iter,
+            events: st
+                .events
+                .as_ref()
+                .map(|h| (h.0.borrow().clone(), st.current)),
+            sched,
+            pool_mode,
+        })
+    }
+
+    /// Overwrites `st` with the captured state and returns a fresh fork of
+    /// the captured scheduler, or `None` — leaving `st` untouched — if the
+    /// snapshot cannot be soundly resumed: its scheduler refuses to fork
+    /// again, or a captured one-shot timer's callback has already been
+    /// consumed by another run sharing it (the snapshot went stale).
+    ///
+    /// If the target loop has an event log attached, the snapshot's log
+    /// content is written into that same handle (external holders observe
+    /// the rewind); otherwise a fresh handle is attached.
+    pub(crate) fn restore_into(&self, st: &mut LoopState) -> Option<Box<dyn Scheduler>> {
+        if self.timers.any_spent_oneshot() {
+            return None;
+        }
+        let sched = self.sched.fork_box()?;
+        st.cfg = self.cfg.clone();
+        st.now = self.now;
+        st.rng_env = self.rng_env.clone();
+        st.rng_cost = self.rng_cost.clone();
+        st.timers = self.timers.clone();
+        st.micro.clear();
+        st.immediates.clear();
+        st.pending.clear();
+        st.closing.clear();
+        st.idle = self.idle.clone();
+        st.prepare = self.prepare.clone();
+        st.check = self.check.clone();
+        st.poll = self.poll.clone();
+        st.pool = self.pool.try_clone().expect("captured pool is idle");
+        st.env = self.env.try_clone().expect("captured env has no customs");
+        st.signals = self.signals.clone();
+        st.procs = self.procs.clone();
+        st.trace = self.trace.clone();
+        st.errors = self.errors.clone();
+        st.stopped = self.stopped;
+        st.hung = self.hung;
+        st.demux_done = self.demux_done;
+        st.iter = self.iter;
+        match &self.events {
+            Some((content, current)) => {
+                let handle = st.events.take().unwrap_or_default();
+                *handle.0.borrow_mut() = content.clone();
+                st.events = Some(handle);
+                st.current = *current;
+            }
+            None => {
+                st.events = None;
+                st.current = None;
+            }
+        }
+        Some(sched)
+    }
+
+    /// Virtual time at the capture point.
+    pub fn now(&self) -> VTime {
+        self.now
+    }
+
+    /// Loop iterations executed up to the capture point.
+    pub fn iterations(&self) -> u64 {
+        self.iter
+    }
+
+    /// Name of the captured scheduler.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
+    }
+}

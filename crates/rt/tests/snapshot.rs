@@ -1,0 +1,293 @@
+//! Prefix-snapshot semantics: capturing a paused loop is non-invasive,
+//! restoring is deterministic (and repeatable for one-shot-free
+//! programs), admissibility refuses un-duplicable state, stale snapshots
+//! refuse to restore, and a restored loop leaves no live handles behind
+//! (the `pool_reuse` guarantee extended to the fork path).
+
+use nodefz_rt::{
+    EventLogHandle, EventLoop, LoopConfig, LoopPool, RunReport, Scheduler, Termination,
+    TimerVerdict, VDur, VTime, VanillaScheduler,
+};
+
+/// A fork-safe program with one-shot timers: a pure timeline whose
+/// control flow depends only on immutably captured values. Its one-shots
+/// are `FnOnce` callbacks, so a snapshot of it supports exactly one
+/// resumed execution.
+fn timeline(el: &mut EventLoop) {
+    el.enter(|cx| {
+        let tick = cx.set_interval(VDur::millis(3), |cx| {
+            cx.touch_write("snap:counter");
+        });
+        cx.set_timeout(VDur::millis(5), |cx| {
+            cx.touch_read("snap:counter");
+            cx.report_error("mid", "halfway");
+            cx.set_timeout(VDur::millis(5), |cx| {
+                cx.report_error("late", "nested");
+            });
+        });
+        cx.set_timeout(VDur::millis(14), move |cx| {
+            cx.clear_timer(tick);
+            cx.report_error("end", "cleared the interval");
+        });
+    });
+}
+
+fn fresh(seed: u64) -> EventLoop {
+    let mut el = EventLoop::new(LoopConfig::seeded(seed));
+    timeline(&mut el);
+    el
+}
+
+/// A fully re-runnable fork-safe program: repeating timers only (their
+/// callbacks are `FnMut` with no captured mutable state), terminated by
+/// the virtual-time cap. Snapshots of it restore any number of times.
+fn repeating(seed: u64) -> EventLoop {
+    let cfg = LoopConfig {
+        max_vtime: VTime::ZERO + VDur::millis(40),
+        ..LoopConfig::seeded(seed)
+    };
+    let mut el = EventLoop::new(cfg);
+    el.enter(|cx| {
+        cx.set_interval(VDur::millis(3), |cx| {
+            cx.touch_write("snap:a");
+            cx.report_error("t3", "tick");
+        });
+        cx.set_interval(VDur::millis(5), |cx| {
+            cx.touch_update("snap:b");
+            cx.report_error("t5", "tock");
+        });
+    });
+    el
+}
+
+fn straight_run(mk: impl Fn() -> EventLoop) -> RunReport {
+    mk().run()
+}
+
+#[test]
+fn snapshot_is_noninvasive() {
+    let baseline = straight_run(|| fresh(11));
+    assert!(baseline.has_error("end"), "timeline must complete");
+
+    let mut el = fresh(11);
+    assert!(
+        el.run_bounded(3).is_none(),
+        "timeline outlasts 3 iterations"
+    );
+    assert!(el.fork_admissible(), "paused timer timeline is forkable");
+    let snap = el.snapshot().expect("admissible loop snapshots");
+
+    // Capturing must not perturb the interrupted run.
+    assert_eq!(el.run(), baseline);
+
+    // The continuation consumed the captured one-shots: the snapshot is
+    // stale and must refuse rather than silently replay no-ops.
+    assert!(!el.restore(&snap), "stale snapshot must refuse to restore");
+}
+
+#[test]
+fn restored_run_is_deterministic() {
+    let baseline = straight_run(|| fresh(21));
+
+    let mut el = fresh(21);
+    assert!(el.run_bounded(3).is_none());
+    let snap = el.snapshot().expect("forkable");
+
+    // Fork discipline: abandon the original continuation, resume the
+    // snapshot instead. The resumed run completes the identical schedule.
+    assert!(el.restore(&snap));
+    assert_eq!(el.run(), baseline);
+
+    // That execution spent the shared one-shots; a second resume refuses.
+    assert!(!el.restore(&snap));
+}
+
+#[test]
+fn oneshot_free_snapshots_restore_many_times() {
+    let baseline = straight_run(|| repeating(22));
+    assert_eq!(baseline.termination, Termination::VTimeCap);
+    assert!(baseline.has_error("t3") && baseline.has_error("t5"));
+
+    let mut el = repeating(22);
+    assert!(el.run_bounded(4).is_none());
+    let snap = el.snapshot().expect("forkable");
+    assert_eq!(el.run(), baseline, "capture is non-invasive");
+    for _ in 0..3 {
+        assert!(el.restore(&snap), "no one-shots, never stale");
+        assert_eq!(el.run(), baseline);
+    }
+}
+
+#[test]
+fn run_bounded_zero_reports_an_already_terminated_loop() {
+    let mut el = fresh(12);
+    let report = el.run();
+    // No work left: even a zero-iteration budget yields the report.
+    assert_eq!(el.run_bounded(0).unwrap().termination, report.termination);
+}
+
+#[test]
+fn queued_oneshot_work_blocks_the_snapshot() {
+    // An immediate is a queued `FnOnce`: not duplicable.
+    let mut el = EventLoop::new(LoopConfig::seeded(13));
+    el.enter(|cx| {
+        cx.set_immediate(|_| {});
+    });
+    assert!(!el.fork_admissible());
+    assert!(el.snapshot().is_none());
+
+    // A queued worker-pool task carries `FnOnce` work/done closures.
+    let mut el = EventLoop::new(LoopConfig::seeded(14));
+    el.enter(|cx| {
+        cx.submit_work(VDur::millis(1), |_| (), |_, ()| {}).unwrap();
+    });
+    assert!(!el.fork_admissible());
+    assert!(el.snapshot().is_none());
+
+    // A custom environment effect is a scheduled `FnOnce`.
+    let mut el = EventLoop::new(LoopConfig::seeded(15));
+    el.enter(|cx| {
+        cx.schedule_env(VDur::millis(2), |_| {});
+    });
+    assert!(!el.fork_admissible());
+    assert!(el.snapshot().is_none());
+
+    // Draining the offending state restores admissibility.
+    let mut el = EventLoop::new(LoopConfig::seeded(16));
+    el.enter(|cx| {
+        cx.set_immediate(|_| {});
+        cx.set_timeout(VDur::millis(50), |_| {});
+    });
+    assert!(el.run_bounded(1).is_none());
+    assert!(
+        el.fork_admissible(),
+        "immediate drained after one iteration"
+    );
+}
+
+#[test]
+fn schedulers_refusing_to_fork_block_the_snapshot() {
+    struct NoFork;
+    impl Scheduler for NoFork {
+        fn name(&self) -> &'static str {
+            "no-fork"
+        }
+    }
+    let mut el = EventLoop::with_scheduler(LoopConfig::seeded(17), Box::new(NoFork));
+    timeline(&mut el);
+    assert!(!el.fork_admissible(), "default fork_box refuses");
+    assert!(el.snapshot().is_none());
+}
+
+#[test]
+fn restored_pooled_loop_leaves_no_live_handles() {
+    let pool = LoopPool::new();
+    {
+        let mut el = EventLoop::with_scheduler_pooled(
+            LoopConfig::seeded(18),
+            Box::new(VanillaScheduler::new()),
+            &pool,
+        );
+        timeline(&mut el);
+        assert!(el.run_bounded(3).is_none());
+        let snap = el.snapshot().expect("forkable");
+        assert!(el.restore(&snap));
+        let report = el.run();
+        assert!(report.has_error("end"));
+        // Everything the restored prefix re-registered was consumed.
+        assert!(
+            el.live_counts().is_zero(),
+            "restored run leaked: {:?}",
+            el.live_counts()
+        );
+    }
+    // Recycling the restored state must pass the reset debug-asserts and
+    // hand back a clean loop.
+    let el = EventLoop::with_scheduler_pooled(
+        LoopConfig::seeded(19),
+        Box::new(VanillaScheduler::new()),
+        &pool,
+    );
+    assert!(el.live_counts().is_zero());
+}
+
+#[test]
+fn restore_rewinds_an_attached_event_log() {
+    // Straight recorded run for reference.
+    let reference = {
+        let log = EventLogHandle::fresh();
+        let mut el = fresh(20);
+        el.set_event_log(&log);
+        el.run();
+        log.snapshot()
+    };
+
+    let log = EventLogHandle::fresh();
+    let mut el = fresh(20);
+    el.set_event_log(&log);
+    assert!(el.run_bounded(4).is_none());
+    let snap = el.snapshot().expect("forkable");
+    let at_snap = log.snapshot().events.len();
+    assert!(at_snap > 0, "prefix recorded something");
+
+    // Restoring rewinds the *same* handle to the capture point…
+    assert!(el.restore(&snap));
+    assert_eq!(log.snapshot().events.len(), at_snap);
+
+    // …and resuming reproduces the reference log exactly.
+    el.run();
+    let replayed = log.snapshot();
+    assert_eq!(replayed.events, reference.events);
+    assert_eq!(replayed.sites, reference.sites);
+    assert_eq!(replayed.accesses, reference.accesses);
+}
+
+/// Defers exactly the `n`-th expired-timer consultation — a minimal
+/// "suffix decider" whose parameter steers the resumed schedule.
+struct DeferNth {
+    n: u32,
+    seen: u32,
+}
+
+impl Scheduler for DeferNth {
+    fn name(&self) -> &'static str {
+        "defer-nth"
+    }
+
+    fn on_timer(&mut self) -> TimerVerdict {
+        self.seen += 1;
+        if self.seen == self.n {
+            TimerVerdict::Defer {
+                delay: VDur::millis(2),
+            }
+        } else {
+            TimerVerdict::Run
+        }
+    }
+}
+
+#[test]
+fn replaced_scheduler_varies_the_resumed_suffix() {
+    // One captured prefix, many suffix deciders: the fork-exploration
+    // pattern. Restore rewinds the state; `replace_scheduler` picks which
+    // decisions the resumed run draws.
+    let mut el = repeating(23);
+    assert!(el.run_bounded(4).is_none());
+    let snap = el.snapshot().expect("forkable");
+
+    let mut reports = Vec::new();
+    for n in 1..4u32 {
+        assert!(el.restore(&snap), "one-shot-free snapshot never staling");
+        el.replace_scheduler(Box::new(DeferNth { n, seen: 0 }));
+        reports.push(el.run());
+    }
+    // Determinism: the same suffix decider resumes to the same run.
+    assert!(el.restore(&snap));
+    el.replace_scheduler(Box::new(DeferNth { n: 1, seen: 0 }));
+    assert_eq!(el.run(), reports[0]);
+    // Coverage: different deciders explored different schedules.
+    assert!(
+        reports.iter().any(|r| r.schedule != reports[0].schedule),
+        "suffix deciders must be able to diverge the schedule"
+    );
+}
