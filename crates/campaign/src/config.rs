@@ -80,6 +80,10 @@ pub struct CampaignConfig {
     /// instrumented run after the campaign drains (`None` = no trace).
     /// Requires a build with the `obs` feature.
     pub trace_out: Option<PathBuf>,
+    /// Where to write the campaign flight-recorder journal
+    /// (`nodefz-journal-v1` JSON lines: arm pulls with decision-time
+    /// bandit state, prune verdicts, discoveries). `None` = no journal.
+    pub journal_out: Option<PathBuf>,
     /// Runtime telemetry dial for worker runs. Above [`ObsLevel::Off`]
     /// the workers profile loop phases and per-kind dispatches into the
     /// metrics registry; requires a build with the `obs` feature.
@@ -108,6 +112,7 @@ impl Default for CampaignConfig {
             directed: false,
             metrics_out: None,
             trace_out: None,
+            journal_out: None,
             obs_level: ObsLevel::Off,
             prune: false,
         }

@@ -35,8 +35,9 @@ use crate::config::{preset_name, preset_params, CampaignConfig, DIRECTED_PRESET}
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::dedup::{BugRecord, Deduper, Finding};
 use crate::metrics::{self, Discovery, WorkerTelemetry};
-use crate::prune::{PruneCounters, Pruner, SEEN_CAP};
+use crate::prune::{ClassVerdict, Pruner, SEEN_CAP};
 use crate::shrink::shrink;
+use nodefz_obs::{Journal, JournalEvent, PruneOutcome, JOURNAL_CAP};
 
 /// How many early runs of each arm have their type schedule sampled for
 /// the per-arm diversity summary in `--metrics-out` snapshots. Pairwise
@@ -51,7 +52,7 @@ const METRICS_INTERVAL: Duration = Duration::from_millis(500);
 /// studied application bugs ([`nodefz_apps::by_abbr`]), campaigns can run
 /// the conformance arm — generated programs judged against the runtime's
 /// ordering oracle — under the `CONFORM` abbreviation.
-pub(crate) fn resolve_case(app: &str) -> Option<Box<dyn nodefz_apps::common::BugCase>> {
+pub fn resolve_case(app: &str) -> Option<Box<dyn nodefz_apps::common::BugCase>> {
     if app.eq_ignore_ascii_case(nodefz_conform::ABBR) {
         return Some(nodefz_conform::bug_case());
     }
@@ -598,6 +599,10 @@ pub fn run_with_progress(
     // cross-check class outcomes. Accounting only — the dispatched run
     // stream is identical with pruning on or off (corpora match bytewise).
     let mut pruner = cfg.prune.then(|| Pruner::new(SEEN_CAP));
+    // Flight recorder: a bounded ring of structured decisions (arm pulls
+    // with the bandit state that made them, prune verdicts, discoveries),
+    // persisted atomically at drain. Owned by the controller thread only.
+    let mut journal = cfg.journal_out.as_ref().map(|_| Journal::new(JOURNAL_CAP));
 
     // One registry shard per worker: fuzz executions record into their
     // own shard with relaxed atomic adds; snapshots fold them here.
@@ -648,8 +653,27 @@ pub fn run_with_progress(
     let max_inflight = (cfg.threads as u64) * 8;
     let mut arm_pulls: std::collections::HashMap<(String, usize), u64> =
         std::collections::HashMap::new();
-    let mut dispatch = |bandit: &mut Bandit, dispatched: &mut u64, next_slot: &mut usize| {
+    let mut dispatch = |bandit: &mut Bandit,
+                        dispatched: &mut u64,
+                        next_slot: &mut usize,
+                        journal: &mut Option<Journal>,
+                        exec: u64| {
+        // Snapshot *before* the pick so the journal records the posterior
+        // state the decision was actually made from.
+        let decision_state = journal.is_some().then(|| bandit.snapshot());
         let arm = bandit.pick();
+        if let (Some(j), Some(snap)) = (journal.as_mut(), decision_state) {
+            let s = snap.iter().find(|s| s.arm == arm);
+            j.push(JournalEvent::ArmPull {
+                exec,
+                arm: format!("{}/{}", arm.app, preset_name(arm.preset)),
+                pulls: s.map_or(0, |s| s.pulls) + 1,
+                mean_reward: s.map_or(1.0, |s| s.mean_reward),
+                ucb: s.and_then(|s| s.ucb_bound),
+                successes: None,
+                failures: None,
+            });
+        }
         let pull = arm_pulls.entry((arm.app.clone(), arm.preset)).or_insert(0);
         // The directed arm cycles predicted flips and bumps the retry
         // attempt each full cycle; its env seed is pinned to the analyzed
@@ -683,7 +707,13 @@ pub fn run_with_progress(
     };
 
     while dispatched < cfg.budget.min(max_inflight) {
-        dispatch(&mut bandit, &mut dispatched, &mut next_slot);
+        dispatch(
+            &mut bandit,
+            &mut dispatched,
+            &mut next_slot,
+            &mut journal,
+            0,
+        );
     }
 
     loop {
@@ -714,7 +744,18 @@ pub fn run_with_progress(
                 completed += 1;
                 let arm = Arm { app, preset };
                 if let (Some(pruner), Some((key, scope))) = (pruner.as_mut(), canon) {
-                    pruner.observe(key, scope, finding.as_ref().map(|f| &f.signature));
+                    let verdict =
+                        pruner.observe(key, scope, finding.as_ref().map(|f| &f.signature));
+                    if let Some(j) = journal.as_mut() {
+                        j.push(JournalEvent::Prune {
+                            exec: completed,
+                            verdict: match verdict {
+                                ClassVerdict::Fresh => PruneOutcome::Distinct,
+                                ClassVerdict::Redundant => PruneOutcome::Redundant,
+                                ClassVerdict::Mismatch => PruneOutcome::Mismatch,
+                            },
+                        });
+                    }
                 }
                 if let Some(schedule) = schedule {
                     arm_schedules
@@ -733,6 +774,13 @@ pub fn run_with_progress(
                             signature: signature.clone(),
                             env_seed,
                         });
+                        if let Some(j) = journal.as_mut() {
+                            j.push(JournalEvent::Discovery {
+                                exec: completed,
+                                app: arm.app.clone(),
+                                site: signature.site.clone(),
+                            });
+                        }
                         discovery.push(Discovery {
                             signature: signature.to_string(),
                             app: arm.app.clone(),
@@ -765,7 +813,13 @@ pub fn run_with_progress(
                     budget: cfg.budget,
                 });
                 if !hit_deadline && dispatched < cfg.budget {
-                    dispatch(&mut bandit, &mut dispatched, &mut next_slot);
+                    dispatch(
+                        &mut bandit,
+                        &mut dispatched,
+                        &mut next_slot,
+                        &mut journal,
+                        completed,
+                    );
                 }
             }
             Msg::ShrinkDone {
@@ -809,7 +863,7 @@ pub fn run_with_progress(
                     &discovery,
                     &registry,
                     deduper.records().len() as u64,
-                    pruner.as_ref().map(Pruner::counters),
+                    pruner.as_ref(),
                 )?;
             }
         }
@@ -832,8 +886,12 @@ pub fn run_with_progress(
             &discovery,
             &registry,
             deduper.records().len() as u64,
-            pruner.as_ref().map(Pruner::counters),
+            pruner.as_ref(),
         )?;
+    }
+    if let (Some(path), Some(j)) = (&cfg.journal_out, journal.as_ref()) {
+        j.write(path)
+            .map_err(|e| format!("journal: cannot write {}: {e}", path.display()))?;
     }
     #[cfg(feature = "obs")]
     if let Some(path) = &cfg.trace_out {
@@ -904,7 +962,7 @@ fn write_metrics(
     discovery: &[Discovery],
     registry: &nodefz_obs::Registry,
     unique_bugs: u64,
-    pruning: Option<&PruneCounters>,
+    pruner: Option<&Pruner>,
 ) -> Result<(), String> {
     let snapshot = metrics::collect(
         start.elapsed(),
@@ -920,7 +978,8 @@ fn write_metrics(
         },
         discovery,
         &registry.snapshot(),
-        pruning,
+        pruner.map(Pruner::counters),
+        pruner.map(Pruner::health),
     );
     // Atomic (temp file + rename): an orchestrator polls these snapshots
     // from another process while the campaign runs, and must never read a

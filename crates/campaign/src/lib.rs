@@ -46,8 +46,11 @@ pub use config::{
 pub use corpus::{Corpus, CorpusDecodeError, CorpusEntry};
 pub use dedup::{BugRecord, Deduper, Finding};
 pub use driver::{
-    run, run_with_progress, verify_entry, BugSummary, CampaignReport, Event, FuzzExec, RunContext,
+    resolve_case, run, run_with_progress, verify_entry, BugSummary, CampaignReport, Event,
+    FuzzExec, RunContext,
 };
 pub use metrics::{ArmMetrics, Discovery, MetricsSnapshot, PhaseMetrics};
-pub use prune::{env_scope, ClassVerdict, ForkExplorer, PruneCounters, Pruner, ScheduleTrie};
+pub use prune::{
+    env_scope, ClassVerdict, ForkExplorer, PruneCounters, PruneHealth, Pruner, ScheduleTrie,
+};
 pub use shrink::{shrink, ShrinkResult};

@@ -27,7 +27,7 @@ use nodefz_obs::{
 use nodefz_trace::{DiversitySummary, PAPER_TRUNCATION};
 
 use crate::bandit::ArmSnapshot;
-use crate::prune::PruneCounters;
+use crate::prune::{PruneCounters, PruneHealth};
 
 /// Upper bounds for the per-run dispatched-callback histogram. Bug runs
 /// dispatch hundreds to a few thousand callbacks; the overflow bucket
@@ -216,6 +216,9 @@ pub struct MetricsSnapshot {
     /// with pruning on). Additive to the `nodefz-metrics-v1` schema:
     /// existing readers that ignore unknown fields keep working.
     pub pruning: Option<PruneCounters>,
+    /// Seen-set LRU health riding along with the counters (same
+    /// availability; additive fields inside the `pruning` block).
+    pub prune_health: Option<PruneHealth>,
 }
 
 impl MetricsSnapshot {
@@ -341,6 +344,11 @@ impl MetricsSnapshot {
             w.field_u64("prefix_hits", p.prefix_hits);
             w.field_u64("snapshot_forks", p.snapshot_forks);
             w.field_u64("mismatches", p.mismatches);
+            if let Some(h) = &self.prune_health {
+                w.field_u64("seen_occupancy", h.seen_occupancy);
+                w.field_u64("seen_evictions", h.seen_evictions);
+                w.field_u64("seen_hits", h.seen_hits);
+            }
             w.field_f64("redundancy_ratio", p.redundancy_ratio(), 6);
             w.end_object();
         }
@@ -367,6 +375,7 @@ pub(crate) fn collect(
     discovery: &[Discovery],
     registry: &RegistrySnapshot,
     pruning: Option<&PruneCounters>,
+    prune_health: Option<PruneHealth>,
 ) -> MetricsSnapshot {
     let arms = arms
         .iter()
@@ -397,6 +406,7 @@ pub(crate) fn collect(
         callbacks: collect_callbacks(registry),
         run_dispatched: registry.histogram("run.dispatched").cloned(),
         pruning: pruning.copied(),
+        prune_health,
     }
 }
 
@@ -490,6 +500,7 @@ mod tests {
             &[],
             &reg.snapshot(),
             None,
+            None,
         );
         let div = snap.arms[0].diversity.as_ref().expect("sampled arm");
         assert_eq!(div.runs, 2);
@@ -513,6 +524,7 @@ mod tests {
             |_, _| Vec::new(),
             &[],
             &reg.snapshot(),
+            None,
             None,
         );
         assert!(snap.arms[0].diversity.is_none());
@@ -538,6 +550,7 @@ mod tests {
             |_, _| Vec::new(),
             &[],
             &reg.snapshot(),
+            None,
             None,
         );
         assert_eq!(snap.runs, 3);
@@ -579,6 +592,7 @@ mod tests {
             |_, _| Vec::new(),
             &discovery,
             &reg.snapshot(),
+            None,
             None,
         );
         assert!(

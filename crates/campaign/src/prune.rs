@@ -296,6 +296,37 @@ impl Pruner {
     pub fn classes(&self) -> usize {
         self.seen.len()
     }
+
+    /// Live health of the pruner's bounded structures — the seen-set LRU
+    /// occupancy and churn that the cumulative [`PruneCounters`] cannot
+    /// show. Surfaced in `nodefz-metrics-v1` snapshots so an operator can
+    /// tell a saturated class set (evictions climbing, redundancy ratio
+    /// no longer trustworthy) from a healthy one at a glance.
+    pub fn health(&self) -> PruneHealth {
+        PruneHealth {
+            seen_occupancy: self.seen.len() as u64,
+            seen_evictions: self.seen.evicted(),
+            seen_hits: self.seen.hits(),
+        }
+    }
+}
+
+/// Point-in-time health of the [`Pruner`]'s seen-class LRU.
+///
+/// Kept separate from [`PruneCounters`] on purpose: the counters are a
+/// cumulative, `Eq`-comparable record of classification verdicts that
+/// other processes parse field-for-field, while health is a gauge of the
+/// bounded data structure behind them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneHealth {
+    /// Distinct classes currently resident in the seen-set LRU.
+    pub seen_occupancy: u64,
+    /// Classes evicted from the LRU since the campaign started. Nonzero
+    /// means the redundancy ratio undercounts: an evicted class observed
+    /// again is miscounted as fresh.
+    pub seen_evictions: u64,
+    /// Seen-set re-hits (redundant observations) since the start.
+    pub seen_hits: u64,
 }
 
 /// Pruned exploration of one (app, preset) arm: record a prefix, then

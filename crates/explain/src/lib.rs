@@ -1,0 +1,34 @@
+//! # nodefz-explain — explainable race reports for confirmed bugs
+//!
+//! A fuzzing campaign ends with a corpus of minimized repros; this crate
+//! turns one repro into a *causal explanation* a human can act on. Where
+//! the campaign says "this schedule trips the oracle", the race report
+//! says **why**: which two accesses race, the minimal causal slice —
+//! each access's chain back to a scheduler-visible root — the flip cut
+//! whose deferral inverts their order, and how the failing schedule
+//! diverges from the nearest *passing* happens-before class.
+//!
+//! ```text
+//! .repro ──► explain_entry ──► RaceReport ──► to_json      (nodefz-race-report-v1)
+//!                                        ├──► render_ansi  (terminal timeline)
+//!                                        └──► render_html  (self-contained file)
+//! ```
+//!
+//! The report is falsifiable: [`ExplainConfig::check`] replays *only*
+//! the explained flip — a [`nodefz::DirectedSpec`] over the nearest
+//! passing schedule — and requires the recorded bug to re-manifest with
+//! its exact signature. An explanation that fails its own check is
+//! reported as such, never silently kept.
+//!
+//! The `campaign explain` subcommand is the CLI front end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explain;
+mod render;
+
+pub use explain::{
+    explain_entry, CheckResult, Divergence, ExplainConfig, FlipPlan, PassingSummary, RaceReport,
+};
+pub use render::{render_ansi, render_html, to_json, RACE_REPORT_SCHEMA};

@@ -207,6 +207,32 @@ pub fn races_with_cuts(log: &nodefz_rt::EventLog) -> Vec<RaceInfo> {
         .collect()
 }
 
+/// The full causal chain of `event`, the event itself first, walking
+/// `cause` links back to the scheduler-visible root. Every hop is
+/// resolved to a reporting-ready [`EventRef`] — this is the raw material
+/// of an explainable race report: the minimal "why did this dispatch"
+/// story for one racing access, environment hops included. Returns an
+/// empty chain for an out-of-range event id rather than panicking, so
+/// explainers can feed it unvalidated report data.
+pub fn causal_chain(log: &nodefz_rt::EventLog, event: u32) -> Vec<EventRef> {
+    let mut chain = Vec::new();
+    let mut cur = Some(event);
+    while let Some(id) = cur {
+        let Some(ev) = log.events.get(id as usize) else {
+            break;
+        };
+        chain.push(EventRef {
+            event: id,
+            kind: kind_label(ev.kind).to_string(),
+            decisions: ev.decisions,
+        });
+        // Causes point strictly backwards in dispatch order; a malformed
+        // log must not loop us.
+        cur = ev.cause.map(|c| c.0).filter(|c| *c < id);
+    }
+    chain
+}
+
 /// Candidate flip points for deferring the chain that leads to `a`:
 /// walks `a`'s causal chain back to the root and, for every
 /// scheduler-visible callback on it (environment hops and setup are not

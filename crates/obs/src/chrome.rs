@@ -24,15 +24,43 @@ struct Span {
 ///
 /// Wrap it in `Rc<RefCell<...>>`, hand it to `ObsHandle::with_sink`, run
 /// the loop, then call [`ChromeTrace::to_json`].
-#[derive(Default)]
 pub struct ChromeTrace {
     spans: Vec<Span>,
+    pid: u64,
+    tid: u64,
+    process_name: Option<String>,
+    thread_name: Option<String>,
+}
+
+impl Default for ChromeTrace {
+    fn default() -> ChromeTrace {
+        ChromeTrace {
+            spans: Vec::new(),
+            pid: 1,
+            tid: 1,
+            process_name: None,
+            thread_name: None,
+        }
+    }
 }
 
 impl ChromeTrace {
     /// An empty trace.
     pub fn new() -> ChromeTrace {
         ChromeTrace::default()
+    }
+
+    /// Names the process/thread this trace's spans belong to.
+    ///
+    /// When set, [`ChromeTrace::to_json`] leads the event array with
+    /// `"ph": "M"` `process_name`/`thread_name` metadata events and puts
+    /// every span on `pid`, so merging several workers' traces into one
+    /// document yields labeled tracks in Perfetto instead of bare pids.
+    pub fn set_identity(&mut self, pid: u64, process_name: &str, thread_name: &str) {
+        self.pid = pid;
+        self.tid = 1;
+        self.process_name = Some(process_name.to_string());
+        self.thread_name = Some(thread_name.to_string());
     }
 
     /// How many spans were collected.
@@ -57,13 +85,19 @@ impl ChromeTrace {
         w.field_str("displayTimeUnit", "ms");
         w.key("traceEvents");
         w.begin_array();
+        if let Some(name) = &self.process_name {
+            metadata_event(&mut w, "process_name", self.pid, self.tid, name);
+        }
+        if let Some(name) = &self.thread_name {
+            metadata_event(&mut w, "thread_name", self.pid, self.tid, name);
+        }
         for s in &self.spans {
             w.begin_object();
             w.field_str("name", s.name);
             w.field_str("cat", s.cat);
             w.field_str("ph", "X");
-            w.field_u64("pid", 1);
-            w.field_u64("tid", 1);
+            w.field_u64("pid", self.pid);
+            w.field_u64("tid", self.tid);
             w.field_f64("ts", s.ts_ns as f64 / 1_000.0, 3);
             w.field_f64("dur", s.dur_ns as f64 / 1_000.0, 3);
             w.key("args");
@@ -92,6 +126,20 @@ impl TraceEventSink for ChromeTrace {
             wall_ns: ev.wall_ns,
         });
     }
+}
+
+/// Emits one `"ph": "M"` metadata event naming a process or thread.
+fn metadata_event(w: &mut JsonWriter, kind: &str, pid: u64, tid: u64, name: &str) {
+    w.begin_object();
+    w.field_str("name", kind);
+    w.field_str("ph", "M");
+    w.field_u64("pid", pid);
+    w.field_u64("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field_str("name", name);
+    w.end_object();
+    w.end_object();
 }
 
 /// Maps a span name back to its `'static` label.
@@ -142,6 +190,25 @@ mod tests {
         // 1000 ns -> 1.000 us, 2500 ns -> 2.500 us.
         assert!(json.contains(r#""ts": 1.000, "dur": 2.500"#), "{json}");
         assert!(json.contains(r#""args": {"wall_ns": 42}"#), "{json}");
+    }
+
+    #[test]
+    fn identity_emits_metadata_events_and_moves_spans_to_the_pid() {
+        let mut t = ChromeTrace::new();
+        t.set_identity(7, "worker: GHO/aggressive", "loop");
+        t.event(&ev("poll", "phase", 0, 1_000));
+        let json = t.to_json();
+        assert!(
+            json.contains(
+                r#"{"name": "process_name", "ph": "M", "pid": 7, "tid": 1, "args": {"name": "worker: GHO/aggressive"}}"#
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#"{"name": "thread_name", "ph": "M", "pid": 7, "tid": 1, "args": {"name": "loop"}}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""ph": "X", "pid": 7, "tid": 1"#), "{json}");
     }
 
     #[test]

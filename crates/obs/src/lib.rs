@@ -21,6 +21,10 @@
 //!   campaign orchestrator reading worker snapshots).
 //! * [`write_atomic`] — temp-file-plus-rename snapshot persistence, so a
 //!   concurrent reader never observes a torn document.
+//! * [`Journal`] — the campaign flight recorder: a bounded single-writer
+//!   ring of structured events (arm pulls with bandit state, prune
+//!   verdicts, worker lifecycle, discoveries) with the
+//!   `nodefz-journal-v1` JSON-lines codec.
 //! * [`ChromeTrace`] (feature `rt`) — a `TraceEventSink` that collects a
 //!   single run's loop-phase and callback timeline in chrome://tracing
 //!   format, loadable in Perfetto.
@@ -29,6 +33,7 @@
 #![deny(missing_docs)]
 
 mod fsio;
+mod journal;
 mod json;
 mod parse;
 mod registry;
@@ -37,6 +42,10 @@ mod registry;
 mod chrome;
 
 pub use fsio::write_atomic;
+pub use journal::{
+    decode_entry, encode_entry, Journal, JournalDecodeError, JournalEntry, JournalEvent,
+    PruneOutcome, WorkerState, JOURNAL_CAP, JOURNAL_SCHEMA,
+};
 pub use json::JsonWriter;
 pub use parse::{JsonParseError, JsonValue};
 pub use registry::{

@@ -27,6 +27,8 @@ use nodefz_campaign::{report, run_with_progress, BenchConfig, CampaignConfig, Co
 use nodefz_orchestrate::{OrchConfig, SchedulerKind};
 
 const USAGE: &str = "usage: campaign [options]
+       campaign report [--workdir DIR] [--out DIR]
+       campaign explain REPRO [options]
   --threads N        worker threads (default 4)
   --budget N         total fuzz runs (default 400)
   --apps A,B,C       bug abbreviations to target (default: the fig6 set)
@@ -61,6 +63,9 @@ const USAGE: &str = "usage: campaign [options]
                      under --analyze (default 24; 0 = predict only)
   --metrics-out PATH write nodefz-metrics-v1 telemetry snapshots to PATH,
                      refreshed every ~500ms and finalized at drain
+  --journal-out PATH write the nodefz-journal-v1 flight recorder (arm
+                     pulls with bandit state, prune verdicts, bug
+                     discoveries) to PATH at drain
   --trace-out PATH   after the campaign, record one instrumented run as a
                      chrome://tracing timeline (needs an obs-feature build)
   --obs-level LEVEL  worker loop profiling: off | counters | full
@@ -92,7 +97,22 @@ const USAGE: &str = "usage: campaign [options]
   --bench-orchestrate  run the same orchestration under thompson and ucb
                      and write the execs-to-discovery comparison
   --bench-orch-out PATH  where --bench-orchestrate writes the report
-                     (default BENCH_orchestrate.json)";
+                     (default BENCH_orchestrate.json)
+
+campaign report — merge an orchestrated workdir's flight recorders
+  --workdir DIR      the orchestrator workdir to read (default nodefz-orch)
+  --out DIR          where to write the merged journal.jsonl and
+                     timeline.json (default WORKDIR/report)
+
+campaign explain REPRO — explain one confirmed bug's race causally
+  REPRO              a corpus .repro file (see --corpus / --verify)
+  --report-out PATH  write the nodefz-race-report-v1 JSON to PATH
+  --html-out PATH    also render a self-contained HTML report
+  --check            replay only the explained flip and verify the bug
+                     still manifests (exit nonzero when it does not)
+  --attempts N       directed replays per flip cut under --check
+                     (default 24)
+  --no-color         plain output (also honored: NO_COLOR)";
 
 /// What to run instead of a campaign, if anything.
 struct AltMode {
@@ -258,6 +278,7 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
             "--races-out" => analyze_opts.races_out = value("--races-out")?,
             "--attempts" => analyze_opts.attempts = num("--attempts", value("--attempts")?)?,
             "--metrics-out" => cfg.metrics_out = Some(value("--metrics-out")?.into()),
+            "--journal-out" => cfg.journal_out = Some(value("--journal-out")?.into()),
             "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.into()),
             "--obs-level" => {
                 let spelled = value("--obs-level")?;
@@ -610,8 +631,151 @@ fn run_bench_orchestrate(cfg: &CampaignConfig, opts: &OrchOpts) -> ExitCode {
     }
 }
 
+/// `campaign report`: merge an orchestrated workdir's journals and
+/// worker traces into one tagged journal plus a unified timeline.
+fn run_report(args: &[String]) -> ExitCode {
+    let mut workdir = "nodefz-orch".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--workdir" => value("--workdir").map(|v| workdir = v),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--help" | "-h" => Err(USAGE.to_string()),
+            other => Err(format!("report: unknown argument '{other}'\n{USAGE}")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let workdir = std::path::PathBuf::from(workdir);
+    let out = out.map_or_else(|| workdir.join("report"), std::path::PathBuf::from);
+    match nodefz_orchestrate::merge_report(&workdir, &out) {
+        Ok(summary) => {
+            println!(
+                "report: merged {} worker journal(s) + orchestrator ({} events), {} timeline span(s) from {} traced worker(s)",
+                summary.workers, summary.events, summary.spans, summary.traced,
+            );
+            println!("wrote {}", summary.journal_out.display());
+            println!("wrote {}", summary.timeline_out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `campaign explain REPRO`: render one corpus entry's causal race
+/// report, optionally validating it with a directed-flip replay.
+fn run_explain(args: &[String]) -> ExitCode {
+    let mut repro: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut html_out: Option<String> = None;
+    let mut color = std::env::var_os("NO_COLOR").is_none();
+    let mut explain_cfg = nodefz_explain::ExplainConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--report-out" => value("--report-out").map(|v| report_out = Some(v)),
+            "--html-out" => value("--html-out").map(|v| html_out = Some(v)),
+            "--check" => {
+                explain_cfg.check = true;
+                Ok(())
+            }
+            "--no-color" => {
+                color = false;
+                Ok(())
+            }
+            "--attempts" => value("--attempts").and_then(|v| {
+                v.parse()
+                    .map(|n| explain_cfg.attempts = n)
+                    .map_err(|_| "--attempts: not a number".to_string())
+            }),
+            "--help" | "-h" => Err(USAGE.to_string()),
+            other if !other.starts_with('-') && repro.is_none() => {
+                repro = Some(other.to_string());
+                Ok(())
+            }
+            other => Err(format!("explain: unknown argument '{other}'\n{USAGE}")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(repro) = repro else {
+        eprintln!("explain: a REPRO file is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&repro) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("campaign: cannot read {repro}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entry = match nodefz_campaign::CorpusEntry::decode(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("campaign: {repro} is not a nodefz-repro document: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match nodefz_explain::explain_entry(&entry, &explain_cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", nodefz_explain::render_ansi(&report, color));
+    if let Some(path) = &report_out {
+        if let Err(e) = nodefz_obs::write_atomic(
+            std::path::Path::new(path),
+            &nodefz_explain::to_json(&report),
+        ) {
+            eprintln!("campaign: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &html_out {
+        if let Err(e) = nodefz_obs::write_atomic(
+            std::path::Path::new(path),
+            &nodefz_explain::render_html(&report),
+        ) {
+            eprintln!("campaign: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if explain_cfg.check && !report.check.is_some_and(|c| c.manifested) {
+        eprintln!("campaign: --check failed: the explained flip did not re-manifest the bug");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => return run_report(&args[1..]),
+        Some("explain") => return run_explain(&args[1..]),
+        _ => {}
+    }
     let (mut cfg, alt) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {

@@ -22,6 +22,9 @@
 //!   the merged corpus is canonical and passes `campaign --verify`.
 //! * [`orch`] — the round loop tying it together, plus the
 //!   `nodefz-orch-v1` rollup and the Thompson-vs-UCB bench.
+//! * [`report`] — merges the orchestrator's and every worker's
+//!   `nodefz-journal-v1` flight recorders plus per-worker chrome traces
+//!   into one tagged journal and one unified Perfetto timeline.
 //!
 //! Work-item seeds derive from (arm, per-arm pull count) only and round
 //! results are processed in spawn-index order, so the found-bug set is
@@ -36,6 +39,7 @@
 
 pub mod merge;
 pub mod orch;
+pub mod report;
 pub mod scheduler;
 pub mod worker;
 
@@ -44,5 +48,6 @@ pub use orch::{
     bench_orchestrate, orchestrate, work_seed, OrchBenchReport, OrchConfig, OrchDiscovery,
     OrchReport, WorkPruning, WorkRecord,
 };
+pub use report::{merge_report, ReportSummary};
 pub use scheduler::{ArmState, Scheduler, SchedulerKind, SplitMix};
 pub use worker::{Outcome, WorkItem};

@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use nodefz_campaign::{arm_space, ArmSpec};
-use nodefz_obs::{JsonValue, JsonWriter};
+use nodefz_obs::{Journal, JournalEvent, JsonValue, JsonWriter, WorkerState, JOURNAL_CAP};
 
 use crate::merge::MergedCorpus;
 use crate::scheduler::{ArmState, Scheduler, SchedulerKind, SplitMix};
@@ -442,6 +442,7 @@ fn run_items(
     cfg: &OrchConfig,
     arms: &[ArmState],
     items: Vec<WorkItem>,
+    journal: &mut Journal,
     progress: &mut dyn FnMut(String),
 ) -> Vec<(WorkItem, Outcome)> {
     let mut pending: VecDeque<WorkItem> = items.into();
@@ -454,9 +455,23 @@ fn run_items(
             };
             let spec = &arms[item.arm].spec;
             match worker::spawn(&cfg.worker_bin, spec, &item, cfg.replay_checks, cfg.prune) {
-                Ok(handle) => running.push(handle),
+                Ok(handle) => {
+                    journal.push(JournalEvent::Worker {
+                        index: item.index as u64,
+                        arm: spec.label(),
+                        state: WorkerState::Spawned,
+                        reason: None,
+                    });
+                    running.push(handle);
+                }
                 Err(e) => {
                     progress(format!("  worker {} failed to start: {e}", spec.label()));
+                    journal.push(JournalEvent::Worker {
+                        index: item.index as u64,
+                        arm: spec.label(),
+                        state: WorkerState::Reaped,
+                        reason: Some("spawn-failed".into()),
+                    });
                     done.push((item, Outcome::SpawnFailed(e)));
                 }
             }
@@ -474,6 +489,12 @@ fn run_items(
                         outcome.label(),
                     ));
                 }
+                journal.push(JournalEvent::Worker {
+                    index: handle.item.index as u64,
+                    arm: arms[handle.item.arm].spec.label(),
+                    state: WorkerState::Reaped,
+                    reason: Some(outcome.label()),
+                });
                 done.push((handle.item, outcome));
                 progressed = true;
             } else {
@@ -515,6 +536,13 @@ pub fn orchestrate(
     std::fs::create_dir_all(&cfg.workdir)
         .map_err(|e| format!("workdir {}: {e}", cfg.workdir.display()))?;
 
+    // Orchestrator flight recorder: arm picks with the posterior that
+    // made them, worker lifecycle, merged discoveries. Written atomically
+    // alongside the rollup so `campaign report` can reconstruct where the
+    // budget went even after a crash.
+    let mut journal = Journal::new(JOURNAL_CAP);
+    let journal_path = cfg.workdir.join("journal.jsonl");
+
     for round in 0..cfg.rounds {
         // Coverage round touches every arm once; later rounds ask the
         // scheduler per slice.
@@ -534,6 +562,15 @@ pub fn orchestrate(
             .map(|arm| {
                 let state = &scheduler.arms()[arm];
                 let label = state.spec.label();
+                journal.push(JournalEvent::ArmPull {
+                    exec: total_runs,
+                    arm: label.clone(),
+                    pulls: state.pulls,
+                    mean_reward: state.successes / (state.successes + state.failures).max(1.0),
+                    ucb: None,
+                    successes: Some(state.successes),
+                    failures: Some(state.failures),
+                });
                 let seed = work_seed(cfg.base_seed, &label, state.pulls - 1);
                 let index = next_index;
                 next_index += 1;
@@ -558,7 +595,8 @@ pub fn orchestrate(
             cfg.shards,
         ));
 
-        for (item, outcome) in run_items(cfg, scheduler.arms(), items, &mut progress) {
+        for (item, outcome) in run_items(cfg, scheduler.arms(), items, &mut journal, &mut progress)
+        {
             let (new_sigs, skipped) = merged
                 .fold_shard(&item.corpus_dir())
                 .map_err(|e| format!("merge shard {}: {e}", item.dir.display()))?;
@@ -579,6 +617,11 @@ pub fn orchestrate(
                             .map(|(_, e)| *e)
                     })
                     .unwrap_or(item.budget);
+                journal.push(JournalEvent::Discovery {
+                    exec: total_runs + first_exec,
+                    app: name.split(':').next().unwrap_or(&name).to_string(),
+                    site: name.clone(),
+                });
                 discovery.push(OrchDiscovery {
                     signature: name,
                     exec: total_runs + first_exec,
@@ -588,6 +631,12 @@ pub fn orchestrate(
             scheduler.reward(item.arm, new_sigs.len() as u64, runs);
             if !outcome.is_ok() {
                 scheduler.quarantine(item.arm, &outcome.label());
+                journal.push(JournalEvent::Worker {
+                    index: item.index as u64,
+                    arm: scheduler.arms()[item.arm].spec.label(),
+                    state: WorkerState::Quarantined,
+                    reason: Some(outcome.label()),
+                });
                 progress(format!(
                     "  quarantined {} after {} ({} entr{} salvaged)",
                     scheduler.arms()[item.arm].spec.label(),
@@ -629,6 +678,9 @@ pub fn orchestrate(
             nodefz_obs::write_atomic(out, &snapshot.to_json())
                 .map_err(|e| format!("rollup {}: {e}", out.display()))?;
         }
+        journal
+            .write(&journal_path)
+            .map_err(|e| format!("journal {}: {e}", journal_path.display()))?;
     }
 
     let merged_dir = cfg.merged_corpus_dir();
@@ -650,6 +702,9 @@ pub fn orchestrate(
         nodefz_obs::write_atomic(out, &report.to_json())
             .map_err(|e| format!("rollup {}: {e}", out.display()))?;
     }
+    journal
+        .write(&journal_path)
+        .map_err(|e| format!("journal {}: {e}", journal_path.display()))?;
     Ok(report)
 }
 

@@ -45,6 +45,17 @@ impl WorkItem {
     pub fn metrics_path(&self) -> PathBuf {
         self.dir.join("metrics.json")
     }
+
+    /// The worker's flight-recorder journal path.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    /// The worker's chrome-trace timeline path (written only by
+    /// obs-feature builds).
+    pub fn trace_path(&self) -> PathBuf {
+        self.dir.join("trace.json")
+    }
 }
 
 /// How a worker ended.
@@ -116,9 +127,17 @@ pub fn worker_args(arm: &ArmSpec, item: &WorkItem, replay_checks: u32, prune: bo
         item.corpus_dir().display().to_string(),
         "--metrics-out".into(),
         item.metrics_path().display().to_string(),
+        "--journal-out".into(),
+        item.journal_path().display().to_string(),
     ];
     if prune {
         args.push("--prune".into());
+    }
+    // Same binary, so an obs-built orchestrator spawns obs-built workers:
+    // have each record its chrome-trace timeline for the merged report.
+    if cfg!(feature = "obs") {
+        args.push("--trace-out".into());
+        args.push(item.trace_path().display().to_string());
     }
     if item.sabotage {
         args.push("--crash-after-runs".into());
@@ -215,6 +234,10 @@ mod tests {
         assert!(joined.contains("--presets aggressive"), "{joined}");
         assert!(joined.contains("--budget 30"), "{joined}");
         assert!(joined.contains("--seed 42"), "{joined}");
+        assert!(
+            joined.contains("--journal-out /tmp/w/journal.jsonl"),
+            "{joined}"
+        );
         assert!(!joined.contains("--crash-after-runs"), "{joined}");
         assert!(!joined.contains("--prune"), "{joined}");
     }
