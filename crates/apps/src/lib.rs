@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod statics;
 
 mod aka;
 mod clf;

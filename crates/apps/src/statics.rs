@@ -1,0 +1,328 @@
+//! Declarative static models of event-driven callback structure.
+//!
+//! A [`StaticModel`] describes an application (or generated program) as a
+//! finite set of *atoms* — callbacks as the scheduler sees them — with
+//! registration parentage, extra must-happen-after edges, and the
+//! instrumented shared-site accesses each atom performs. The model is a
+//! pure description: building one executes nothing. `nodefz-sa` consumes
+//! models to compute a may-happen-in-parallel relation and predict the
+//! paper's §3.2 race classes without running a single schedule.
+//!
+//! The types live here (not in `nodefz-sa`) so every fig6 app can expose a
+//! model via [`crate::common::BugCase::static_model`] without the apps
+//! crate depending on the analyzer.
+
+use nodefz_rt::AccessKind;
+
+use crate::common::Variant;
+
+/// The scheduler-visible flavour of one modelled callback. Mirrors the
+/// event kinds the runtime dispatches; two `Timer` atoms are totally
+/// ordered in *every* run (the happens-before timer chain), which is the
+/// one kind-specific fact the analyzer relies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomKind {
+    /// The synthetic setup event (registration code; always atom 0).
+    Setup,
+    /// A timer callback (`setTimeout` / `setInterval`).
+    Timer,
+    /// A pending-phase callback.
+    Pending,
+    /// A check-phase callback (`setImmediate`).
+    Immediate,
+    /// A close callback.
+    Close,
+    /// A worker-pool done callback.
+    Pool,
+    /// An fd-watcher dispatch (read chain).
+    Fd,
+    /// A network callback (accept / data / connection close handler).
+    Net,
+    /// A key-value store reply callback.
+    Kv,
+    /// A file-system completion callback.
+    Fs,
+    /// An environment event (external stimulus with no registering
+    /// callback; atoms of this kind usually have no parent).
+    Env,
+}
+
+impl AtomKind {
+    /// Short lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AtomKind::Setup => "setup",
+            AtomKind::Timer => "timer",
+            AtomKind::Pending => "pending",
+            AtomKind::Immediate => "immediate",
+            AtomKind::Close => "close",
+            AtomKind::Pool => "pool",
+            AtomKind::Fd => "fd",
+            AtomKind::Net => "net",
+            AtomKind::Kv => "kv",
+            AtomKind::Fs => "fs",
+            AtomKind::Env => "env",
+        }
+    }
+
+    /// Phase rank within one loop iteration, mirroring the conform
+    /// oracle's table: setup 0, timers 1, pending 2, everything dispatched
+    /// from the poll phase 5, check 6, close 7. Used by the
+    /// schedule-sensitivity lints (vanilla runs dispatch lower ranks
+    /// first within an iteration) — never as a must-happen-before edge.
+    pub fn rank(self) -> u8 {
+        match self {
+            AtomKind::Setup => 0,
+            AtomKind::Timer => 1,
+            AtomKind::Pending => 2,
+            AtomKind::Pool
+            | AtomKind::Fd
+            | AtomKind::Net
+            | AtomKind::Kv
+            | AtomKind::Fs
+            | AtomKind::Env => 5,
+            AtomKind::Immediate => 6,
+            AtomKind::Close => 7,
+        }
+    }
+
+    /// Whether two atoms of this kind are totally ordered in every run.
+    pub fn is_timer(self) -> bool {
+        matches!(self, AtomKind::Timer)
+    }
+}
+
+/// One instrumented shared-site access performed by an atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Shared-site name (as passed to `touch_read` / `touch_write`).
+    pub site: String,
+    /// Access kind.
+    pub kind: AccessKind,
+}
+
+/// One modelled callback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Human-readable label (stable: feeds report finding ids).
+    pub label: String,
+    /// Scheduler-visible kind.
+    pub kind: AtomKind,
+    /// The atom whose callback registered this one, if any. Registration
+    /// is a happens-before edge in every run. `None` models external
+    /// stimuli with no scheduler-visible ancestor.
+    pub parent: Option<u32>,
+    /// Extra atoms that must complete before this one runs in every
+    /// schedule (beyond the parent edge).
+    pub ordered_after: Vec<u32>,
+    /// Instrumented accesses this atom's callback performs.
+    pub accesses: Vec<Access>,
+}
+
+/// A static callback-registration model of one app variant or program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticModel {
+    /// Model name (app abbreviation or program label).
+    pub name: String,
+    /// Variant label (`"buggy"` / `"fixed"` / `"v1"` for programs).
+    pub variant: String,
+    /// The atoms; atom 0 is always the setup atom. All `parent` and
+    /// `ordered_after` references point to strictly smaller ids.
+    pub atoms: Vec<Atom>,
+}
+
+impl StaticModel {
+    /// Checks structural well-formedness: atom 0 is a parentless `Setup`
+    /// atom and every edge points to a strictly smaller id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first defect.
+    pub fn validate(&self) -> Result<(), String> {
+        let first = self
+            .atoms
+            .first()
+            .ok_or_else(|| "model has no atoms".to_string())?;
+        if first.kind != AtomKind::Setup || first.parent.is_some() {
+            return Err("atom 0 must be a parentless setup atom".into());
+        }
+        for (id, atom) in self.atoms.iter().enumerate() {
+            if let Some(p) = atom.parent {
+                if p as usize >= id {
+                    return Err(format!("atom {id}: parent {p} not earlier"));
+                }
+            }
+            for &e in &atom.ordered_after {
+                if e as usize >= id {
+                    return Err(format!("atom {id}: ordered_after {e} not earlier"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for authoring app models. Creates the setup atom
+/// automatically as atom 0.
+pub struct ModelBuilder {
+    model: StaticModel,
+}
+
+impl ModelBuilder {
+    /// Starts a model for `name` with the given variant's label.
+    pub fn new(name: &str, variant: Variant) -> ModelBuilder {
+        let label = match variant {
+            Variant::Buggy => "buggy",
+            Variant::Fixed => "fixed",
+        };
+        ModelBuilder {
+            model: StaticModel {
+                name: name.to_string(),
+                variant: label.to_string(),
+                atoms: vec![Atom {
+                    label: "setup".into(),
+                    kind: AtomKind::Setup,
+                    parent: None,
+                    ordered_after: Vec::new(),
+                    accesses: Vec::new(),
+                }],
+            },
+        }
+    }
+
+    /// Adds an atom registered by `parent` and returns its id.
+    pub fn atom(&mut self, label: &str, kind: AtomKind, parent: u32) -> u32 {
+        self.push(label, kind, Some(parent))
+    }
+
+    /// Adds an atom with no scheduler-visible ancestor (external
+    /// stimulus) and returns its id.
+    pub fn free_atom(&mut self, label: &str, kind: AtomKind) -> u32 {
+        self.push(label, kind, None)
+    }
+
+    fn push(&mut self, label: &str, kind: AtomKind, parent: Option<u32>) -> u32 {
+        let id = self.model.atoms.len() as u32;
+        self.model.atoms.push(Atom {
+            label: label.to_string(),
+            kind,
+            parent,
+            ordered_after: Vec::new(),
+            accesses: Vec::new(),
+        });
+        id
+    }
+
+    /// Records that `atom` reads `site`.
+    pub fn read(&mut self, atom: u32, site: &str) {
+        self.access(atom, site, AccessKind::Read);
+    }
+
+    /// Records that `atom` writes `site`.
+    pub fn write(&mut self, atom: u32, site: &str) {
+        self.access(atom, site, AccessKind::Write);
+    }
+
+    /// Records that `atom` performs a commutative update of `site`.
+    pub fn update(&mut self, atom: u32, site: &str) {
+        self.access(atom, site, AccessKind::Update);
+    }
+
+    fn access(&mut self, atom: u32, site: &str, kind: AccessKind) {
+        self.model.atoms[atom as usize].accesses.push(Access {
+            site: site.to_string(),
+            kind,
+        });
+    }
+
+    /// Adds a must-happen-after edge: `earlier` completes before `atom`
+    /// in every schedule.
+    pub fn after(&mut self, atom: u32, earlier: u32) {
+        self.model.atoms[atom as usize].ordered_after.push(earlier);
+    }
+
+    /// Finishes the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the authored model is structurally malformed — models
+    /// are hand-written constants, so a defect is a programming error.
+    pub fn build(self) -> StaticModel {
+        if let Err(e) = self.model.validate() {
+            panic!("malformed static model {}: {e}", self.model.name);
+        }
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_models() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let a = m.atom("net:req", AtomKind::Net, 0);
+        let b = m.atom("kv.get:row", AtomKind::Kv, a);
+        m.read(b, "t:site");
+        m.after(b, a);
+        let model = m.build();
+        assert_eq!(model.atoms.len(), 3);
+        assert_eq!(model.variant, "buggy");
+        assert!(model.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_forward_edges() {
+        let model = StaticModel {
+            name: "bad".into(),
+            variant: "buggy".into(),
+            atoms: vec![
+                Atom {
+                    label: "setup".into(),
+                    kind: AtomKind::Setup,
+                    parent: None,
+                    ordered_after: Vec::new(),
+                    accesses: Vec::new(),
+                },
+                Atom {
+                    label: "x".into(),
+                    kind: AtomKind::Net,
+                    parent: Some(2),
+                    ordered_after: Vec::new(),
+                    accesses: Vec::new(),
+                },
+            ],
+        };
+        assert!(model.validate().is_err());
+    }
+
+    #[test]
+    fn every_fig6_app_has_models_for_both_variants() {
+        for case in crate::registry() {
+            let info = case.info();
+            let buggy = case.static_model(Variant::Buggy);
+            let fixed = case.static_model(Variant::Fixed);
+            if info.in_fig6 {
+                let b = buggy.unwrap_or_else(|| panic!("{}: no buggy model", info.abbr));
+                let f = fixed.unwrap_or_else(|| panic!("{}: no fixed model", info.abbr));
+                assert!(b.validate().is_ok(), "{}: invalid buggy model", info.abbr);
+                assert!(f.validate().is_ok(), "{}: invalid fixed model", info.abbr);
+                assert_eq!(b.name, info.abbr);
+            } else {
+                assert!(buggy.is_none() && fixed.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_mirror_the_conform_oracle_table() {
+        assert_eq!(AtomKind::Setup.rank(), 0);
+        assert_eq!(AtomKind::Timer.rank(), 1);
+        assert_eq!(AtomKind::Pending.rank(), 2);
+        assert_eq!(AtomKind::Net.rank(), 5);
+        assert_eq!(AtomKind::Pool.rank(), 5);
+        assert_eq!(AtomKind::Immediate.rank(), 6);
+        assert_eq!(AtomKind::Close.rank(), 7);
+    }
+}

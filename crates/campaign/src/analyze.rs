@@ -22,7 +22,9 @@
 use std::path::PathBuf;
 
 use nodefz::DirectedSpec;
-use nodefz_hb::{analyze_app, AppAnalysis, RaceInfo};
+use nodefz_apps::common::Variant;
+use nodefz_hb::{analyze_app, AppAnalysis, RaceClass, RaceInfo};
+use nodefz_sa::{Candidate, MhpIndex, SaMetrics};
 use nodefz_trace::BugSignature;
 
 use crate::config::DIRECTED_PRESET;
@@ -56,6 +58,11 @@ pub struct AnalyzeConfig {
     pub corpus_dir: Option<PathBuf>,
     /// Acceptance replays per confirmed repro.
     pub replay_checks: u32,
+    /// Rank predicted races by static-candidate priority before spending
+    /// directed executions (apps without a static model keep the
+    /// happens-before order). On by default; `--unranked` turns it off
+    /// for A/B comparison.
+    pub ranked: bool,
 }
 
 impl Default for AnalyzeConfig {
@@ -67,6 +74,7 @@ impl Default for AnalyzeConfig {
             races_out: None,
             corpus_dir: None,
             replay_checks: 3,
+            ranked: true,
         }
     }
 }
@@ -101,6 +109,12 @@ pub struct AnalyzeReport {
     /// Apps whose analysis failed, with the error rendered (`--analyze`
     /// keeps going; a corrupt recording should not sink the batch).
     pub failed: Vec<(String, String)>,
+    /// Directed executions spent across every race chased — the
+    /// denominator of the ranked-vs-unranked comparison.
+    pub directed_execs: u64,
+    /// Static-analysis precision counters over the analyzed apps'
+    /// models.
+    pub sa: SaMetrics,
 }
 
 /// Deduplicates an analysis' races down to the directed work list: the
@@ -124,11 +138,7 @@ fn spec_worklist(analysis: &AppAnalysis) -> Vec<(RaceInfo, Vec<DirectedSpec>)> {
             continue;
         }
         seen.push(key);
-        let mut cuts: Vec<u64> = race.flip_cuts.clone();
-        if cuts.is_empty() {
-            cuts.push(race.cut.saturating_sub(1));
-        }
-        cuts.truncate(MAX_FLIPS_PER_RACE.min(MAX_SPECS_PER_APP - total));
+        let cuts = race.ladder(MAX_FLIPS_PER_RACE.min(MAX_SPECS_PER_APP - total));
         total += cuts.len();
         let specs = cuts
             .into_iter()
@@ -139,18 +149,63 @@ fn spec_worklist(analysis: &AppAnalysis) -> Vec<(RaceInfo, Vec<DirectedSpec>)> {
     out
 }
 
+/// The analyzed app's static race candidates (buggy variant): `None`
+/// when the app carries no declarative model (CONFORM, non-fig6 cases).
+fn static_candidates(app: &str) -> Option<Vec<Candidate>> {
+    let case = crate::driver::resolve_case(app)?;
+    let model = case.static_model(Variant::Buggy)?;
+    let idx = MhpIndex::build(&model);
+    Some(nodefz_sa::candidates(&model, &idx))
+}
+
+/// Priority weight of one dynamic prediction under the static
+/// candidates: sites the analyzer flags as AV-capable come first (an
+/// atomicity region to split is the easiest flip to confirm), then
+/// plain ordering violations, then commutative ones, then sites the
+/// analyzer never predicted at all.
+fn static_weight(cands: &[Candidate], race: &RaceInfo) -> u8 {
+    cands
+        .iter()
+        .filter(|c| c.site == race.site)
+        .map(|c| {
+            if c.covers(RaceClass::Av) {
+                0
+            } else if c.covers(RaceClass::Ov) {
+                1
+            } else {
+                2
+            }
+        })
+        .min()
+        .unwrap_or(3)
+}
+
+/// Reorders predicted races by static priority. The sort is stable, so
+/// within one weight tier the happens-before prediction order (site,
+/// earlier event first) is preserved — ranking only ever *promotes*
+/// statically hot sites, it never scrambles ties.
+fn rank_races(races: &mut [RaceInfo], cands: &[Candidate]) {
+    races.sort_by_key(|r| static_weight(cands, r));
+}
+
 /// The directed-arm work list for one app: analysis failures and empty
 /// predictions both yield no specs (the campaign driver then skips the
-/// arm).
+/// arm). Races are statically ranked when the app has a model, matching
+/// the default `--analyze` behavior.
 pub(crate) fn directed_specs(app: &str, env_seed: u64) -> Vec<DirectedSpec> {
     let Some(case) = crate::driver::resolve_case(app) else {
         return Vec::new();
     };
     match analyze_app(case.as_ref(), env_seed) {
-        Ok(analysis) => spec_worklist(&analysis)
-            .into_iter()
-            .flat_map(|(_, specs)| specs)
-            .collect(),
+        Ok(mut analysis) => {
+            if let Some(cands) = static_candidates(app) {
+                rank_races(&mut analysis.races, &cands);
+            }
+            spec_worklist(&analysis)
+                .into_iter()
+                .flat_map(|(_, specs)| specs)
+                .collect()
+        }
         Err(_) => Vec::new(),
     }
 }
@@ -184,20 +239,36 @@ pub fn analyze_campaign(cfg: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
     let mut deduper = Deduper::new();
     let mut confirmed = Vec::new();
     let mut ctx = RunContext::new();
+    let mut directed_execs = 0u64;
+    let mut sa = SaMetrics::default();
     for app in &cfg.apps {
         let case = crate::driver::resolve_case(app).expect("validated above");
-        let analysis = match analyze_app(case.as_ref(), cfg.env_seed) {
+        let mut analysis = match analyze_app(case.as_ref(), cfg.env_seed) {
             Ok(a) => a,
             Err(e) => {
                 failed.push((app.clone(), e.to_string()));
                 continue;
             }
         };
+        let cands = static_candidates(app);
+        if let Some(cands) = &cands {
+            sa.models += 1;
+            sa.candidates += cands.len() as u64;
+            for c in cands {
+                sa.av += u64::from(c.covers(RaceClass::Av));
+                sa.ov += u64::from(c.covers(RaceClass::Ov));
+                sa.cov += u64::from(c.covers(RaceClass::Cov));
+            }
+            if cfg.ranked {
+                rank_races(&mut analysis.races, cands);
+            }
+        }
         for (race, specs) in spec_worklist(&analysis) {
             let mut execs = 0;
             'race: for spec in specs {
                 for attempt in 0..cfg.attempts {
                     execs += 1;
+                    directed_execs += 1;
                     let exec =
                         ctx.fuzz_directed(app, spec.clone().with_attempt(attempt), cfg.env_seed);
                     let Some(finding) = exec.finding else {
@@ -208,6 +279,19 @@ pub fn analyze_campaign(cfg: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
                         preset: DIRECTED_PRESET,
                         ..finding
                     }) {
+                        if let Some(cands) = &cands {
+                            if cands
+                                .iter()
+                                .any(|c| c.site == race.site && c.covers(race.class))
+                            {
+                                sa.confirmed += 1;
+                                match race.class {
+                                    RaceClass::Av => sa.confirmed_av += 1,
+                                    RaceClass::Ov => sa.confirmed_ov += 1,
+                                    RaceClass::Cov => sa.confirmed_cov += 1,
+                                }
+                            }
+                        }
                         confirmed.push(ConfirmedRace {
                             app: app.clone(),
                             site: race.site.clone(),
@@ -251,6 +335,8 @@ pub fn analyze_campaign(cfg: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
         confirmed,
         races_json,
         failed,
+        directed_execs,
+        sa,
     })
 }
 

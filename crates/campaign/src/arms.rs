@@ -125,9 +125,7 @@ pub fn arms_to_json(arms: &[ArmSpec]) -> String {
 /// Describes the first malformed part.
 pub fn arms_from_json(text: &str) -> Result<Vec<ArmSpec>, String> {
     let doc = nodefz_obs::JsonValue::parse(text).map_err(|e| format!("arms document: {e}"))?;
-    if doc.get("schema").and_then(|s| s.as_str()) != Some("nodefz-arms-v1") {
-        return Err("arms document: missing nodefz-arms-v1 schema".into());
-    }
+    nodefz_obs::expect_schema(&doc, "nodefz-arms-v1").map_err(|e| format!("arms document: {e}"))?;
     let arms = doc
         .get("arms")
         .and_then(|a| a.as_array())

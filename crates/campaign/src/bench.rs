@@ -538,14 +538,10 @@ pub struct BenchSummary {
 /// Fails on malformed JSON, an unknown schema tag, or missing fields.
 pub fn read_summary(json: &str) -> Result<BenchSummary, String> {
     let doc = JsonValue::parse(json).map_err(|e| format!("bench document: {e}"))?;
-    let schema = doc
-        .get("schema")
-        .and_then(|s| s.as_str())
-        .ok_or("bench document: missing schema")?
-        .to_string();
-    if schema != "nodefz-throughput-v1" && schema != "nodefz-throughput-v2" {
-        return Err(format!("bench document: unknown schema '{schema}'"));
-    }
+    let schema =
+        nodefz_obs::expect_schema_any(&doc, &["nodefz-throughput-v1", "nodefz-throughput-v2"])
+            .map_err(|e| format!("bench document: {e}"))?
+            .to_string();
     let arms = doc
         .get("arms")
         .and_then(|a| a.as_array())

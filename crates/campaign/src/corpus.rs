@@ -55,6 +55,8 @@ pub struct CorpusEntry {
 pub enum CorpusDecodeError {
     /// The document does not start with the `nodefz-repro v1` header.
     MissingHeader,
+    /// The header names a repro version this build does not understand.
+    UnsupportedVersion(String),
     /// A required header field is missing or malformed.
     BadField(String),
     /// The `--- trace` marker never appeared.
@@ -67,6 +69,9 @@ impl fmt::Display for CorpusDecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CorpusDecodeError::MissingHeader => write!(f, "missing 'nodefz-repro v1' header"),
+            CorpusDecodeError::UnsupportedVersion(header) => {
+                write!(f, "unsupported repro version '{header}' (expected v1)")
+            }
             CorpusDecodeError::BadField(field) => write!(f, "bad or missing field: {field}"),
             CorpusDecodeError::MissingTrace => write!(f, "missing '--- trace' section"),
             CorpusDecodeError::BadTrace(e) => write!(f, "embedded trace: {e}"),
@@ -124,8 +129,14 @@ impl CorpusEntry {
             .lines()
             .map(str::trim)
             .filter(|l| !l.is_empty() && !l.starts_with('#'));
-        if lines.next() != Some("nodefz-repro v1") {
-            return Err(CorpusDecodeError::MissingHeader);
+        match nodefz_obs::expect_header(lines.next().unwrap_or(""), "nodefz-repro v1") {
+            Ok(()) => {}
+            Err(nodefz_obs::SchemaError::Mismatch { found, .. }) => {
+                return Err(CorpusDecodeError::UnsupportedVersion(found));
+            }
+            Err(nodefz_obs::SchemaError::Missing { .. }) => {
+                return Err(CorpusDecodeError::MissingHeader);
+            }
         }
         let mut app = None;
         let mut env_seed = None;

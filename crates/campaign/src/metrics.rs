@@ -219,6 +219,9 @@ pub struct MetricsSnapshot {
     /// Seen-set LRU health riding along with the counters (same
     /// availability; additive fields inside the `pruning` block).
     pub prune_health: Option<PruneHealth>,
+    /// Static-analysis precision counters (`None` unless the campaign
+    /// ran the static analyzer). Additive, like `pruning`.
+    pub sa: Option<nodefz_sa::SaMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -352,6 +355,21 @@ impl MetricsSnapshot {
             w.field_f64("redundancy_ratio", p.redundancy_ratio(), 6);
             w.end_object();
         }
+
+        if let Some(sa) = &self.sa {
+            w.key("sa");
+            w.begin_object();
+            w.field_u64("models", sa.models);
+            w.field_u64("candidates", sa.candidates);
+            w.field_u64("av", sa.av);
+            w.field_u64("ov", sa.ov);
+            w.field_u64("cov", sa.cov);
+            w.field_u64("confirmed", sa.confirmed);
+            w.field_u64("confirmed_av", sa.confirmed_av);
+            w.field_u64("confirmed_ov", sa.confirmed_ov);
+            w.field_u64("confirmed_cov", sa.confirmed_cov);
+            w.end_object();
+        }
         w.end_object();
         let mut out = w.finish();
         out.push('\n');
@@ -407,6 +425,7 @@ pub(crate) fn collect(
         run_dispatched: registry.histogram("run.dispatched").cloned(),
         pruning: pruning.copied(),
         prune_health,
+        sa: None,
     }
 }
 

@@ -1,0 +1,49 @@
+//! Pins the static-ranked directed-confirmation comparison: ranking
+//! predicted races by static-candidate priority must never cost *more*
+//! directed executions than the plain happens-before order, and must
+//! confirm the same races. Everything derives from the fixed default
+//! env seed, so the exec counts are deterministic.
+
+use nodefz_campaign::{analyze_campaign, AnalyzeConfig};
+
+fn run(app: &str, ranked: bool) -> (u64, Vec<String>, nodefz_sa::SaMetrics) {
+    let report = analyze_campaign(&AnalyzeConfig {
+        apps: vec![app.into()],
+        ranked,
+        ..AnalyzeConfig::default()
+    })
+    .expect("analysis runs");
+    assert!(report.failed.is_empty(), "{app}: {:?}", report.failed);
+    let mut sites: Vec<String> = report.confirmed.iter().map(|c| c.site.clone()).collect();
+    sites.sort();
+    (report.directed_execs, sites, report.sa)
+}
+
+#[test]
+fn ranked_confirmation_needs_no_more_execs_than_unranked() {
+    // More than the two fig6 apps the acceptance bar asks for, including
+    // multi-race analyses (MGS predicts 6 pairs, SIO 7) where ordering
+    // could actually bite.
+    for app in ["GHO", "NES", "MGS", "SIO"] {
+        let (ranked, ranked_sites, sa) = run(app, true);
+        let (unranked, unranked_sites, _) = run(app, false);
+        assert!(
+            ranked <= unranked,
+            "{app}: ranked confirmation spent {ranked} directed exec(s) \
+             vs {unranked} unranked"
+        );
+        assert_eq!(
+            ranked_sites, unranked_sites,
+            "{app}: ranking changed the confirmed race set"
+        );
+        assert!(ranked >= 1, "{app}: no directed execs spent at all");
+        // The precision counters ride along whenever the app has a
+        // static model (all four of these do).
+        assert_eq!(sa.models, 1, "{app}: static model not consulted");
+        assert!(sa.candidates >= 1, "{app}: no static candidates");
+        assert!(
+            sa.confirmed >= 1,
+            "{app}: a confirmed race matched no static candidate"
+        );
+    }
+}

@@ -172,8 +172,11 @@ pub fn render_log(log: &EventLog) -> String {
 }
 
 /// One posture's run: build, install, run, snapshot the log *before* the
-/// loop (and any pooled state) is dropped.
-fn run_logged(
+/// loop (and any pooled state) is dropped. Public so other crates (the
+/// static analyzer's soundness gate, notably) can obtain the event log of
+/// a single posture without re-implementing the install/run/snapshot
+/// dance.
+pub fn run_logged(
     prog: &Rc<Prog>,
     env_seed: u64,
     mode: Mode,
@@ -397,16 +400,10 @@ fn confirm_race(
             "both racing events resolve to the same marker".into(),
         ));
     }
-    let mut cuts: Vec<u64> = race
-        .flip_cuts
-        .iter()
-        .copied()
-        .take(cfg.directed_cuts)
-        .collect();
-    if cuts.is_empty() {
-        cuts.push(race.chain_cut);
-    }
-    for cut in cuts {
+    // The shared flip-cut ladder (when `flip_cuts` is empty, `chain_cut`
+    // equals the ladder's pre-dispatch fallback, so this is identical to
+    // the historical chain_cut fallback).
+    for cut in race.ladder(cfg.directed_cuts) {
         for attempt in 0..cfg.directed_attempts {
             let spec = DirectedSpec::new(base_trace.clone(), cut).with_attempt(attempt);
             let dhandle = TraceHandle::fresh();

@@ -27,7 +27,9 @@ pub mod shrink;
 
 pub use case::{bug_case, ConformCase, ABBR};
 pub use gen::{generate, MAX_DEPTH, MAX_NODES};
-pub use harness::{differential, render_log, DiffConfig, DiffFailure, DiffReport, RaceOutcome};
+pub use harness::{
+    differential, render_log, run_logged, DiffConfig, DiffFailure, DiffReport, RaceOutcome,
+};
 pub use oracle::{check, OracleCtx, Violation};
 pub use prog::{install, Node, Op, Prog, ProgError, Touch, SHARED_SITES};
 pub use shrink::{shrink_prog, ShrinkOutcome};

@@ -130,14 +130,17 @@ pub fn decode_trace(text: &str) -> Result<DecisionTrace, TraceDecodeError> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
-    match lines.next() {
-        Some((_, "nodefz-trace v1")) => {}
-        Some((_, header)) if header.starts_with("nodefz-trace") => {
+    let header = lines.next().map(|(_, l)| l).unwrap_or("");
+    match nodefz_obs::expect_header(header, "nodefz-trace v1") {
+        Ok(()) => {}
+        Err(nodefz_obs::SchemaError::Mismatch { found, .. }) => {
             return Err(TraceDecodeError::UnsupportedVersion(
-                header.trim_start_matches("nodefz-trace").trim().to_string(),
+                found.trim_start_matches("nodefz-trace").trim().to_string(),
             ));
         }
-        _ => return Err(TraceDecodeError::MissingHeader),
+        Err(nodefz_obs::SchemaError::Missing { .. }) => {
+            return Err(TraceDecodeError::MissingHeader)
+        }
     }
 
     let (_, pool_line) = lines

@@ -195,14 +195,10 @@ fn common_prefix(a: &DecisionTrace, b: &DecisionTrace) -> usize {
 }
 
 /// The flip-cut ladder actually tried for a race (bounded, with the
-/// pre-dispatch fallback when the chain walk found nothing).
+/// pre-dispatch fallback when the chain walk found nothing) — the shared
+/// [`RaceInfo::ladder`] definition, bounded by this crate's flip budget.
 fn flip_ladder(race: &RaceInfo) -> Vec<u64> {
-    let mut cuts = race.flip_cuts.clone();
-    if cuts.is_empty() {
-        cuts.push(race.cut.saturating_sub(1));
-    }
-    cuts.truncate(MAX_FLIPS_PER_RACE);
-    cuts
+    race.ladder(MAX_FLIPS_PER_RACE)
 }
 
 /// Explains one corpus entry.

@@ -107,6 +107,23 @@ pub struct RaceInfo {
     pub flip_cuts: Vec<u64>,
 }
 
+impl RaceInfo {
+    /// The flip-cut ladder every directed confirmer climbs: at most `max`
+    /// chain flip cuts (root-most first), falling back to "just before
+    /// `a` dispatches" when the chain offered none. This is the one
+    /// shared definition of the cut list — the campaign analyzer, the
+    /// explainers, and the static analyzer's ranking all consume it
+    /// instead of re-deriving the walk.
+    pub fn ladder(&self, max: usize) -> Vec<u64> {
+        let mut cuts = self.flip_cuts.to_vec();
+        if cuts.is_empty() {
+            cuts.push(self.cut.saturating_sub(1));
+        }
+        cuts.truncate(max);
+        cuts
+    }
+}
+
 /// The full analysis of one recorded app run.
 #[derive(Clone, Debug)]
 pub struct AppAnalysis {
@@ -231,6 +248,20 @@ pub fn causal_chain(log: &nodefz_rt::EventLog, event: u32) -> Vec<EventRef> {
         cur = ev.cause.map(|c| c.0).filter(|c| *c < id);
     }
     chain
+}
+
+/// Candidate flip points for deferring the chain that leads to `event`:
+/// walks the causal chain back to the scheduler-visible root (the same
+/// walk as [`causal_chain`]) and, for every schedulable callback on it,
+/// records the decision count just before that callback's dispatch
+/// consult. Ascending, so the chain's root — the flip with the most
+/// virtual time still ahead of it to absorb a deferral — comes first.
+/// Returns an empty list for an out-of-range event id.
+pub fn chain_cuts(log: &nodefz_rt::EventLog, event: u32) -> Vec<u64> {
+    if log.events.get(event as usize).is_none() {
+        return Vec::new();
+    }
+    chain_flip_cuts(log, nodefz_rt::CbId(event))
 }
 
 /// Candidate flip points for deferring the chain that leads to `a`:

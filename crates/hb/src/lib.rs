@@ -50,8 +50,8 @@ mod races;
 mod report;
 
 pub use analyze::{
-    analyze_app, analyze_recorded, causal_chain, races_with_cuts, record_vanilla, AnalyzeError,
-    AppAnalysis, EventRef, RaceInfo,
+    analyze_app, analyze_recorded, causal_chain, chain_cuts, races_with_cuts, record_vanilla,
+    AnalyzeError, AppAnalysis, EventRef, RaceInfo,
 };
 pub use canon::{canon_key, CanonBuilder, CanonKey, SeenSet};
 pub use graph::HbGraph;

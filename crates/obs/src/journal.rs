@@ -300,13 +300,10 @@ impl Journal {
             line: 1,
             message: e.to_string(),
         })?;
-        let schema = header.get("schema").and_then(|v| v.as_str());
-        if schema != Some(JOURNAL_SCHEMA) {
-            return Err(JournalDecodeError {
-                line: 1,
-                message: format!("bad schema: {schema:?}"),
-            });
-        }
+        crate::schema::expect_schema(&header, JOURNAL_SCHEMA).map_err(|e| JournalDecodeError {
+            line: 1,
+            message: e.to_string(),
+        })?;
         let cap = field_u64(&header, "cap", 1)? as usize;
         let dropped = field_u64(&header, "dropped", 1)?;
         let mut journal = Journal::new(cap);

@@ -19,6 +19,10 @@
 //! * [`JsonValue`] — the matching reader: a strict recursive-descent
 //!   parser for consumers of those documents in *other* processes (the
 //!   campaign orchestrator reading worker snapshots).
+//! * [`expect_schema`] / [`expect_header`] — the shared schema-version
+//!   gate every persisted-document reader goes through, with a typed
+//!   [`SchemaError`] that distinguishes a missing version marker from a
+//!   version this build does not understand.
 //! * [`write_atomic`] — temp-file-plus-rename snapshot persistence, so a
 //!   concurrent reader never observes a torn document.
 //! * [`Journal`] — the campaign flight recorder: a bounded single-writer
@@ -37,6 +41,7 @@ mod journal;
 mod json;
 mod parse;
 mod registry;
+mod schema;
 
 #[cfg(feature = "rt")]
 mod chrome;
@@ -52,6 +57,7 @@ pub use registry::{
     CounterId, CounterSnapshot, HistogramId, HistogramSnapshot, Registry, RegistryBuilder,
     RegistrySnapshot, ShardHandle,
 };
+pub use schema::{expect_header, expect_schema, expect_schema_any, SchemaError};
 
 #[cfg(feature = "rt")]
 pub use chrome::ChromeTrace;

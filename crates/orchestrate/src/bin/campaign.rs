@@ -29,6 +29,9 @@ use nodefz_orchestrate::{OrchConfig, SchedulerKind};
 const USAGE: &str = "usage: campaign [options]
        campaign report [--workdir DIR] [--out DIR]
        campaign explain REPRO [options]
+       campaign sa [--apps LIST] [--conform N] [--family F] [--out PATH]
+                   [--soundness] [--gated] [--tripwire N] [--canary]
+       campaign lint [--apps LIST]
   --threads N        worker threads (default 4)
   --budget N         total fuzz runs (default 400)
   --apps A,B,C       bug abbreviations to target (default: the fig6 set)
@@ -61,6 +64,9 @@ const USAGE: &str = "usage: campaign [options]
                      (default RACES_report.json)
   --attempts N       directed confirmation attempts per predicted flip
                      under --analyze (default 24; 0 = predict only)
+  --unranked         with --analyze: chase predicted races in plain
+                     happens-before order instead of ranking them by
+                     static-candidate priority (the A/B baseline)
   --metrics-out PATH write nodefz-metrics-v1 telemetry snapshots to PATH,
                      refreshed every ~500ms and finalized at drain
   --journal-out PATH write the nodefz-journal-v1 flight recorder (arm
@@ -103,6 +109,32 @@ campaign report — merge an orchestrated workdir's flight recorders
   --workdir DIR      the orchestrator workdir to read (default nodefz-orch)
   --out DIR          where to write the merged journal.jsonl and
                      timeline.json (default WORKDIR/report)
+
+campaign sa — static race prediction without executing a schedule
+  --apps A,B,C       apps whose static models to analyze (default: every
+                     registered app, buggy and fixed variants)
+  --conform N        also model and analyze the first N generated
+                     programs of a conform seed family (default 0; the
+                     soundness/gated/canary sweeps default to 200 when
+                     this is unset)
+  --family F         conform seed family for --conform and the sweeps
+                     (default 0, the CI smoke family)
+  --out PATH         where to write the nodefz-sa-v1 report
+                     (default SA_report.json)
+  --soundness        run the dynamic soundness gate over the conform
+                     programs: every dynamically predicted race must be
+                     covered by a static candidate, else exit nonzero
+  --gated            run the static-first differential sweep: programs
+                     the analyzer proves race-free skip the differential
+                     harness, tripwires re-check every Nth skip
+  --tripwire N       tripwire cadence under --gated (default 8)
+  --canary           sabotage the analyzer (drop one candidate per
+                     program) and exit zero only if the soundness gate
+                     trips — proves the gate can fail
+
+campaign lint — schedule-sensitivity lints over app static models
+  --apps A,B,C       apps to lint (default: every registered app);
+                     advisory only, always exits zero
 
 campaign explain REPRO — explain one confirmed bug's race causally
   REPRO              a corpus .repro file (see --corpus / --verify)
@@ -167,6 +199,8 @@ impl Default for OrchOpts {
 struct AnalyzeOpts {
     races_out: String,
     attempts: u64,
+    /// Keep the happens-before race order instead of static ranking.
+    unranked: bool,
 }
 
 impl Default for AnalyzeOpts {
@@ -174,6 +208,7 @@ impl Default for AnalyzeOpts {
         AnalyzeOpts {
             races_out: "RACES_report.json".into(),
             attempts: 24,
+            unranked: false,
         }
     }
 }
@@ -277,6 +312,7 @@ fn parse_args(args: &[String]) -> Result<(CampaignConfig, AltMode), String> {
             "--analyze" => analyze = true,
             "--races-out" => analyze_opts.races_out = value("--races-out")?,
             "--attempts" => analyze_opts.attempts = num("--attempts", value("--attempts")?)?,
+            "--unranked" => analyze_opts.unranked = true,
             "--metrics-out" => cfg.metrics_out = Some(value("--metrics-out")?.into()),
             "--journal-out" => cfg.journal_out = Some(value("--journal-out")?.into()),
             "--trace-out" => cfg.trace_out = Some(value("--trace-out")?.into()),
@@ -452,13 +488,20 @@ fn run_analyze(cfg: &CampaignConfig, opts: &AnalyzeOpts) -> ExitCode {
         races_out: Some(opts.races_out.clone().into()),
         corpus_dir: cfg.corpus_dir.clone(),
         replay_checks: cfg.replay_checks,
+        ranked: !opts.unranked,
     };
     println!(
-        "analyze: {} apps at env seed {}, {} directed attempts per flip",
+        "analyze: {} apps at env seed {}, {} directed attempts per flip ({})",
         analyze_cfg.apps.len(),
         analyze_cfg.env_seed,
         analyze_cfg.attempts,
+        if analyze_cfg.ranked {
+            "static-ranked"
+        } else {
+            "unranked"
+        },
     );
+    let started = std::time::Instant::now();
     let report = match nodefz_campaign::analyze_campaign(&analyze_cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -496,12 +539,48 @@ fn run_analyze(cfg: &CampaignConfig, opts: &AnalyzeOpts) -> ExitCode {
         println!("  FAILED {app}: {error}");
     }
     println!(
-        "analyze: {} predicted, {} confirmed, {} failed; wrote {}",
+        "analyze: {} predicted, {} confirmed, {} failed in {} directed exec(s); wrote {}",
         report.analyses.iter().map(|a| a.races.len()).sum::<usize>(),
         report.confirmed.len(),
         report.failed.len(),
+        report.directed_execs,
         opts.races_out,
     );
+    if report.sa.models > 0 {
+        println!(
+            "analyze: static models for {} app(s): {} candidate(s) ({} AV-capable, {} OV, {} COV), {} dynamically confirmed",
+            report.sa.models,
+            report.sa.candidates,
+            report.sa.av,
+            report.sa.ov,
+            report.sa.cov,
+            report.sa.confirmed,
+        );
+    }
+    if let Some(path) = &cfg.metrics_out {
+        let snapshot = nodefz_campaign::MetricsSnapshot {
+            elapsed: started.elapsed(),
+            budget: report.directed_execs,
+            runs: report.directed_execs,
+            dispatched: 0,
+            manifested: report.confirmed.len() as u64,
+            unique_bugs: report.confirmed.len() as u64,
+            finished: true,
+            arms: Vec::new(),
+            discovery: Vec::new(),
+            phases: Vec::new(),
+            callbacks: Vec::new(),
+            run_dispatched: None,
+            pruning: None,
+            prune_health: None,
+            sa: Some(report.sa),
+        };
+        if let Err(e) = nodefz_obs::write_atomic(path, &snapshot.to_json()) {
+            eprintln!("campaign: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics {}", path.display());
+    }
     if report.failed.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -769,11 +848,303 @@ fn run_explain(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Splits a `--apps` value into trimmed, non-empty abbreviations.
+fn split_apps(spec: &str) -> Vec<String> {
+    spec.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Every registered app abbreviation, fig6 or not — the static analyzer
+/// costs nothing to run, so it defaults to full coverage.
+fn all_apps() -> Vec<String> {
+    nodefz_apps::registry()
+        .iter()
+        .map(|c| c.info().abbr.to_string())
+        .collect()
+}
+
+struct SaOpts {
+    apps: Option<Vec<String>>,
+    conform: u64,
+    family: u64,
+    out: String,
+    soundness: bool,
+    gated: bool,
+    tripwire: u64,
+    canary: bool,
+}
+
+impl Default for SaOpts {
+    fn default() -> SaOpts {
+        SaOpts {
+            apps: None,
+            conform: 0,
+            family: 0,
+            out: "SA_report.json".into(),
+            soundness: false,
+            gated: false,
+            tripwire: 8,
+            canary: false,
+        }
+    }
+}
+
+fn parse_sa_args(args: &[String]) -> Result<SaOpts, String> {
+    let mut opts = SaOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        fn num(name: &str, raw: String) -> Result<u64, String> {
+            raw.parse().map_err(|_| format!("{name}: not a number"))
+        }
+        match arg.as_str() {
+            "--apps" => opts.apps = Some(split_apps(&value("--apps")?)),
+            "--conform" => opts.conform = num("--conform", value("--conform")?)?,
+            "--family" => opts.family = num("--family", value("--family")?)?,
+            "--out" => opts.out = value("--out")?,
+            "--soundness" => opts.soundness = true,
+            "--gated" => opts.gated = true,
+            "--tripwire" => opts.tripwire = num("--tripwire", value("--tripwire")?)?,
+            "--canary" => opts.canary = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("sa: unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `campaign sa`: analyze app static models (and optionally generated
+/// conform programs) without executing a single schedule, write the
+/// `nodefz-sa-v1` report, and optionally run the dynamic soundness
+/// gate, the static-first gated differential sweep, or the
+/// broken-analyzer canary.
+fn run_sa(args: &[String]) -> ExitCode {
+    use nodefz_apps::common::Variant;
+
+    let opts = match parse_sa_args(args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let apps = opts.apps.clone().unwrap_or_else(all_apps);
+    let mut analyses = Vec::new();
+    for abbr in &apps {
+        let Some(case) = nodefz_apps::by_abbr(abbr) else {
+            eprintln!("sa: unknown app '{abbr}'");
+            return ExitCode::FAILURE;
+        };
+        let mut modeled = false;
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            let Some(model) = case.static_model(variant) else {
+                continue;
+            };
+            modeled = true;
+            let analysis = nodefz_sa::analyze_model(model);
+            println!(
+                "  {:<4} {:<6} {:>3} atom(s)  {:>3} candidate(s)  {:>3} lint(s)",
+                analysis.model.name,
+                analysis.model.variant,
+                analysis.model.atoms.len(),
+                analysis.candidates.len(),
+                analysis.lints.len(),
+            );
+            analyses.push(analysis);
+        }
+        if !modeled {
+            println!("  {abbr:<4} (no static model)");
+        }
+    }
+
+    let pool = Some(nodefz_rt::LoopPool::new());
+    let sweep_count = if opts.conform > 0 { opts.conform } else { 200 };
+    if opts.conform > 0 {
+        let mut race_free = 0u64;
+        let mut candidates = 0usize;
+        for i in 0..opts.conform {
+            let seed = nodefz_sa::family_seed(opts.family, i);
+            let prog = std::rc::Rc::new(nodefz_conform::generate(seed));
+            let pm = nodefz_sa::model_of_prog(&prog, &format!("conform-{seed:016x}"));
+            let analysis = nodefz_sa::analyze_model(pm.model);
+            race_free += u64::from(analysis.candidates.is_empty());
+            candidates += analysis.candidates.len();
+            analyses.push(analysis);
+        }
+        println!(
+            "sa: modeled {} conform program(s) of family {}: {} candidate(s), {} proven race-free",
+            opts.conform, opts.family, candidates, race_free,
+        );
+    }
+
+    let report = nodefz_sa::sa_report(&analyses);
+    if let Err(e) = nodefz_obs::write_atomic(std::path::Path::new(&opts.out), &report) {
+        eprintln!("campaign: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "sa: {} model(s), {} candidate(s), {} lint finding(s); wrote {}",
+        analyses.len(),
+        analyses.iter().map(|a| a.candidates.len()).sum::<usize>(),
+        analyses.iter().map(|a| a.lints.len()).sum::<usize>(),
+        opts.out,
+    );
+
+    if opts.soundness {
+        let stats = match nodefz_sa::sweep_family(opts.family, sweep_count, &pool) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "soundness: {} program(s), {} dynamic race(s), {} candidate(s) ({} confirmed), {} race-free",
+            stats.programs,
+            stats.dynamic,
+            stats.metrics.candidates,
+            stats.metrics.confirmed,
+            stats.race_free,
+        );
+        if !stats.missing.is_empty() {
+            for miss in stats.missing.iter().take(10) {
+                eprintln!("  MISS {miss}");
+            }
+            eprintln!(
+                "sa: soundness gate FAILED — {} dynamic prediction(s) uncovered",
+                stats.missing.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("soundness: gate holds — every dynamic prediction is statically covered");
+    }
+
+    if opts.gated {
+        let diff_cfg = nodefz_conform::DiffConfig {
+            pool: Some(nodefz_rt::LoopPool::new()),
+            ..nodefz_conform::DiffConfig::default()
+        };
+        match nodefz_sa::static_gated_sweep(opts.family, sweep_count, opts.tripwire, &diff_cfg) {
+            Ok(s) => println!(
+                "gated: {} program(s): {} race-free, {} skipped, {} tripwire(s), {} differential(s)",
+                s.programs, s.race_free, s.skipped, s.tripwires, s.differentials,
+            ),
+            Err(e) => {
+                eprintln!("campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.canary {
+        let mut tripped = false;
+        for i in 0..sweep_count {
+            let seed = nodefz_sa::family_seed(opts.family, i);
+            let prog = std::rc::Rc::new(nodefz_conform::generate(seed));
+            match nodefz_sa::check_prog(&prog, seed, &pool, true) {
+                Ok(check) if !check.missing.is_empty() => {
+                    println!(
+                        "canary: gate tripped at seed {seed:#018x} after {} program(s) ({} miss(es))",
+                        i + 1,
+                        check.missing.len(),
+                    );
+                    tripped = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("campaign: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if !tripped {
+            eprintln!(
+                "sa: canary FAILED — the sabotaged analyzer never tripped the \
+                 soundness gate across {sweep_count} program(s)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}
+
+/// `campaign lint`: run the schedule-sensitivity lint pass over app
+/// static models. Advisory only — findings are printed, never fatal.
+fn run_lint(args: &[String]) -> ExitCode {
+    use nodefz_apps::common::Variant;
+
+    let mut apps: Option<Vec<String>> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let result = match arg.as_str() {
+            "--apps" => match it.next() {
+                Some(spec) => {
+                    apps = Some(split_apps(spec));
+                    Ok(())
+                }
+                None => Err("--apps needs a value".to_string()),
+            },
+            "--help" | "-h" => Err(USAGE.to_string()),
+            other => Err(format!("lint: unknown argument '{other}'\n{USAGE}")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let apps = apps.unwrap_or_else(all_apps);
+    let mut findings = 0usize;
+    let mut models = 0usize;
+    for abbr in &apps {
+        let Some(case) = nodefz_apps::by_abbr(abbr) else {
+            eprintln!("lint: unknown app '{abbr}'");
+            return ExitCode::FAILURE;
+        };
+        for variant in [Variant::Buggy, Variant::Fixed] {
+            let Some(model) = case.static_model(variant) else {
+                continue;
+            };
+            models += 1;
+            let idx = nodefz_sa::MhpIndex::build(&model);
+            let lints = nodefz_sa::lint_model(&model, &idx);
+            for lint in &lints {
+                let atoms = lint
+                    .atoms
+                    .iter()
+                    .map(|&a| model.atoms[a as usize].label.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ~ ");
+                println!(
+                    "  {:<12} {:<24} {:<14} {} ({})",
+                    format!("{}/{}", model.name, model.variant),
+                    lint.rule,
+                    lint.site,
+                    lint.detail,
+                    atoms,
+                );
+            }
+            findings += lints.len();
+        }
+    }
+    println!("lint: {findings} finding(s) over {models} model(s); advisory only");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("report") => return run_report(&args[1..]),
         Some("explain") => return run_explain(&args[1..]),
+        Some("sa") => return run_sa(&args[1..]),
+        Some("lint") => return run_lint(&args[1..]),
         _ => {}
     }
     let (mut cfg, alt) = match parse_args(&args) {

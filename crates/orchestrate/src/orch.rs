@@ -275,6 +275,21 @@ impl OrchReport {
             .collect()
     }
 
+    /// Static-analyzer race-candidate counts per arm, in `self.arms`
+    /// order (`None` for arms whose app has no static model — e.g. the
+    /// CONFORM arm, whose programs are generated per seed).
+    pub fn arm_sa_candidates(&self) -> Vec<Option<u64>> {
+        self.arms
+            .iter()
+            .map(|arm| {
+                let case = nodefz_apps::by_abbr(&arm.spec.app)?;
+                let model = case.static_model(nodefz_apps::common::Variant::Buggy)?;
+                let idx = nodefz_sa::MhpIndex::build(&model);
+                Some(nodefz_sa::candidates(&model, &idx).len() as u64)
+            })
+            .collect()
+    }
+
     /// Arms quarantined by worker failure, as (label, reason).
     pub fn quarantined(&self) -> Vec<(String, String)> {
         self.arms
@@ -307,13 +322,17 @@ impl OrchReport {
             w.end_object();
         }
         let arm_pruning = self.arm_pruning();
+        let arm_sa = self.arm_sa_candidates();
         w.key("arms");
         w.begin_array();
-        for (arm, pruning) in self.arms.iter().zip(&arm_pruning) {
+        for ((arm, pruning), sa) in self.arms.iter().zip(&arm_pruning).zip(&arm_sa) {
             w.begin_object();
             w.field_str("app", &arm.spec.app);
             w.field_str("preset", &arm.spec.preset);
             w.field_str("mode", arm.spec.mode.label());
+            if let Some(n) = sa {
+                w.field_u64("sa_candidates", *n);
+            }
             w.field_u64("pulls", arm.pulls);
             w.field_f64("successes", arm.successes, 4);
             w.field_f64("failures", arm.failures, 4);
@@ -396,16 +415,22 @@ struct WorkerMetrics {
     pruning: Option<WorkPruning>,
 }
 
-/// Parses a worker metrics snapshot leniently: a missing or torn file
-/// (impossible under atomic writes, but the worker may have died before
-/// its first snapshot) yields `None`.
-fn read_worker_metrics(path: &Path) -> Option<WorkerMetrics> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let doc = JsonValue::parse(&text).ok()?;
-    if doc.get("schema").and_then(|s| s.as_str()) != Some("nodefz-metrics-v1") {
-        return None;
-    }
-    let runs = doc.get("runs")?.as_u64()?;
+/// Parses a worker metrics snapshot. A missing file is lenient (`Ok(None)`
+/// — the worker may have died before its first snapshot), but a file that
+/// *exists* with a wrong or absent schema is an error: a snapshot from a
+/// mismatched worker build must not be silently treated as absence.
+fn read_worker_metrics(path: &Path) -> Result<Option<WorkerMetrics>, String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Ok(None);
+    };
+    let err = |e: String| format!("{}: {e}", path.display());
+    let doc = JsonValue::parse(&text).map_err(|e| err(e.to_string()))?;
+    nodefz_obs::expect_schema(&doc, "nodefz-metrics-v1").map_err(|e| err(e.to_string()))?;
+    let parse = |field: &'static str| err(format!("bad or missing '{field}'"));
+    let runs = doc
+        .get("runs")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| parse("runs"))?;
     let discovery = doc
         .get("discovery")
         .and_then(|d| d.as_array())
@@ -429,11 +454,11 @@ fn read_worker_metrics(path: &Path) -> Option<WorkerMetrics> {
             forked: p.get("forked")?.as_u64()?,
         })
     });
-    Some(WorkerMetrics {
+    Ok(Some(WorkerMetrics {
         runs,
         discovery,
         pruning,
-    })
+    }))
 }
 
 /// Runs one round's work items with at most `shards` live workers,
@@ -600,7 +625,7 @@ pub fn orchestrate(
             let (new_sigs, skipped) = merged
                 .fold_shard(&item.corpus_dir())
                 .map_err(|e| format!("merge shard {}: {e}", item.dir.display()))?;
-            let metrics = read_worker_metrics(&item.metrics_path());
+            let metrics = read_worker_metrics(&item.metrics_path())?;
             let pruning = metrics.as_ref().and_then(|m| m.pruning);
             let runs = metrics
                 .as_ref()
@@ -885,6 +910,10 @@ mod tests {
         assert_eq!(
             arm.get("quarantine_reason").and_then(|s| s.as_str()),
             Some("crashed")
+        );
+        assert!(
+            arm.get("sa_candidates").and_then(|v| v.as_u64()).unwrap() > 0,
+            "KUE's static model must yield race candidates in the rollup"
         );
         assert_eq!(report.execs_to_full_discovery(), Some(17));
         assert_eq!(report.quarantined().len(), 1);

@@ -80,8 +80,9 @@ fn tagged_line(entry: &JournalEntry, source: &str) -> String {
 ///
 /// When the workdir holds no orchestrator journal (not an orchestrated
 /// campaign's workdir, or one from before flight recording) or on I/O
-/// failure. Individual worker journals/traces are read leniently — a
-/// worker that died before writing anything simply contributes nothing.
+/// failure. A worker that died before writing anything contributes
+/// nothing, but a worker journal that exists and fails to decode is an
+/// error, not a silent skip.
 pub fn merge_report(workdir: &Path, out: &Path) -> Result<ReportSummary, String> {
     let orch_path = workdir.join("journal.jsonl");
     let orch_text = std::fs::read_to_string(&orch_path).map_err(|e| {
@@ -100,12 +101,15 @@ pub fn merge_report(workdir: &Path, out: &Path) -> Result<ReportSummary, String>
         let Some((index, label)) = parse_work_dir(&name) else {
             continue;
         };
-        let Ok(text) = std::fs::read_to_string(dir_entry.path().join("journal.jsonl")) else {
+        let journal_path = dir_entry.path().join("journal.jsonl");
+        let Ok(text) = std::fs::read_to_string(&journal_path) else {
             continue;
         };
-        let Ok(journal) = Journal::decode(&text) else {
-            continue;
-        };
+        // A worker that never wrote a journal is lenient (skipped above);
+        // a journal that exists but fails to decode is evidence of
+        // corruption or a schema mismatch and must surface.
+        let journal =
+            Journal::decode(&text).map_err(|e| format!("{}: {e}", journal_path.display()))?;
         let trace = std::fs::read_to_string(dir_entry.path().join("trace.json"))
             .ok()
             .and_then(|t| JsonValue::parse(&t).ok());

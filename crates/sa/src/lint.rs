@@ -1,0 +1,294 @@
+//! Schedule-sensitivity lints.
+//!
+//! Where [`crate::races`] predicts *that* two callbacks may race, the
+//! lints name the *pattern* that made the race possible — the shapes
+//! §2.3 of the paper catalogues as the recurring sources of
+//! event-driven races. Each finding cites a stable rule id so reports
+//! and CI can key on it.
+
+use nodefz_apps::statics::{AtomKind, StaticModel};
+use nodefz_rt::AccessKind;
+
+use crate::mhp::MhpIndex;
+
+/// Check-then-act across an async hop: a callback reads a site, a
+/// descendant acts on the stale value by writing it back, and an
+/// unordered third writer may land in the gap.
+pub const RULE_CHECK_THEN_ACT: &str = "SA-CHECK-THEN-ACT";
+/// Two unordered callbacks both commit (plain write, not a commutative
+/// update) to the same site — last writer wins nondeterministically.
+pub const RULE_MULTI_WRITER_COMMIT: &str = "SA-MULTI-WRITER-COMMIT";
+/// A close callback tears down a site an unordered reader may still
+/// observe mid-teardown.
+pub const RULE_CLOSE_PENDING_READ: &str = "SA-CLOSE-PENDING-READ";
+/// Siblings whose vanilla dispatch order comes only from phase ranks:
+/// the default schedule always runs them one way, but no happens-before
+/// edge forces it, so a fuzzed schedule may flip them.
+pub const RULE_VANILLA_ORDER: &str = "SA-VANILLA-ORDER";
+
+/// All lint rule ids, in emission order.
+pub const RULES: [&str; 4] = [
+    RULE_CHECK_THEN_ACT,
+    RULE_MULTI_WRITER_COMMIT,
+    RULE_CLOSE_PENDING_READ,
+    RULE_VANILLA_ORDER,
+];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Shared-site name the finding is about.
+    pub site: String,
+    /// Atom ids involved, in the role order the rule defines.
+    pub atoms: Vec<u32>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+#[derive(Clone, Copy, Default)]
+struct SiteUse {
+    reads: bool,
+    commits: bool,
+    writeish: bool,
+}
+
+/// Per-site access summaries: sites in first-appearance order, atoms
+/// ascending within each site.
+fn site_table(model: &StaticModel) -> Vec<(String, Vec<(u32, SiteUse)>)> {
+    let mut sites: Vec<(String, Vec<(u32, SiteUse)>)> = Vec::new();
+    for (id, atom) in model.atoms.iter().enumerate() {
+        for access in &atom.accesses {
+            let entry = match sites.iter_mut().find(|(s, _)| *s == access.site) {
+                Some((_, atoms)) => atoms,
+                None => {
+                    sites.push((access.site.clone(), Vec::new()));
+                    &mut sites.last_mut().expect("just pushed").1
+                }
+            };
+            let slot = match entry.iter_mut().find(|(a, _)| *a == id as u32) {
+                Some((_, slot)) => slot,
+                None => {
+                    entry.push((id as u32, SiteUse::default()));
+                    &mut entry.last_mut().expect("just pushed").1
+                }
+            };
+            match access.kind {
+                AccessKind::Read => slot.reads = true,
+                AccessKind::Write => {
+                    slot.commits = true;
+                    slot.writeish = true;
+                }
+                AccessKind::Update => slot.writeish = true,
+            }
+        }
+    }
+    sites
+}
+
+fn label(model: &StaticModel, atom: u32) -> &str {
+    &model.atoms[atom as usize].label
+}
+
+fn kind(model: &StaticModel, atom: u32) -> AtomKind {
+    model.atoms[atom as usize].kind
+}
+
+/// Runs every lint rule over `model`, returning findings grouped by
+/// rule (in [`RULES`] order), then by site first-appearance order, then
+/// by ascending atom ids — fully deterministic.
+pub fn lint_model(model: &StaticModel, idx: &MhpIndex) -> Vec<Lint> {
+    let sites = site_table(model);
+    let mut out = Vec::new();
+
+    // SA-CHECK-THEN-ACT: reader A, strict must-descendant writer B, and
+    // a writeish C not pinned outside the A→B window. One finding per
+    // (A, B), citing the first such C.
+    for (site, atoms) in &sites {
+        for &(a, ua) in atoms {
+            if !ua.reads {
+                continue;
+            }
+            for &(b, ub) in atoms {
+                if b == a || !ub.writeish || !idx.must_leq(a, b) {
+                    continue;
+                }
+                let intruder = atoms.iter().find(|&&(c, uc)| {
+                    c != a && c != b && uc.writeish && !idx.must_leq(c, a) && !idx.must_leq(b, c)
+                });
+                if let Some(&(c, _)) = intruder {
+                    out.push(Lint {
+                        rule: RULE_CHECK_THEN_ACT,
+                        site: site.clone(),
+                        atoms: vec![a, b, c],
+                        detail: format!(
+                            "{} checks {site} and {} acts on the stale value \
+                             after an async hop; {} may write in between",
+                            label(model, a),
+                            label(model, b),
+                            label(model, c)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // SA-MULTI-WRITER-COMMIT: unordered plain-write committers.
+    for (site, atoms) in &sites {
+        for (i, &(a, ua)) in atoms.iter().enumerate() {
+            for &(b, ub) in &atoms[i + 1..] {
+                if ua.commits && ub.commits && idx.mhp(a, b) {
+                    out.push(Lint {
+                        rule: RULE_MULTI_WRITER_COMMIT,
+                        site: site.clone(),
+                        atoms: vec![a, b],
+                        detail: format!(
+                            "{} and {} both commit {site} with no ordering \
+                             between them; last writer wins",
+                            label(model, a),
+                            label(model, b)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // SA-CLOSE-PENDING-READ: a close-kind teardown racing a reader.
+    for (site, atoms) in &sites {
+        for &(closer, uc) in atoms {
+            if kind(model, closer) != AtomKind::Close || !uc.writeish {
+                continue;
+            }
+            for &(reader, ur) in atoms {
+                if ur.reads && idx.mhp(closer, reader) {
+                    out.push(Lint {
+                        rule: RULE_CLOSE_PENDING_READ,
+                        site: site.clone(),
+                        atoms: vec![closer, reader],
+                        detail: format!(
+                            "close callback {} tears down {site} while \
+                             {} may still read it",
+                            label(model, closer),
+                            label(model, reader)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // SA-VANILLA-ORDER: same-parent siblings ordered only by phase rank.
+    for (site, atoms) in &sites {
+        for (i, &(a, ua)) in atoms.iter().enumerate() {
+            for &(b, ub) in &atoms[i + 1..] {
+                let (ka, kb) = (kind(model, a), kind(model, b));
+                if model.atoms[a as usize].parent == model.atoms[b as usize].parent
+                    && idx.mhp(a, b)
+                    && (ua.writeish || ub.writeish)
+                    && ka.rank() != kb.rank()
+                {
+                    out.push(Lint {
+                        rule: RULE_VANILLA_ORDER,
+                        site: site.clone(),
+                        atoms: vec![a, b],
+                        detail: format!(
+                            "{} ({} phase, rank {}) runs before {} ({} phase, \
+                             rank {}) under the vanilla schedule, but nothing \
+                             forces that order on {site}",
+                            label(model, a),
+                            ka.label(),
+                            ka.rank(),
+                            label(model, b),
+                            kb.label(),
+                            kb.rank()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out.sort_by_key(|l| {
+        RULES
+            .iter()
+            .position(|r| *r == l.rule)
+            .unwrap_or(RULES.len())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_apps::common::Variant;
+    use nodefz_apps::statics::ModelBuilder;
+
+    fn lints(model: &StaticModel) -> Vec<Lint> {
+        lint_model(model, &MhpIndex::build(model))
+    }
+
+    #[test]
+    fn check_then_act_fires_on_the_gho_shape() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let get1 = m.atom("get1", AtomKind::Kv, 0);
+        let set1 = m.atom("set1", AtomKind::Kv, get1);
+        let get2 = m.atom("get2", AtomKind::Kv, 0);
+        let set2 = m.atom("set2", AtomKind::Kv, get2);
+        for (g, s) in [(get1, set1), (get2, set2)] {
+            m.read(g, "row");
+            m.write(s, "row");
+        }
+        let got = lints(&m.build());
+        let cta: Vec<_> = got
+            .iter()
+            .filter(|l| l.rule == RULE_CHECK_THEN_ACT)
+            .collect();
+        assert_eq!(cta.len(), 2, "one finding per check-then-act chain");
+        assert_eq!(cta[0].atoms, vec![get1, set1, set2]);
+    }
+
+    #[test]
+    fn ordered_writers_do_not_trip_multi_writer_commit() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let a = m.atom("a", AtomKind::Net, 0);
+        let b = m.atom("b", AtomKind::Kv, a);
+        m.write(a, "s");
+        m.write(b, "s");
+        assert!(lints(&m.build()).is_empty());
+    }
+
+    #[test]
+    fn close_racing_reader_fires() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let fin = m.atom("fin", AtomKind::Close, 0);
+        let rd = m.atom("rd", AtomKind::Net, 0);
+        m.write(fin, "sock");
+        m.read(rd, "sock");
+        let got = lints(&m.build());
+        assert!(got
+            .iter()
+            .any(|l| l.rule == RULE_CLOSE_PENDING_READ && l.atoms == vec![fin, rd]));
+    }
+
+    #[test]
+    fn vanilla_order_fires_only_across_ranks() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let t = m.atom("t", AtomKind::Timer, 0);
+        let c = m.atom("c", AtomKind::Immediate, 0);
+        m.write(t, "s");
+        m.read(c, "s");
+        let got = lints(&m.build());
+        assert!(got.iter().any(|l| l.rule == RULE_VANILLA_ORDER));
+
+        let mut m2 = ModelBuilder::new("T", Variant::Buggy);
+        let n1 = m2.atom("n1", AtomKind::Net, 0);
+        let n2 = m2.atom("n2", AtomKind::Net, 0);
+        m2.write(n1, "s");
+        m2.read(n2, "s");
+        let got2 = lints(&m2.build());
+        assert!(!got2.iter().any(|l| l.rule == RULE_VANILLA_ORDER));
+    }
+}

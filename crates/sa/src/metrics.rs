@@ -1,0 +1,81 @@
+//! Precision accounting for the static analyzer.
+//!
+//! Soundness is enforced elsewhere (the [`crate::soundness`] harness
+//! hard-fails on any dynamically predicted race the analyzer missed);
+//! this module only *counts* — how many static candidates were emitted
+//! per class and how many were dynamically confirmed — so campaigns can
+//! publish static precision alongside their other metrics.
+
+/// Campaign-level static-analysis counters, rendered into the
+/// `nodefz-metrics-v1` snapshot as an additive `sa` block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SaMetrics {
+    /// Static models analyzed.
+    pub models: u64,
+    /// Candidate race pairs emitted.
+    pub candidates: u64,
+    /// Candidates whose class set includes AV.
+    pub av: u64,
+    /// Candidates whose class set includes OV.
+    pub ov: u64,
+    /// Candidates whose class set includes COV.
+    pub cov: u64,
+    /// Candidates confirmed by a dynamic (happens-before) race on the
+    /// same site with a matching class.
+    pub confirmed: u64,
+    /// Confirmed candidates matched as AV.
+    pub confirmed_av: u64,
+    /// Confirmed candidates matched as OV.
+    pub confirmed_ov: u64,
+    /// Confirmed candidates matched as COV.
+    pub confirmed_cov: u64,
+}
+
+impl SaMetrics {
+    /// Folds another counter block into this one.
+    pub fn merge(&mut self, other: &SaMetrics) {
+        self.models += other.models;
+        self.candidates += other.candidates;
+        self.av += other.av;
+        self.ov += other.ov;
+        self.cov += other.cov;
+        self.confirmed += other.confirmed;
+        self.confirmed_av += other.confirmed_av;
+        self.confirmed_ov += other.confirmed_ov;
+        self.confirmed_cov += other.confirmed_cov;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_fieldwise_addition() {
+        let mut a = SaMetrics {
+            models: 1,
+            candidates: 2,
+            av: 1,
+            ov: 1,
+            cov: 0,
+            confirmed: 1,
+            confirmed_av: 1,
+            confirmed_ov: 0,
+            confirmed_cov: 0,
+        };
+        let b = SaMetrics {
+            models: 2,
+            candidates: 3,
+            cov: 3,
+            confirmed: 2,
+            confirmed_cov: 2,
+            ..SaMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.models, 3);
+        assert_eq!(a.candidates, 5);
+        assert_eq!(a.cov, 3);
+        assert_eq!(a.confirmed, 3);
+        assert_eq!(a.confirmed_cov, 2);
+    }
+}

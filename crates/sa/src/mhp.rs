@@ -1,0 +1,132 @@
+//! The may-happen-in-parallel relation over a static model.
+//!
+//! Soundness contract: [`MhpIndex::must_leq`] may answer `true` only for
+//! orderings that hold in **every** legal schedule. The edges that
+//! qualify are registration parentage and explicit `ordered_after`
+//! edges — both present as happens-before (`cause` / `cause2`) links in
+//! every recorded run — plus the pairwise total order of timer atoms
+//! (the runtime chains all timer dispatches). Everything else *may*
+//! happen in parallel; over-approximating concurrency costs precision,
+//! never soundness.
+
+use nodefz_apps::statics::StaticModel;
+
+/// Precomputed reachability over a model's must-happen-before DAG.
+pub struct MhpIndex {
+    timer: Vec<bool>,
+    /// `reach[a][b]`: atom `a` must complete before (or is) `b` in every
+    /// schedule, by registration ancestry or explicit ordering edges.
+    reach: Vec<Vec<bool>>,
+}
+
+impl MhpIndex {
+    /// Builds the index for `model`. All edges point to strictly smaller
+    /// ids (validated by the model), so one forward pass settles the
+    /// transitive closure.
+    pub fn build(model: &StaticModel) -> MhpIndex {
+        let n = model.atoms.len();
+        let mut reach = vec![vec![false; n]; n];
+        let mut timer = vec![false; n];
+        for (i, atom) in model.atoms.iter().enumerate() {
+            timer[i] = atom.kind.is_timer();
+            reach[i][i] = true;
+            let mut preds: Vec<u32> = atom.ordered_after.clone();
+            if let Some(p) = atom.parent {
+                preds.push(p);
+            }
+            for p in preds {
+                // Everything that must precede a predecessor must precede
+                // this atom too; predecessors have smaller ids, so their
+                // rows are final.
+                for row in reach.iter_mut() {
+                    if row[p as usize] {
+                        row[i] = true;
+                    }
+                }
+            }
+        }
+        MhpIndex { timer, reach }
+    }
+
+    /// Number of atoms indexed.
+    pub fn len(&self) -> usize {
+        self.reach.len()
+    }
+
+    /// Whether the index is empty (a model always has a setup atom, so
+    /// this is only true for a manually emptied model).
+    pub fn is_empty(&self) -> bool {
+        self.reach.is_empty()
+    }
+
+    /// `a` completes before (or is) `b` in **every** schedule.
+    pub fn must_leq(&self, a: u32, b: u32) -> bool {
+        self.reach[a as usize][b as usize]
+    }
+
+    /// `a` dispatches before `b` in **some** schedule (i.e. `b` is not a
+    /// strict must-predecessor of `a`). Two timer atoms are ordered in
+    /// every run, but the *direction* varies per run, so both
+    /// `may_leq(t1, t2)` and `may_leq(t2, t1)` hold.
+    pub fn may_leq(&self, a: u32, b: u32) -> bool {
+        a == b || !self.must_leq(b, a)
+    }
+
+    /// The pair may dispatch concurrently: neither must-precedes the
+    /// other and the pair is not two timers (which every run totally
+    /// orders through the happens-before timer chain).
+    pub fn mhp(&self, a: u32, b: u32) -> bool {
+        let both_timers = self.timer[a as usize] && self.timer[b as usize];
+        a != b && !self.must_leq(a, b) && !self.must_leq(b, a) && !both_timers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_apps::common::Variant;
+    use nodefz_apps::statics::{AtomKind, ModelBuilder};
+
+    fn chain_model() -> StaticModel {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let a = m.atom("a", AtomKind::Net, 0); // 1
+        let b = m.atom("b", AtomKind::Kv, a); // 2
+        let c = m.atom("c", AtomKind::Net, 0); // 3
+        let t1 = m.atom("t1", AtomKind::Timer, 0); // 4
+        let t2 = m.atom("t2", AtomKind::Timer, c); // 5
+        let d = m.atom("d", AtomKind::Kv, 0); // 6
+        m.after(d, b);
+        let _ = (t1, t2);
+        m.build()
+    }
+
+    #[test]
+    fn ancestry_is_must_order() {
+        let idx = MhpIndex::build(&chain_model());
+        assert!(idx.must_leq(0, 1));
+        assert!(idx.must_leq(1, 2));
+        assert!(idx.must_leq(0, 2)); // transitive
+        assert!(!idx.must_leq(2, 1));
+        assert!(!idx.must_leq(1, 3)); // siblings unordered
+        assert!(idx.mhp(1, 3));
+        assert!(!idx.mhp(1, 2));
+    }
+
+    #[test]
+    fn ordered_after_extends_the_dag() {
+        let idx = MhpIndex::build(&chain_model());
+        assert!(idx.must_leq(2, 6));
+        assert!(idx.must_leq(1, 6)); // through b's ancestry
+        assert!(!idx.mhp(2, 6));
+    }
+
+    #[test]
+    fn timer_pairs_are_never_mhp_but_may_order_both_ways() {
+        let idx = MhpIndex::build(&chain_model());
+        assert!(!idx.mhp(4, 5));
+        assert!(idx.may_leq(4, 5));
+        assert!(idx.may_leq(5, 4));
+        // A timer and a non-timer still race.
+        assert!(idx.mhp(4, 1));
+    }
+}

@@ -1,0 +1,207 @@
+//! Candidate race pairs: MHP atoms sharing an instrumented site.
+//!
+//! A candidate carries a *set* of §3.2 classes because the class a pair
+//! manifests as varies per run: the same two callbacks form an atomicity
+//! violation when a third access lands between them and a plain ordering
+//! violation when it does not, and which happens depends on where the
+//! run's timer chain points. Emitting the set keeps the prediction a
+//! superset of every per-run `nodefz-hb` verdict — the soundness
+//! harness checks exact `(site, class)` containment against it.
+
+use nodefz_apps::statics::StaticModel;
+use nodefz_hb::RaceClass;
+use nodefz_rt::AccessKind;
+
+use crate::mhp::MhpIndex;
+
+/// One predicted race pair on one shared site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Shared-site name.
+    pub site: String,
+    /// Lower atom id of the pair.
+    pub a: u32,
+    /// Higher atom id of the pair.
+    pub b: u32,
+    /// The §3.2 classes this pair may manifest as, in `[AV, OV, COV]`
+    /// order.
+    pub classes: Vec<RaceClass>,
+}
+
+impl Candidate {
+    /// Whether the candidate's class set covers `class`.
+    pub fn covers(&self, class: RaceClass) -> bool {
+        self.classes.contains(&class)
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct SiteUse {
+    touched: bool,
+    writeish: bool,
+    update_only: bool,
+}
+
+/// Atoms touching each site, with per-atom access summaries. Sites in
+/// first-appearance order, atoms ascending.
+fn site_table(model: &StaticModel) -> Vec<(String, Vec<(u32, SiteUse)>)> {
+    let mut sites: Vec<(String, Vec<(u32, SiteUse)>)> = Vec::new();
+    for (id, atom) in model.atoms.iter().enumerate() {
+        for access in &atom.accesses {
+            let entry = match sites.iter_mut().find(|(s, _)| *s == access.site) {
+                Some((_, atoms)) => atoms,
+                None => {
+                    sites.push((access.site.clone(), Vec::new()));
+                    &mut sites.last_mut().expect("just pushed").1
+                }
+            };
+            let slot = match entry.iter_mut().find(|(a, _)| *a == id as u32) {
+                Some((_, slot)) => slot,
+                None => {
+                    entry.push((id as u32, SiteUse::default()));
+                    &mut entry.last_mut().expect("just pushed").1
+                }
+            };
+            let writeish = access.kind != AccessKind::Read;
+            slot.writeish |= writeish;
+            slot.update_only = if slot.touched {
+                slot.update_only && access.kind == AccessKind::Update
+            } else {
+                access.kind == AccessKind::Update
+            };
+            slot.touched = true;
+        }
+    }
+    sites
+}
+
+/// Whether a third site-accessing atom may land strictly between an
+/// ordered dispatch of some pair containing `owner`, splitting an
+/// atomicity region the owner believed contiguous. Mirrors the dynamic
+/// analyzer's `intrudes` shape, with may/must in place of the per-run
+/// graph: `intruder` may intrude iff some ordering `X ≤ Y` of
+/// site-accessing atoms with `owner ∈ {X, Y}` is possible and no must
+/// edge pins `intruder` outside the `[X, Y]` window.
+fn may_intrudes(idx: &MhpIndex, atoms: &[(u32, SiteUse)], owner: u32, intruder: u32) -> bool {
+    for &(x, _) in atoms {
+        for &(y, _) in atoms {
+            if x == y || (owner != x && owner != y) {
+                continue;
+            }
+            if x == intruder || y == intruder {
+                continue;
+            }
+            if idx.may_leq(x, y) && !idx.must_leq(y, intruder) && !idx.must_leq(intruder, x) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Computes all candidate race pairs of `model`, deterministically
+/// ordered: sites in first-appearance order, pairs by ascending
+/// `(a, b)`.
+pub fn candidates(model: &StaticModel, idx: &MhpIndex) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (site, atoms) in site_table(model) {
+        for (i, &(a, ua)) in atoms.iter().enumerate() {
+            for &(b, ub) in &atoms[i + 1..] {
+                if !idx.mhp(a, b) || !(ua.writeish || ub.writeish) {
+                    continue;
+                }
+                let classes = if ua.update_only && ub.update_only {
+                    vec![RaceClass::Cov]
+                } else if may_intrudes(idx, &atoms, a, b) || may_intrudes(idx, &atoms, b, a) {
+                    vec![RaceClass::Av, RaceClass::Ov]
+                } else {
+                    vec![RaceClass::Ov]
+                };
+                out.push(Candidate {
+                    site: site.clone(),
+                    a,
+                    b,
+                    classes,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodefz_apps::common::Variant;
+    use nodefz_apps::statics::{AtomKind, ModelBuilder};
+
+    fn analyze(model: &StaticModel) -> Vec<Candidate> {
+        candidates(model, &MhpIndex::build(model))
+    }
+
+    #[test]
+    fn ordered_pair_is_not_a_candidate() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let a = m.atom("a", AtomKind::Net, 0);
+        let b = m.atom("b", AtomKind::Kv, a);
+        m.write(a, "s");
+        m.read(b, "s");
+        assert!(analyze(&m.build()).is_empty());
+    }
+
+    #[test]
+    fn read_read_pair_is_not_a_candidate() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let a = m.atom("a", AtomKind::Net, 0);
+        let b = m.atom("b", AtomKind::Net, 0);
+        m.read(a, "s");
+        m.read(b, "s");
+        assert!(analyze(&m.build()).is_empty());
+    }
+
+    #[test]
+    fn update_only_pair_is_exactly_cov() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let a = m.atom("a", AtomKind::Kv, 0);
+        let b = m.atom("b", AtomKind::Kv, 0);
+        m.update(a, "s");
+        m.update(b, "s");
+        let got = analyze(&m.build());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].classes, vec![RaceClass::Cov]);
+    }
+
+    #[test]
+    fn two_party_write_read_is_plain_ov() {
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let a = m.atom("a", AtomKind::Net, 0);
+        let b = m.atom("b", AtomKind::Kv, 0);
+        m.write(a, "s");
+        m.read(b, "s");
+        let got = analyze(&m.build());
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].classes, vec![RaceClass::Ov]);
+        assert!(got[0].covers(RaceClass::Ov));
+        assert!(!got[0].covers(RaceClass::Av));
+    }
+
+    #[test]
+    fn intruding_third_writer_adds_av() {
+        // The check-then-act shape: net reads, its kv child writes back,
+        // and an unordered third writer may land in between.
+        let mut m = ModelBuilder::new("T", Variant::Buggy);
+        let req = m.atom("req", AtomKind::Net, 0);
+        let set = m.atom("set", AtomKind::Kv, req);
+        let other = m.atom("other", AtomKind::Net, 0);
+        m.read(req, "s");
+        m.write(set, "s");
+        m.write(other, "s");
+        let got = analyze(&m.build());
+        // (req, other) and (set, other) both race; the region req→set is
+        // splittable by `other`, so AV is on the menu for both.
+        assert_eq!(got.len(), 2);
+        for c in &got {
+            assert_eq!(c.classes, vec![RaceClass::Av, RaceClass::Ov]);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The soundness gate: static prediction must cover dynamic prediction.
+//!
+//! For every generated program, `nodefz-hb`'s happens-before analysis of
+//! a recorded run yields *dynamic* race predictions. The static analyzer
+//! never sees the run — so the one property that makes it trustworthy is
+//! **containment**: every dynamic `(site, class, pair)` verdict must be
+//! covered by some static candidate of the same program. [`check_prog`]
+//! checks exactly that for one program (run markers map racing events
+//! back onto model atoms), [`sweep_family`] sweeps a whole conform seed
+//! family and hard-collects misses, and [`static_gated_sweep`] is the
+//! payoff: programs the analyzer proves race-free skip the differential
+//! harness entirely, with a tripwire re-running every Nth skipped
+//! program to catch an analyzer gone quietly wrong.
+
+use std::rc::Rc;
+
+use nodefz::Mode;
+use nodefz_conform::{differential, generate, run_logged, DiffConfig, Prog};
+use nodefz_hb::races_with_cuts;
+use nodefz_rt::{EventLog, LoopPool, Termination};
+
+use crate::metrics::SaMetrics;
+use crate::mhp::MhpIndex;
+use crate::prog_model::{model_of_prog, ProgModel};
+use crate::races::{candidates, Candidate};
+
+/// Stride between conform corpus seed families (matching the
+/// differential acceptance sweep and the CI smoke batch).
+pub const FAMILY_STRIDE: u64 = 0x6C62_272E_07BB_0142;
+
+/// The `i`-th seed of conform corpus family `family`.
+pub fn family_seed(family: u64, i: u64) -> u64 {
+    family.wrapping_mul(FAMILY_STRIDE) ^ i
+}
+
+/// The soundness verdict for one program.
+pub struct ProgCheck {
+    /// Dynamic races predicted by happens-before analysis of the run.
+    pub dynamic: usize,
+    /// Static candidates the analyzer emitted.
+    pub candidates: Vec<Candidate>,
+    /// Whether the analyzer declared the program race-free (no
+    /// candidates at all).
+    pub race_free: bool,
+    /// Dynamic predictions no static candidate covers. Any entry is a
+    /// soundness violation.
+    pub missing: Vec<String>,
+    /// Precision counters for this program.
+    pub metrics: SaMetrics,
+}
+
+/// The atom a dynamic event folds to, via its `run:<id>` marker access.
+fn atom_of_event(log: &EventLog, pm: &ProgModel, event: u32) -> Option<u32> {
+    log.accesses.iter().find_map(|acc| {
+        if acc.event.0 != event {
+            return None;
+        }
+        let name = log.sites.get(acc.site as usize)?;
+        let id: usize = name.strip_prefix("run:")?.parse().ok()?;
+        pm.atom_of_node.get(id).copied()
+    })
+}
+
+/// Statically analyzes `prog`, runs it once under the vanilla scheduler,
+/// and checks that every dynamic race prediction is covered by a static
+/// candidate with the exact `(site, atom pair, class)`.
+///
+/// `sabotage` drops the first static candidate before checking — the CI
+/// canary that proves the gate actually trips on a broken analyzer.
+///
+/// # Errors
+///
+/// Returns a message if the vanilla run itself fails (non-quiescent
+/// termination or runtime errors) — soundness cannot be judged from a
+/// broken run.
+pub fn check_prog(
+    prog: &Rc<Prog>,
+    env_seed: u64,
+    pool: &Option<LoopPool>,
+    sabotage: bool,
+) -> Result<ProgCheck, String> {
+    let pm = model_of_prog(prog, "prog");
+    let idx = MhpIndex::build(&pm.model);
+    let mut cands = candidates(&pm.model, &idx);
+    if sabotage && !cands.is_empty() {
+        cands.remove(0);
+    }
+
+    let (report, log) = run_logged(prog, env_seed, Mode::Vanilla, pool);
+    if !matches!(report.termination, Termination::Quiescent) || !report.errors.is_empty() {
+        return Err(format!(
+            "vanilla run failed: termination {:?}, errors {:?}",
+            report.termination, report.errors
+        ));
+    }
+
+    let dynamic = races_with_cuts(&log);
+    let mut missing = Vec::new();
+    let mut confirmed_class = vec![None; cands.len()];
+    for race in &dynamic {
+        let Some(aa) = atom_of_event(&log, &pm, race.a.event) else {
+            missing.push(format!(
+                "dynamic {} race on {} at event {} has no run marker",
+                race.class.label(),
+                race.site,
+                race.a.event
+            ));
+            continue;
+        };
+        let Some(ab) = atom_of_event(&log, &pm, race.b.event) else {
+            missing.push(format!(
+                "dynamic {} race on {} at event {} has no run marker",
+                race.class.label(),
+                race.site,
+                race.b.event
+            ));
+            continue;
+        };
+        let (x, y) = (aa.min(ab), aa.max(ab));
+        match cands
+            .iter()
+            .position(|c| c.site == race.site && c.a == x && c.b == y && c.covers(race.class))
+        {
+            Some(i) => {
+                confirmed_class[i].get_or_insert(race.class);
+            }
+            None => missing.push(format!(
+                "dynamic {} race on {} between atoms {x} ({}) and {y} ({}) \
+                 has no covering static candidate",
+                race.class.label(),
+                race.site,
+                pm.model.atoms[x as usize].label,
+                pm.model.atoms[y as usize].label
+            )),
+        }
+    }
+
+    let mut metrics = SaMetrics {
+        models: 1,
+        candidates: cands.len() as u64,
+        ..SaMetrics::default()
+    };
+    for c in &cands {
+        metrics.av += u64::from(c.covers(nodefz_hb::RaceClass::Av));
+        metrics.ov += u64::from(c.covers(nodefz_hb::RaceClass::Ov));
+        metrics.cov += u64::from(c.covers(nodefz_hb::RaceClass::Cov));
+    }
+    for class in confirmed_class.iter().flatten() {
+        metrics.confirmed += 1;
+        match class {
+            nodefz_hb::RaceClass::Av => metrics.confirmed_av += 1,
+            nodefz_hb::RaceClass::Ov => metrics.confirmed_ov += 1,
+            nodefz_hb::RaceClass::Cov => metrics.confirmed_cov += 1,
+        }
+    }
+
+    Ok(ProgCheck {
+        dynamic: dynamic.len(),
+        race_free: cands.is_empty(),
+        candidates: cands,
+        missing,
+        metrics,
+    })
+}
+
+/// Aggregate soundness/precision stats over one seed family.
+#[derive(Default)]
+pub struct SweepStats {
+    /// Programs swept.
+    pub programs: u64,
+    /// Programs the analyzer declared race-free.
+    pub race_free: u64,
+    /// Dynamic races predicted across the sweep.
+    pub dynamic: u64,
+    /// Accumulated precision counters.
+    pub metrics: SaMetrics,
+    /// All soundness misses, each prefixed with the offending seed.
+    /// Non-empty means the analyzer is broken.
+    pub missing: Vec<String>,
+}
+
+/// Sweeps `count` programs of conform seed family `family` through
+/// [`check_prog`].
+///
+/// # Errors
+///
+/// Propagates the first run failure (see [`check_prog`]).
+pub fn sweep_family(
+    family: u64,
+    count: u64,
+    pool: &Option<LoopPool>,
+) -> Result<SweepStats, String> {
+    let mut stats = SweepStats::default();
+    for i in 0..count {
+        let seed = family_seed(family, i);
+        let prog = Rc::new(generate(seed));
+        let check =
+            check_prog(&prog, seed, pool, false).map_err(|e| format!("seed {seed}: {e}"))?;
+        stats.programs += 1;
+        stats.race_free += u64::from(check.race_free);
+        stats.dynamic += check.dynamic as u64;
+        stats.metrics.merge(&check.metrics);
+        stats.missing.extend(
+            check
+                .missing
+                .into_iter()
+                .map(|m| format!("seed {seed}: {m}")),
+        );
+    }
+    Ok(stats)
+}
+
+/// Stats of one static-first gated sweep.
+#[derive(Default)]
+pub struct GatedStats {
+    /// Programs considered.
+    pub programs: u64,
+    /// Programs the analyzer proved race-free.
+    pub race_free: u64,
+    /// Race-free programs whose differential run was skipped.
+    pub skipped: u64,
+    /// Race-free programs re-run anyway as tripwires.
+    pub tripwires: u64,
+    /// Full differential runs executed.
+    pub differentials: u64,
+}
+
+/// Sweeps a seed family with the differential harness, *skipping* the
+/// harness for programs the analyzer proves race-free. Every
+/// `tripwire_every`-th skipped program still runs the differential and
+/// must report zero dynamic races — a statically-race-free program with
+/// a dynamically predicted race means the skip was unsound, and the
+/// sweep fails loudly.
+///
+/// # Errors
+///
+/// Returns the first differential failure, tripwire violation, or
+/// analyzer run failure.
+pub fn static_gated_sweep(
+    family: u64,
+    count: u64,
+    tripwire_every: u64,
+    cfg: &DiffConfig,
+) -> Result<GatedStats, String> {
+    let mut stats = GatedStats::default();
+    for i in 0..count {
+        let seed = family_seed(family, i);
+        let prog = Rc::new(generate(seed));
+        let pm = model_of_prog(&prog, "prog");
+        let idx = MhpIndex::build(&pm.model);
+        let race_free = candidates(&pm.model, &idx).is_empty();
+        stats.programs += 1;
+        if race_free {
+            stats.race_free += 1;
+            let tripwire = tripwire_every > 0 && stats.race_free % tripwire_every == 0;
+            if !tripwire {
+                stats.skipped += 1;
+                continue;
+            }
+            stats.tripwires += 1;
+            let report = differential(&prog, seed, cfg).map_err(|e| format!("seed {seed}: {e}"))?;
+            if report.races > 0 {
+                return Err(format!(
+                    "seed {seed}: analyzer claimed race-free but the \
+                     differential predicted {} dynamic race(s) — unsound skip",
+                    report.races
+                ));
+            }
+        } else {
+            stats.differentials += 1;
+            differential(&prog, seed, cfg).map_err(|e| format!("seed {seed}: {e}"))?;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_seeds_match_the_differential_sweep() {
+        assert_eq!(family_seed(0, 7), 7);
+        assert_eq!(family_seed(2, 0), 2u64.wrapping_mul(FAMILY_STRIDE));
+    }
+
+    #[test]
+    fn a_small_family_prefix_is_sound() {
+        let stats = sweep_family(0, 40, &Some(LoopPool::new())).expect("runs clean");
+        assert_eq!(stats.programs, 40);
+        assert!(stats.missing.is_empty(), "misses: {:#?}", stats.missing);
+        // The prefix must exercise the gate: some dynamic races exist and
+        // every one of them was covered.
+        assert!(stats.dynamic > 0, "sweep too weak to test soundness");
+        assert_eq!(stats.metrics.models, 40);
+        assert!(stats.metrics.candidates >= stats.metrics.confirmed);
+    }
+
+    #[test]
+    fn gated_sweep_skips_race_free_programs_and_tripwires_hold() {
+        let cfg = DiffConfig {
+            pool: Some(LoopPool::new()),
+            ..DiffConfig::default()
+        };
+        let stats = static_gated_sweep(0, 40, 3, &cfg).expect("sweep clean");
+        assert_eq!(stats.programs, 40);
+        assert_eq!(stats.race_free, stats.skipped + stats.tripwires);
+        assert!(stats.skipped > 0, "gate never saved a differential run");
+        assert!(stats.tripwires > 0, "tripwire never fired");
+        assert!(stats.differentials > 0);
+    }
+}

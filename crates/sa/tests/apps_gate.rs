@@ -1,0 +1,63 @@
+//! The app-level soundness gate: for every registered bug case that
+//! declares a static model, the model's candidates must cover every
+//! dynamic race `nodefz-hb` predicts from a recorded buggy run — at the
+//! (site, class) level, since app events carry no model atom markers.
+
+use nodefz_apps::common::Variant;
+use nodefz_hb::analyze_app;
+use nodefz_sa::{candidates, MhpIndex};
+
+#[test]
+fn static_models_cover_every_dynamic_app_race() {
+    let mut modeled = 0;
+    let mut covered = 0;
+    for case in nodefz_apps::registry() {
+        let abbr = case.info().abbr;
+        let Some(model) = case.static_model(Variant::Buggy) else {
+            continue;
+        };
+        modeled += 1;
+        let idx = MhpIndex::build(&model);
+        let cands = candidates(&model, &idx);
+        let analysis = analyze_app(case.as_ref(), 11)
+            .unwrap_or_else(|e| panic!("{abbr}: dynamic analysis failed: {e}"));
+        for race in &analysis.races {
+            assert!(
+                cands
+                    .iter()
+                    .any(|c| c.site == race.site && c.covers(race.class)),
+                "{abbr}: dynamic {} race on {} has no covering static candidate; \
+                 static candidates: {cands:#?}",
+                race.class.label(),
+                race.site
+            );
+            covered += 1;
+        }
+    }
+    assert!(modeled >= 13, "only {modeled} apps carry static models");
+    assert!(
+        covered >= 5,
+        "only {covered} dynamic races across all apps — gate too weak"
+    );
+}
+
+#[test]
+fn fixed_variants_predict_no_more_than_buggy() {
+    // The fix removes or orders accesses; the analyzer must never invent
+    // *new* racing behavior for the fixed variant of the same app.
+    for case in nodefz_apps::registry() {
+        let (Some(buggy), Some(fixed)) = (
+            case.static_model(Variant::Buggy),
+            case.static_model(Variant::Fixed),
+        ) else {
+            continue;
+        };
+        let b = candidates(&buggy, &MhpIndex::build(&buggy)).len();
+        let f = candidates(&fixed, &MhpIndex::build(&fixed)).len();
+        assert!(
+            f <= b,
+            "{}: fixed variant predicts {f} candidates vs {b} buggy",
+            case.info().abbr
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Byte-golden `nodefz-sa-v1` reports: three representative handwritten
+//! `nodefz-prog v1` literals and two fig6 app models (GHO buggy carries
+//! the planted race; KUE fixed is provably race-free). Any analyzer or
+//! renderer change that shifts the document shows up as a diff here.
+//!
+//! Re-bless with `NFZ_BLESS=1 cargo test -p nodefz-sa --test golden`
+//! after verifying a diff is intentional.
+
+use std::rc::Rc;
+
+use nodefz_apps::common::Variant;
+use nodefz_conform::Prog;
+use nodefz_sa::{analyze_model, model_of_prog, sa_report};
+
+/// Two unordered writers (timer, pool) and a reader on one site: the
+/// smallest program with AV-, OV-, and reader-involved candidates.
+const WRITERS: &str = "nodefz-prog v1
+0 root children=1,2,3 touches=
+1 timer delay_us=100 children= touches=w0
+2 pool cost_us=50 children= touches=w0
+3 fdchain msgs=1 gap_us=10 children= touches=r0
+end
+";
+
+/// A registration chain with a folded nexttick: every access is ordered
+/// by ancestry, so the analyzer must prove it race-free.
+const ORDERED: &str = "nodefz-prog v1
+0 root children=1 touches=w1
+1 timer delay_us=50 children=2 touches=r1
+2 nexttick children=3 touches=u1
+3 close children= touches=r1
+end
+";
+
+/// Two update-only callbacks on one site: the commutative (COV) class.
+const COV: &str = "nodefz-prog v1
+0 root children=1,2 touches=
+1 pending children= touches=u2
+2 immediate children= touches=u2
+end
+";
+
+fn golden(name: &str, actual: &str) {
+    let file = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("NFZ_BLESS").is_some() {
+        std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+        std::fs::write(&file, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("{}: {e} (bless with NFZ_BLESS=1)", file.display()));
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name}; if intentional, re-bless with NFZ_BLESS=1"
+    );
+}
+
+#[test]
+fn representative_prog_literals_render_stable_reports() {
+    let analyses: Vec<_> = [
+        ("prog-writers", WRITERS),
+        ("prog-ordered", ORDERED),
+        ("prog-cov", COV),
+    ]
+    .into_iter()
+    .map(|(name, text)| {
+        let prog = Rc::new(Prog::parse(text).expect("literal parses"));
+        analyze_model(model_of_prog(&prog, name).model)
+    })
+    .collect();
+
+    // Semantic anchors first, so a golden diff is never the only signal.
+    assert!(
+        !analyses[0].candidates.is_empty(),
+        "unordered writers must race"
+    );
+    assert!(
+        analyses[1].candidates.is_empty(),
+        "the ordered chain must be race-free: {:#?}",
+        analyses[1].candidates
+    );
+    assert!(
+        analyses[2]
+            .candidates
+            .iter()
+            .all(|c| c.classes == [nodefz_hb::RaceClass::Cov]),
+        "update-only pairs classify COV: {:#?}",
+        analyses[2].candidates
+    );
+
+    golden("progs.json", &sa_report(&analyses));
+}
+
+#[test]
+fn gho_buggy_and_kue_fixed_render_stable_reports() {
+    let gho = nodefz_apps::by_abbr("GHO")
+        .unwrap()
+        .static_model(Variant::Buggy)
+        .expect("GHO models");
+    let kue = nodefz_apps::by_abbr("KUE")
+        .unwrap()
+        .static_model(Variant::Fixed)
+        .expect("KUE models");
+    let analyses = vec![analyze_model(gho), analyze_model(kue)];
+
+    assert!(
+        analyses[0]
+            .candidates
+            .iter()
+            .any(|c| c.site == "gho:user-row"),
+        "GHO's planted race must be predicted: {:#?}",
+        analyses[0].candidates
+    );
+    assert!(
+        analyses[1].candidates.is_empty(),
+        "KUE fixed must be race-free: {:#?}",
+        analyses[1].candidates
+    );
+
+    golden("apps.json", &sa_report(&analyses));
+}
