@@ -224,7 +224,7 @@ pub fn analyze_campaign(cfg: &AnalyzeConfig) -> Result<AnalyzeReport, String> {
     for app in &cfg.apps {
         if crate::driver::resolve_case(app).is_none() {
             return Err(format!(
-                "unknown app '{app}' (known: {}, plus CONFORM)",
+                "unknown app '{app}' (known: {}, plus CONFORM and CONFORM-API)",
                 nodefz_apps::abbrs().join(", ")
             ));
         }

@@ -69,12 +69,13 @@ impl ArmSpec {
 }
 
 /// Enumerates the full arm space over `apps`: every real preset of every
-/// app (mode `fuzz`, or `conform` for the CONFORM pseudo-app) plus one
-/// `directed` arm per studied app.
+/// app (mode `fuzz`, or `conform` for the CONFORM / CONFORM-API
+/// pseudo-apps) plus one `directed` arm per studied app.
 pub fn arm_space(apps: &[String]) -> Vec<ArmSpec> {
     let mut arms = Vec::new();
     for app in apps {
-        let conform = app.eq_ignore_ascii_case(nodefz_conform::ABBR);
+        let conform = app.eq_ignore_ascii_case(nodefz_conform::ABBR)
+            || app.eq_ignore_ascii_case(nodefz_conform::API_ABBR);
         for preset in PRESETS {
             arms.push(ArmSpec {
                 app: app.clone(),
@@ -153,10 +154,14 @@ mod tests {
 
     #[test]
     fn arm_space_covers_every_preset_mode_combination() {
-        let apps = vec!["KUE".to_string(), "CONFORM".to_string()];
+        let apps = vec![
+            "KUE".to_string(),
+            "CONFORM".to_string(),
+            "CONFORM-API".to_string(),
+        ];
         let arms = arm_space(&apps);
-        // KUE: 3 fuzz + 1 directed; CONFORM: 3 conform.
-        assert_eq!(arms.len(), PRESETS.len() + 1 + PRESETS.len());
+        // KUE: 3 fuzz + 1 directed; CONFORM and CONFORM-API: 3 conform each.
+        assert_eq!(arms.len(), PRESETS.len() + 1 + 2 * PRESETS.len());
         let labels: Vec<String> = arms.iter().map(ArmSpec::label).collect();
         assert!(
             labels.contains(&"KUE/standard/fuzz".to_string()),
@@ -164,9 +169,11 @@ mod tests {
         );
         assert!(labels.contains(&"KUE/directed/directed".to_string()));
         assert!(labels.contains(&"CONFORM/guided/conform".to_string()));
+        assert!(labels.contains(&"CONFORM-API/guided/conform".to_string()));
         assert!(
-            !labels.contains(&"CONFORM/directed/directed".to_string()),
-            "the conform pseudo-app has no directed arm"
+            !labels.contains(&"CONFORM/directed/directed".to_string())
+                && !labels.contains(&"CONFORM-API/directed/directed".to_string()),
+            "the conform pseudo-apps have no directed arm"
         );
     }
 

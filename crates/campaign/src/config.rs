@@ -149,7 +149,7 @@ impl CampaignConfig {
         for app in &self.apps {
             if crate::driver::resolve_case(app).is_none() {
                 return Err(format!(
-                    "unknown app '{app}' (known: {}, plus CONFORM)",
+                    "unknown app '{app}' (known: {}, plus CONFORM and CONFORM-API)",
                     nodefz_apps::abbrs().join(", ")
                 ));
             }

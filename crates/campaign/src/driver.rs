@@ -50,11 +50,15 @@ const METRICS_INTERVAL: Duration = Duration::from_millis(500);
 
 /// Resolves a campaign app abbreviation to its bug case. Beyond the
 /// studied application bugs ([`nodefz_apps::by_abbr`]), campaigns can run
-/// the conformance arm — generated programs judged against the runtime's
-/// ordering oracle — under the `CONFORM` abbreviation.
+/// the conformance arms — generated programs judged against the
+/// runtime's ordering oracle — under the `CONFORM` (independent
+/// sampling) and `CONFORM-API` (API-graph traversal) abbreviations.
 pub fn resolve_case(app: &str) -> Option<Box<dyn nodefz_apps::common::BugCase>> {
     if app.eq_ignore_ascii_case(nodefz_conform::ABBR) {
         return Some(nodefz_conform::bug_case());
+    }
+    if app.eq_ignore_ascii_case(nodefz_conform::API_ABBR) {
+        return Some(nodefz_conform::api_bug_case());
     }
     nodefz_apps::by_abbr(app)
 }
@@ -964,7 +968,7 @@ fn write_metrics(
     unique_bugs: u64,
     pruner: Option<&Pruner>,
 ) -> Result<(), String> {
-    let snapshot = metrics::collect(
+    let mut snapshot = metrics::collect(
         start.elapsed(),
         cfg.budget,
         unique_bugs,
@@ -981,11 +985,58 @@ fn write_metrics(
         pruner.map(Pruner::counters),
         pruner.map(Pruner::health),
     );
+    if finished {
+        snapshot.apicov = conform_apicov(cfg, bandit);
+    }
     // Atomic (temp file + rename): an orchestrator polls these snapshots
     // from another process while the campaign runs, and must never read a
     // torn document.
     nodefz_obs::write_atomic(path, &snapshot.to_json())
         .map_err(|e| format!("metrics: cannot write {}: {e}", path.display()))
+}
+
+/// How many pulls per `CONFORM-API` arm the final apicov accounting
+/// replays. Coverage saturates well within 100 programs (the frozen
+/// golden batch covers the full enumerated surface), so the cap bounds
+/// the controller-side replay without losing information.
+const APICOV_REPLAY_CAP: u64 = 500;
+
+/// API-surface coverage of the campaign's `CONFORM-API` pulls, or `None`
+/// when no such arm was pulled.
+///
+/// The conform case regenerates its program purely from the run's
+/// environment seed, so replaying the head of each arm's deterministic
+/// seed stream (`derive_seed(arm_base(..), pull)` — exactly the sequence
+/// the workers consumed) under vanilla scheduling reconstructs the very
+/// programs the campaign exercised and folds them into one
+/// `nodefz-apicov-v1` snapshot. Runs on the controller at the final
+/// metrics write only.
+fn conform_apicov(cfg: &CampaignConfig, bandit: &Bandit) -> Option<nodefz_conform::ApiCovSnapshot> {
+    use nodefz_conform::{ApiCoverage, OracleCtx};
+    let mut cov = ApiCoverage::default();
+    let mut pulled = false;
+    for arm in bandit.snapshot() {
+        if !arm.arm.app.eq_ignore_ascii_case(nodefz_conform::API_ABBR) || arm.pulls == 0 {
+            continue;
+        }
+        pulled = true;
+        let base = arm_base(cfg.base_seed, &arm.arm);
+        for pull in 0..arm.pulls.min(APICOV_REPLAY_CAP) {
+            let seed = derive_seed(base, pull);
+            let prog = std::rc::Rc::new(nodefz_conform::generate_api(seed));
+            let (report, log) = nodefz_conform::run_logged(&prog, seed, Mode::Vanilla, &None);
+            let completed = matches!(report.termination, nodefz_rt::Termination::Quiescent);
+            cov.record(
+                &prog,
+                &log,
+                &OracleCtx {
+                    demux: false,
+                    completed,
+                },
+            );
+        }
+    }
+    pulled.then(|| cov.snapshot())
 }
 
 /// Runs one dedicated instrumented execution after the campaign drains and

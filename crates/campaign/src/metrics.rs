@@ -222,6 +222,10 @@ pub struct MetricsSnapshot {
     /// Static-analysis precision counters (`None` unless the campaign
     /// ran the static analyzer). Additive, like `pruning`.
     pub sa: Option<nodefz_sa::SaMetrics>,
+    /// API-surface coverage of the conform-api arms (`None` unless the
+    /// campaign pulled a `CONFORM-API` arm). The full `nodefz-apicov-v1`
+    /// document embeds under the `apicov` key — additive, like `sa`.
+    pub apicov: Option<nodefz_conform::ApiCovSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -370,6 +374,11 @@ impl MetricsSnapshot {
             w.field_u64("confirmed_cov", sa.confirmed_cov);
             w.end_object();
         }
+
+        if let Some(cov) = &self.apicov {
+            w.key("apicov");
+            w.raw(&cov.to_json());
+        }
         w.end_object();
         let mut out = w.finish();
         out.push('\n');
@@ -426,6 +435,7 @@ pub(crate) fn collect(
         pruning: pruning.copied(),
         prune_health,
         sa: None,
+        apicov: None,
     }
 }
 

@@ -62,21 +62,58 @@ pub fn generate(seed: u64) -> Prog {
     // Swarm feature mask: nonzero, so at least one op kind is available.
     let mask = g.range(1, 128) as u8;
     let budget = g.range_usize(2, MAX_NODES + 1);
+    generate_with_rng(&mut g, mask, budget)
+}
+
+/// Grows a program from an explicit swarm `mask` and node `budget` —
+/// the entry point for callers that pick their own feature mix (reduced
+/// corpora, canary tests). Degenerate inputs — a mask with no op bit set
+/// or a budget below two nodes — previously produced an *empty* program
+/// (root only, nothing to schedule), which the harness would vacuously
+/// pass; now they fall back to a minimal nonempty program: root plus one
+/// timer.
+pub fn generate_with(seed: u64, mask: u8, budget: usize) -> Prog {
+    let mut g = Gen::new(seed ^ 0xC0F0_12A5_9E37_79B9);
+    generate_with_rng(&mut g, mask, budget)
+}
+
+fn generate_with_rng(g: &mut Gen, mask: u8, budget: usize) -> Prog {
+    if mask & 0x7F == 0 || budget < 2 {
+        // Degenerate request: no enabled ops or no room for a non-root
+        // node. Return the minimal program with activity instead of an
+        // empty tree the oracle would vacuously accept.
+        let prog = Prog {
+            nodes: vec![
+                Node {
+                    op: Op::Root,
+                    children: vec![1],
+                    touches: Vec::new(),
+                },
+                Node {
+                    op: Op::Timer { delay_us: 0 },
+                    children: Vec::new(),
+                    touches: Vec::new(),
+                },
+            ],
+        };
+        debug_assert!(prog.validate().is_ok(), "generator bug: {prog}");
+        return prog;
+    }
     let mut nodes = vec![Node {
         op: Op::Root,
         children: Vec::new(),
-        touches: touches_for(&mut g),
+        touches: touches_for(g),
     }];
     // Breadth-first growth: (node id, depth) pairs still allowed children.
     let mut frontier = vec![(0u32, 0usize)];
-    while nodes.len() < budget && !frontier.is_empty() {
+    while nodes.len() < budget.min(MAX_NODES) && !frontier.is_empty() {
         let slot = g.below(frontier.len() as u64) as usize;
         let (parent, depth) = frontier[slot];
         let id = nodes.len() as u32;
         nodes.push(Node {
-            op: op_for(&mut g, mask),
+            op: op_for(g, mask),
             children: Vec::new(),
-            touches: touches_for(&mut g),
+            touches: touches_for(g),
         });
         nodes[parent as usize].children.push(id);
         if depth + 1 < MAX_DEPTH {
@@ -132,7 +169,7 @@ mod tests {
                     Op::Close => 4,
                     Op::Pool { .. } => 5,
                     Op::FdChain { .. } => 6,
-                    Op::Root => unreachable!(),
+                    ref other => unreachable!("family-0 generated {other:?}"),
                 };
                 seen[bit] = true;
             }
@@ -142,6 +179,29 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s), "op kinds seen: {seen:?}");
         assert!(omitted_timer, "no sizeable program omitted timers");
+    }
+
+    #[test]
+    fn degenerate_mask_or_budget_still_yields_activity() {
+        // Regression: an all-zero swarm mask (or an exhausted budget)
+        // used to emit a root-only program that every oracle vacuously
+        // accepted. The generator must always return something to
+        // schedule.
+        for (mask, budget) in [(0u8, 8usize), (0x80, 8), (37, 0), (37, 1), (0, 0)] {
+            let prog = generate_with(99, mask, budget);
+            prog.validate()
+                .unwrap_or_else(|e| panic!("mask {mask:#x} budget {budget}: {e}"));
+            assert!(
+                prog.nodes.len() >= 2,
+                "mask {mask:#x} budget {budget}: empty program"
+            );
+        }
+        // Well-formed inputs keep their stream: explicit (mask, budget)
+        // generation stays deterministic and respects the node cap.
+        let a = generate_with(7, 0x7F, MAX_NODES + 50);
+        let b = generate_with(7, 0x7F, MAX_NODES + 50);
+        assert_eq!(a, b);
+        assert!(a.nodes.len() <= MAX_NODES);
     }
 
     #[test]

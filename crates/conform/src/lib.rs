@@ -14,22 +14,41 @@
 //! explicitly classified unconfirmable. Failing programs delta-debug to
 //! a minimal printable `nodefz-prog v1` literal ([`shrink`]), and the
 //! whole thing plugs into campaigns as the `CONFORM` arm ([`case`]).
+//!
+//! Two generators feed the harness: independent swarm sampling ([`gen`],
+//! seed families 0–2) and graph traversal over an explicit API
+//! dependency model of the runtime surface ([`apigraph`], family
+//! [`API_FAMILY`]) whose programs are valid by construction and whose
+//! surface coverage is accounted per batch as `nodefz-apicov-v1`
+//! ([`coverage`]); the latter rides in campaigns as the `CONFORM-API`
+//! arm.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apigraph;
 pub mod case;
+pub mod coverage;
 pub mod gen;
 pub mod harness;
 pub mod oracle;
 pub mod prog;
 pub mod shrink;
 
-pub use case::{bug_case, ConformCase, ABBR};
-pub use gen::{generate, MAX_DEPTH, MAX_NODES};
+pub use apigraph::{
+    generate_api, generate_api_with, generate_family, ApiGraph, ApiNode, Resource, API_FAMILY,
+    API_NODES,
+};
+pub use case::{api_bug_case, bug_case, ApiConformCase, ConformCase, ABBR, API_ABBR};
+pub use coverage::{ApiCovSnapshot, ApiCoverage};
+pub use gen::{generate, generate_with, MAX_DEPTH, MAX_NODES};
 pub use harness::{
     differential, render_log, run_logged, DiffConfig, DiffFailure, DiffReport, RaceOutcome,
 };
-pub use oracle::{check, OracleCtx, Violation};
+// The harness API takes a `Mode`; re-exported so binaries that only
+// depend on the conform crate can drive `run_logged` without a direct
+// edge to the scheduler crate.
+pub use nodefz::Mode;
+pub use oracle::{check, phase_label, rules_exercised, OracleCtx, Violation, RULES};
 pub use prog::{install, Node, Op, Prog, ProgError, Touch, SHARED_SITES};
 pub use shrink::{shrink_prog, ShrinkOutcome};

@@ -23,6 +23,11 @@
 //! | `immediate-phase` | `setImmediate` runs in the iteration its snapshot semantics dictate |
 //! | `run-once` | no node or payload is dispatched twice |
 //! | `all-dispatched` | a quiescent run dispatched every node and payload |
+//! | `interval-ticks` | a repeating timer's ticks are observed in order, none after its clear |
+//! | `barrier-gate` | a barrier body runs inside the last arrival's dispatch, after every arrival |
+//! | `series-order` | waterfall steps run in continuation order regardless of their deadlines |
+//! | `emit-order` | `emit` dispatches listeners synchronously in registration order; `once` fires once, removed listeners never |
+//! | `client-order` | kv/fs client callback chains complete in issue order |
 
 use std::collections::HashMap;
 use std::fmt;
@@ -96,7 +101,10 @@ fn marker_map(log: &EventLog) -> HashMap<&str, (CbId, usize)> {
         let Some(name) = log.sites.get(acc.site as usize) else {
             continue; // reported separately by access-range
         };
-        if !(name.starts_with("run:") || name.starts_with("msg:")) {
+        const PREFIXES: [&str; 8] = [
+            "run:", "msg:", "tick:", "arr:", "step:", "lis:", "kv:", "fs:",
+        ];
+        if !PREFIXES.iter().any(|p| name.starts_with(p)) {
             continue;
         }
         map.entry(name.as_str())
@@ -269,6 +277,14 @@ pub fn check(prog: &Prog, log: &EventLog, ctx: &OracleCtx) -> Vec<Violation> {
             Op::Close => Some(EvKind::Cb(CbKind::Close)),
             Op::Pool { .. } => Some(EvKind::Cb(CbKind::PoolDone)),
             Op::FdChain { .. } => Some(EvKind::Cb(CbKind::NetRead)),
+            // Interval/barrier/series bodies all run inside a timer
+            // dispatch (the last tick, arrival, or step hop).
+            Op::Interval { .. } | Op::Barrier { .. } | Op::Series { .. } => {
+                Some(EvKind::Cb(CbKind::Timer))
+            }
+            Op::Emitter { .. } => Some(EvKind::Cb(CbKind::Check)),
+            Op::Kv => Some(EvKind::Cb(CbKind::KvReply)),
+            Op::Fs => Some(EvKind::Cb(CbKind::PoolDone)),
             // Checked against the parent's event below instead.
             Op::NextTick => None,
         };
@@ -370,7 +386,289 @@ pub fn check(prog: &Prog, log: &EventLog, ctx: &OracleCtx) -> Vec<Violation> {
         }
     }
 
+    // --- combinator and client rules --------------------------------------
+    for (id, node) in prog.nodes.iter().enumerate() {
+        let id = id as u32;
+        match node.op {
+            Op::Interval { ticks, .. } => {
+                let obs = ordered_suffixes(log, &format!("tick:{id}:"));
+                let in_order = obs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, p)| p.parse() == Ok(k as u32) && (k as u32) < ticks as u32);
+                if !in_order {
+                    fail(
+                        "interval-ticks",
+                        format!(
+                            "interval node {id} observed ticks {obs:?}, expected the \
+                             in-order prefix of 0..{ticks}"
+                        ),
+                    );
+                } else if ctx.completed && obs.len() != ticks as usize {
+                    fail(
+                        "all-dispatched",
+                        format!(
+                            "quiescent run fired {}/{} ticks of interval node {id}",
+                            obs.len(),
+                            ticks
+                        ),
+                    );
+                }
+            }
+            Op::Barrier { parties } => {
+                let arrived: Vec<CbId> = (0..parties)
+                    .filter_map(|k| {
+                        markers
+                            .get(Prog::arr_marker(id, k).as_str())
+                            .map(|&(ev, _)| ev)
+                    })
+                    .collect();
+                if let Some((run_ev, _)) = run_of(id) {
+                    if arrived.len() != parties as usize {
+                        fail(
+                            "barrier-gate",
+                            format!(
+                                "barrier node {id} body ran with {}/{parties} arrivals",
+                                arrived.len()
+                            ),
+                        );
+                    } else if run_ev != *arrived.iter().max().unwrap() {
+                        fail(
+                            "barrier-gate",
+                            format!(
+                                "barrier node {id} body ran in event {run_ev:?}, not the \
+                                 last arrival's event {:?}",
+                                arrived.iter().max().unwrap()
+                            ),
+                        );
+                    }
+                } else if ctx.completed {
+                    fail(
+                        "all-dispatched",
+                        format!(
+                            "quiescent run saw {}/{parties} arrivals at barrier node {id} \
+                             and never ran its body",
+                            arrived.len()
+                        ),
+                    );
+                }
+            }
+            Op::Series { steps } => {
+                let obs = ordered_suffixes(log, &format!("step:{id}:"));
+                let in_order = obs
+                    .iter()
+                    .enumerate()
+                    .all(|(k, p)| p.parse() == Ok(k as u32) && (k as u32) < steps as u32);
+                if !in_order {
+                    fail(
+                        "series-order",
+                        format!(
+                            "series node {id} observed steps {obs:?}, expected the \
+                             in-order prefix of 0..{steps}"
+                        ),
+                    );
+                } else if ctx.completed && obs.len() != steps as usize {
+                    fail(
+                        "all-dispatched",
+                        format!(
+                            "quiescent run ran {}/{} steps of series node {id}",
+                            obs.len(),
+                            steps
+                        ),
+                    );
+                }
+                if let (Some((run_ev, _)), Some(&(step_ev, _))) = (
+                    run_of(id),
+                    markers.get(Prog::step_marker(id, steps - 1).as_str()),
+                ) {
+                    if run_ev != step_ev {
+                        fail(
+                            "series-order",
+                            format!(
+                                "series node {id} body ran in event {run_ev:?}, not the \
+                                 final step's event {step_ev:?}"
+                            ),
+                        );
+                    }
+                }
+            }
+            Op::Emitter { listeners } => {
+                let obs = ordered_suffixes(log, &format!("lis:{id}:"));
+                // Two synchronous rounds: persistents in registration
+                // order, the `once` listener only in round 0, the removed
+                // listener never.
+                let mut expected: Vec<String> = Vec::new();
+                for k in 0..listeners {
+                    expected.push(format!("0:{k}"));
+                }
+                expected.push("0:once".to_string());
+                for k in 0..listeners {
+                    expected.push(format!("1:{k}"));
+                }
+                if obs.iter().any(|s| s.ends_with(":removed")) {
+                    fail(
+                        "emit-order",
+                        format!("emitter node {id} dispatched a removed listener"),
+                    );
+                } else if !obs.is_empty() && obs != expected {
+                    fail(
+                        "emit-order",
+                        format!("emitter node {id} dispatch order {obs:?}, expected {expected:?}"),
+                    );
+                }
+            }
+            Op::Kv => {
+                for v in check_client(log, "kv", id, &["set", "get", "del"], ctx) {
+                    fail(v.rule, v.message);
+                }
+            }
+            Op::Fs => {
+                for v in check_client(log, "fs", id, &["write", "read"], ctx) {
+                    fail(v.rule, v.message);
+                }
+            }
+            _ => {}
+        }
+    }
+
     out
+}
+
+/// Marker suffixes under `prefix`, in dispatch (access) order.
+fn ordered_suffixes(log: &EventLog, prefix: &str) -> Vec<String> {
+    let mut v = Vec::new();
+    for acc in &log.accesses {
+        if let Some(name) = log.sites.get(acc.site as usize) {
+            if let Some(rest) = name.strip_prefix(prefix) {
+                v.push(rest.to_string());
+            }
+        }
+    }
+    v
+}
+
+/// Shared `client-order` check: a client node's callbacks must complete
+/// as a prefix of `ops` in issue order, and all of them on a quiescent
+/// run.
+fn check_client(
+    log: &EventLog,
+    kind: &str,
+    id: u32,
+    ops: &[&str],
+    ctx: &OracleCtx,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let obs = ordered_suffixes(log, &format!("{kind}:{id}:"));
+    if obs.len() > ops.len() || obs.iter().zip(ops).any(|(a, b)| a != b) {
+        out.push(Violation {
+            rule: "client-order",
+            message: format!("{kind} node {id} replies {obs:?}, expected a prefix of {ops:?}"),
+        });
+    } else if ctx.completed && obs.len() != ops.len() {
+        out.push(Violation {
+            rule: "all-dispatched",
+            message: format!(
+                "quiescent run completed {}/{} {kind} ops of node {id}",
+                obs.len(),
+                ops.len()
+            ),
+        });
+    }
+    out
+}
+
+/// Every rule identifier the oracle can emit, in the module-table order.
+pub const RULES: &[&str] = &[
+    "event-ids",
+    "access-range",
+    "cause-backward",
+    "phase-order",
+    "close-last",
+    "micro-before-macro",
+    "timer-monotone",
+    "fd-fifo",
+    "done-after-task",
+    "mux-done-legal",
+    "spawn-kind",
+    "immediate-phase",
+    "run-once",
+    "all-dispatched",
+    "interval-ticks",
+    "barrier-gate",
+    "series-order",
+    "emit-order",
+    "client-order",
+];
+
+/// The subset of [`RULES`] that checking `prog` against `log` actually
+/// put under test — structural rules always, completeness rules when the
+/// run quiesced, per-op rules when the program contains the guarded
+/// construct. Coverage accounting counts a rule exercised even when no
+/// violation fired: the invariant was checkable, and held.
+pub fn rules_exercised(prog: &Prog, log: &EventLog, ctx: &OracleCtx) -> Vec<&'static str> {
+    let mut out = vec![
+        "event-ids",
+        "access-range",
+        "cause-backward",
+        "phase-order",
+        "spawn-kind",
+        "run-once",
+    ];
+    if ctx.completed {
+        out.push("all-dispatched");
+    }
+    let timers = log
+        .events
+        .iter()
+        .filter(|e| matches!(e.detail, EvDetail::Timer { .. }))
+        .count();
+    if timers >= 2 {
+        out.push("timer-monotone");
+    }
+    if log
+        .events
+        .iter()
+        .any(|e| e.kind == EvKind::Cb(CbKind::PoolDone))
+    {
+        out.push("done-after-task");
+        if !ctx.demux {
+            out.push("mux-done-legal");
+        }
+    }
+    for node in &prog.nodes {
+        let rule = match node.op {
+            Op::Close => Some("close-last"),
+            Op::NextTick => Some("micro-before-macro"),
+            Op::Immediate => Some("immediate-phase"),
+            Op::FdChain { .. } => Some("fd-fifo"),
+            Op::Interval { .. } => Some("interval-ticks"),
+            Op::Barrier { .. } => Some("barrier-gate"),
+            Op::Series { .. } => Some("series-order"),
+            Op::Emitter { .. } => Some("emit-order"),
+            Op::Kv | Op::Fs => Some("client-order"),
+            _ => None,
+        };
+        if let Some(rule) = rule {
+            if !out.contains(&rule) {
+                out.push(rule);
+            }
+        }
+    }
+    out
+}
+
+/// Loop-phase label of an event kind, for coverage accounting.
+pub fn phase_label(kind: EvKind) -> &'static str {
+    match rank(kind) {
+        0 => "setup",
+        1 => "timers",
+        2 => "pending",
+        3 => "idle",
+        4 => "prepare",
+        5 => "poll",
+        6 => "check",
+        _ => "close",
+    }
 }
 
 #[cfg(test)]

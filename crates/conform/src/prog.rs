@@ -12,12 +12,17 @@
 //! Programs print as (and parse from) a `nodefz-prog v1` text literal, so
 //! a shrunk failing program is a copy-pasteable repro.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
-use nodefz_rt::{AccessKind, Ctx, EventLoop, FdKind, VDur};
+use nodefz_fs::SimFs;
+use nodefz_kv::Kv;
+use nodefz_rt::{
+    series, AccessKind, Barrier, Ctx, Emitter, EventLoop, FdKind, SeriesNext, SeriesStep, TimerId,
+    VDur,
+};
 
 /// Number of distinct generated shared sites (`s0` … `s3`).
 pub const SHARED_SITES: u8 = 4;
@@ -65,10 +70,50 @@ pub enum Op {
         /// Virtual-microsecond spacing between payload writes.
         gap_us: u32,
     },
+    /// `setInterval(period)`: fires `ticks` times, each tick leaving a
+    /// `tick:<id>:<k>` marker; the last tick clears the interval (no
+    /// fire-after-clear) and runs the node body.
+    Interval {
+        /// Interval period in virtual microseconds.
+        period_us: u32,
+        /// Number of ticks before the interval is cleared (≥ 1, ≤ 9).
+        ticks: u8,
+    },
+    /// A [`Barrier`] over `parties` timer arrivals at distinct deadlines
+    /// (each leaving an `arr:<id>:<k>` marker); the completion callback —
+    /// run synchronously by the last arrival — is the node body.
+    Barrier {
+        /// Arrivals the barrier awaits (≥ 1, ≤ 9).
+        parties: u8,
+    },
+    /// A [`series`] of `steps` timer-hop steps, each leaving a
+    /// `step:<id>:<k>` marker and advancing via its `next` continuation;
+    /// the final step runs the node body.
+    Series {
+        /// Steps in the waterfall (≥ 1, ≤ 9).
+        steps: u8,
+    },
+    /// An [`Emitter`] with `listeners` persistent listeners plus one
+    /// `once` and one registered-then-removed listener; a `setImmediate`
+    /// emits twice (markers `lis:<id>:<round>:<k>`) and then runs the
+    /// node body synchronously after the second emit.
+    Emitter {
+        /// Persistent listeners registered before the `once` (≤ 9).
+        listeners: u8,
+    },
+    /// A key-value client chain: connect, `SET`, `GET`, `DEL` — each
+    /// reply leaving a `kv:<id>:<op>` marker; the node body runs in the
+    /// `DEL` reply.
+    Kv,
+    /// A simulated-fs chain: `writeFile` then `readFile` on the worker
+    /// pool (markers `fs:<id>:write` / `fs:<id>:read`); the node body
+    /// runs in the read completion.
+    Fs,
 }
 
 impl Op {
-    fn name(&self) -> &'static str {
+    /// The literal op tag, as spelled in `nodefz-prog v1` documents.
+    pub fn name(&self) -> &'static str {
         match self {
             Op::Root => "root",
             Op::Timer { .. } => "timer",
@@ -78,6 +123,12 @@ impl Op {
             Op::Close => "close",
             Op::Pool { .. } => "pool",
             Op::FdChain { .. } => "fdchain",
+            Op::Interval { .. } => "interval",
+            Op::Barrier { .. } => "barrier",
+            Op::Series { .. } => "series",
+            Op::Emitter { .. } => "emitter",
+            Op::Kv => "kv",
+            Op::Fs => "fs",
         }
     }
 }
@@ -125,6 +176,33 @@ impl Prog {
         format!("msg:{chain}:{payload}")
     }
 
+    /// The marker site name for one interval tick.
+    pub fn tick_marker(id: u32, tick: u8) -> String {
+        format!("tick:{id}:{tick}")
+    }
+
+    /// The marker site name for one barrier arrival.
+    pub fn arr_marker(id: u32, party: u8) -> String {
+        format!("arr:{id}:{party}")
+    }
+
+    /// The marker site name for one series step.
+    pub fn step_marker(id: u32, step: u8) -> String {
+        format!("step:{id}:{step}")
+    }
+
+    /// The marker site name for one emitter listener invocation in one
+    /// emit round (`tag` is the listener index, `once`, or `removed`).
+    pub fn lis_marker(id: u32, round: u8, tag: &str) -> String {
+        format!("lis:{id}:{round}:{tag}")
+    }
+
+    /// The marker site name for one client-chain reply (`kind` is `kv`
+    /// or `fs`; `op` names the request).
+    pub fn client_marker(kind: &str, id: u32, op: &str) -> String {
+        format!("{kind}:{id}:{op}")
+    }
+
     /// Checks the program is a well-formed forward tree: node `0` is the
     /// only root, every child id points forward, and every non-root node
     /// is referenced by exactly one parent.
@@ -141,10 +219,23 @@ impl Prog {
             if id > 0 && node.op == Op::Root {
                 return Err(ProgError(format!("node {id}: root op off node 0")));
             }
-            if let Op::FdChain { msgs, .. } = node.op {
-                if msgs == 0 || msgs > 9 {
+            match node.op {
+                Op::FdChain { msgs, .. } if msgs == 0 || msgs > 9 => {
                     return Err(ProgError(format!("node {id}: msgs must be in 1..=9")));
                 }
+                Op::Interval { ticks, .. } if ticks == 0 || ticks > 9 => {
+                    return Err(ProgError(format!("node {id}: ticks must be in 1..=9")));
+                }
+                Op::Barrier { parties } if parties == 0 || parties > 9 => {
+                    return Err(ProgError(format!("node {id}: parties must be in 1..=9")));
+                }
+                Op::Series { steps } if steps == 0 || steps > 9 => {
+                    return Err(ProgError(format!("node {id}: steps must be in 1..=9")));
+                }
+                Op::Emitter { listeners } if listeners > 9 => {
+                    return Err(ProgError(format!("node {id}: listeners must be <= 9")));
+                }
+                _ => {}
             }
             for touch in &node.touches {
                 if touch.site >= SHARED_SITES {
@@ -228,6 +319,12 @@ impl Prog {
                 Op::FdChain { msgs, gap_us } => {
                     out.push_str(&format!(" msgs={msgs} gap_us={gap_us}"));
                 }
+                Op::Interval { period_us, ticks } => {
+                    out.push_str(&format!(" period_us={period_us} ticks={ticks}"));
+                }
+                Op::Barrier { parties } => out.push_str(&format!(" parties={parties}")),
+                Op::Series { steps } => out.push_str(&format!(" steps={steps}")),
+                Op::Emitter { listeners } => out.push_str(&format!(" listeners={listeners}")),
                 _ => {}
             }
             let children: Vec<String> = node.children.iter().map(|c| c.to_string()).collect();
@@ -312,6 +409,21 @@ impl Prog {
                     msgs: num("msgs")? as u8,
                     gap_us: num("gap_us")?,
                 },
+                "interval" => Op::Interval {
+                    period_us: num("period_us")?,
+                    ticks: num("ticks")? as u8,
+                },
+                "barrier" => Op::Barrier {
+                    parties: num("parties")? as u8,
+                },
+                "series" => Op::Series {
+                    steps: num("steps")? as u8,
+                },
+                "emitter" => Op::Emitter {
+                    listeners: num("listeners")? as u8,
+                },
+                "kv" => Op::Kv,
+                "fs" => Op::Fs,
                 other => return Err(ProgError(format!("unknown op '{other}'"))),
             };
             let mut children = Vec::new();
@@ -413,7 +525,171 @@ fn spawn_child(cx: &mut Ctx<'_>, prog: &Rc<Prog>, c: u32) {
             }
         }
         Op::FdChain { msgs, gap_us } => spawn_chain(cx, prog, c, msgs, gap_us),
+        Op::Interval { period_us, ticks } => spawn_interval(cx, prog, c, period_us, ticks),
+        Op::Barrier { parties } => spawn_barrier(cx, prog, c, parties),
+        Op::Series { steps } => spawn_series(cx, prog, c, steps),
+        Op::Emitter { listeners } => spawn_emitter(cx, prog, c, listeners),
+        Op::Kv => spawn_kv(cx, prog, c),
+        Op::Fs => spawn_fs(cx, prog, c),
     }
+}
+
+/// Arms a repeating timer that marks each tick, clears itself on tick
+/// `ticks - 1` (so it can never fire after its clear), and runs the node
+/// body inside that last tick's dispatch.
+fn spawn_interval(cx: &mut Ctx<'_>, prog: &Rc<Prog>, c: u32, period_us: u32, ticks: u8) {
+    let p = prog.clone();
+    let handle: Rc<Cell<Option<TimerId>>> = Rc::new(Cell::new(None));
+    let slot = handle.clone();
+    let mut fired = 0u8;
+    let id = cx.set_interval(VDur::micros(period_us.max(1) as u64), move |cx| {
+        cx.touch_read(&Prog::tick_marker(c, fired));
+        fired = fired.saturating_add(1);
+        if fired >= ticks {
+            if let Some(t) = slot.get() {
+                cx.clear_timer(t);
+            }
+            run_body(cx, &p, c);
+        }
+    });
+    handle.set(Some(id));
+}
+
+/// Arms `parties` timers at distinct deadlines, each marking its arrival
+/// before entering the barrier; the completion callback — run
+/// synchronously inside the last arrival's timer dispatch — is the node
+/// body. Distinct deadlines keep the arrival order deterministic
+/// (timer-monotone); the *interleaving* with the rest of the program is
+/// what the fuzzer perturbs.
+fn spawn_barrier(cx: &mut Ctx<'_>, prog: &Rc<Prog>, c: u32, parties: u8) {
+    let p = prog.clone();
+    let barrier = Barrier::new(parties as usize, move |cx| run_body(cx, &p, c));
+    for k in 0..parties {
+        let b = barrier.clone();
+        cx.set_timeout(VDur::micros(120 * (k as u64 + 1)), move |cx| {
+            cx.touch_read(&Prog::arr_marker(c, k));
+            if b.remaining() == 0 {
+                cx.report_error("conform:barrier", format!("node {c}: arrival past zero"));
+            }
+            b.arrive(cx);
+        });
+    }
+}
+
+/// Runs a `series` waterfall of timer-hop steps. Later steps get
+/// *shorter* delays, so only the continuation chain — not the deadlines —
+/// keeps them in order; the final step runs the node body.
+fn spawn_series(cx: &mut Ctx<'_>, prog: &Rc<Prog>, c: u32, steps: u8) {
+    let mut v: Vec<SeriesStep> = Vec::new();
+    for k in 0..steps {
+        let p = prog.clone();
+        v.push(Box::new(move |cx: &mut Ctx<'_>, next: SeriesNext| {
+            cx.set_timeout(VDur::micros(60 * (steps - k) as u64), move |cx| {
+                cx.touch_read(&Prog::step_marker(c, k));
+                if k + 1 == steps {
+                    run_body(cx, &p, c);
+                }
+                next.call(cx);
+            });
+        }));
+    }
+    series(cx, v);
+}
+
+/// Builds an emitter with `listeners` persistent listeners, one `once`
+/// listener, and one listener registered then removed; a `setImmediate`
+/// emits two rounds (payload = round index) and runs the node body after
+/// the second. Listener markers record the exact synchronous,
+/// registration-ordered dispatch the oracle's `emit-order` rule demands;
+/// the removed listener's marker must never appear.
+fn spawn_emitter(cx: &mut Ctx<'_>, prog: &Rc<Prog>, c: u32, listeners: u8) {
+    let p = prog.clone();
+    let em: Emitter<u8> = Emitter::new();
+    for k in 0..listeners {
+        em.on("evt", move |cx, round: &u8| {
+            cx.touch_read(&Prog::lis_marker(c, *round, &k.to_string()));
+        });
+    }
+    em.once("evt", move |cx, round: &u8| {
+        cx.touch_read(&Prog::lis_marker(c, *round, "once"));
+    });
+    let removed = em.on("evt", move |cx, round: &u8| {
+        cx.touch_read(&Prog::lis_marker(c, *round, "removed"));
+    });
+    if !em.remove_listener("evt", removed) || em.listener_count("evt") != listeners as usize + 1 {
+        cx.report_error(
+            "conform:emitter",
+            format!("node {c}: listener bookkeeping broken"),
+        );
+    }
+    cx.set_immediate(move |cx| {
+        em.emit(cx, "evt", &0);
+        em.emit(cx, "evt", &1);
+        run_body(cx, &p, c);
+    });
+}
+
+/// Connects a single-connection kv client and chains `SET` → `GET` →
+/// `DEL` on one key, marking each reply; the node body runs in the `DEL`
+/// reply. Reply payloads are checked, so a store that loses the write or
+/// the delete surfaces as a loop error, not a silent pass.
+fn spawn_kv(cx: &mut Ctx<'_>, prog: &Rc<Prog>, c: u32) {
+    let kv = match Kv::connect(cx, 1) {
+        Ok(kv) => kv,
+        Err(_) => {
+            cx.report_error("conform:emfile", format!("kv node {c}: no descriptors"));
+            return;
+        }
+    };
+    let p = prog.clone();
+    let key = format!("k{c}");
+    let kv_get = kv.clone();
+    let key_get = key.clone();
+    kv.set(cx, &key, "v", move |cx, ()| {
+        cx.touch_read(&Prog::client_marker("kv", c, "set"));
+        let kv_del = kv_get.clone();
+        let key_del = key_get.clone();
+        kv_get.get(cx, &key_get, move |cx, reply| {
+            cx.touch_read(&Prog::client_marker("kv", c, "get"));
+            if reply.as_deref() != Some("v") {
+                cx.report_error("conform:kv", format!("node {c}: get returned {reply:?}"));
+            }
+            kv_del.del(cx, &key_del, move |cx, existed| {
+                cx.touch_read(&Prog::client_marker("kv", c, "del"));
+                if !existed {
+                    cx.report_error("conform:kv", format!("node {c}: del lost the key"));
+                }
+                run_body(cx, &p, c);
+            });
+        });
+    });
+}
+
+/// Writes then reads one file on a fresh simulated fs (both legs are
+/// worker-pool tasks), marking each completion; the node body runs in
+/// the read completion. Contents are verified round-trip.
+fn spawn_fs(cx: &mut Ctx<'_>, prog: &Rc<Prog>, c: u32) {
+    let fs = SimFs::new();
+    let p = prog.clone();
+    let path = format!("/n{c}");
+    let data = vec![c as u8; 3];
+    let fs_read = fs.clone();
+    let path_read = path.clone();
+    let expect = data.clone();
+    fs.write_file(cx, &path, data, move |cx, res| {
+        cx.touch_read(&Prog::client_marker("fs", c, "write"));
+        if res.is_err() {
+            cx.report_error("conform:fs", format!("node {c}: write failed: {res:?}"));
+            return;
+        }
+        fs_read.read_file(cx, &path_read, move |cx, res| {
+            cx.touch_read(&Prog::client_marker("fs", c, "read"));
+            if res.as_deref().ok() != Some(expect.as_slice()) {
+                cx.report_error("conform:fs", format!("node {c}: read mismatch: {res:?}"));
+            }
+            run_body(cx, &p, c);
+        });
+    });
 }
 
 /// Sets up an fd read chain: a watcher consuming `msgs` payloads FIFO

@@ -1,0 +1,103 @@
+//! The CI `apigraph-smoke` leg (ISSUE 10 satellite e).
+//!
+//! A fixed-seed batch of 200 API-graph programs through the full
+//! differential harness, plus the `nodefz-apicov-v1` schema and
+//! threshold check: the batch must exercise ≥90% of the enumerated API
+//! nodes and every combinator in `crates/rt/src/combinators.rs`. The
+//! broken-graph canary lives in `apigraph_props.rs` and runs in the same
+//! CI leg.
+
+use std::rc::Rc;
+
+use nodefz::Mode;
+use nodefz_rt::{LoopPool, Termination};
+
+use nodefz_conform::{differential, generate_api, run_logged, ApiCoverage, DiffConfig, OracleCtx};
+
+/// The fixed smoke seed family — referenced by `.github/workflows/ci.yml`.
+const SMOKE_BASE: u64 = 0x5EED_0000_0000_0002;
+
+#[test]
+fn smoke_200_api_graph_programs_differentially_clean() {
+    let pool = LoopPool::new();
+    let cfg = DiffConfig {
+        pool: Some(pool),
+        ..DiffConfig::default()
+    };
+    let mut failures = Vec::new();
+    for i in 0..200u64 {
+        let seed = SMOKE_BASE ^ i;
+        let prog = Rc::new(generate_api(seed));
+        if let Err(e) = differential(&prog, seed, &cfg) {
+            failures.push(format!("seed {seed}: {e}\nprogram:\n{prog}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of 200 API-graph smoke programs failed:\n{}",
+        failures.len(),
+        failures.join("\n---\n")
+    );
+}
+
+#[test]
+fn smoke_batch_meets_the_apicov_thresholds() {
+    let mut cov = ApiCoverage::default();
+    for i in 0..200u64 {
+        let seed = SMOKE_BASE ^ i;
+        let prog = Rc::new(generate_api(seed));
+        let (report, log) = run_logged(&prog, seed, Mode::Vanilla, &None);
+        let completed = matches!(report.termination, Termination::Quiescent);
+        cov.record(
+            &prog,
+            &log,
+            &OracleCtx {
+                demux: false,
+                completed,
+            },
+        );
+    }
+    let snap = cov.snapshot();
+    assert_eq!(snap.programs, 200);
+    // Acceptance: ≥90% of the enumerated API nodes.
+    assert!(
+        snap.nodes_covered * 10 >= snap.nodes_total * 9,
+        "batch covered {}/{} API nodes (<90%); missing: {:?}",
+        snap.nodes_covered,
+        snap.nodes_total,
+        snap.missing_nodes
+    );
+    // Acceptance: every combinator in crates/rt/src/combinators.rs.
+    for call in [
+        "Barrier::new",
+        "Barrier::arrive",
+        "Barrier::remaining",
+        "rt::series",
+        "SeriesNext::call",
+        "Emitter::new",
+        "Emitter::on",
+        "Emitter::once",
+        "Emitter::remove_listener",
+        "Emitter::listener_count",
+        "Emitter::emit",
+    ] {
+        assert!(
+            snap.nodes.iter().any(|n| n == call),
+            "combinator {call} never exercised by the smoke batch"
+        );
+    }
+    // Schema: the serialised document is a nodefz-apicov-v1 object with
+    // every counter section present.
+    let json = snap.to_json();
+    for key in [
+        "\"schema\":\"nodefz-apicov-v1\"",
+        "\"programs\":200",
+        "\"nodes\":{\"covered\":",
+        "\"edges\":{\"covered\":",
+        "\"rules\":{\"covered\":",
+        "\"phases\":{\"covered\":",
+        "\"op_pairs\":",
+    ] {
+        assert!(json.contains(key), "apicov document missing {key}: {json}");
+    }
+}

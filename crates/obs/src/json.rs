@@ -130,6 +130,16 @@ impl JsonWriter {
         self.out.push_str("null");
     }
 
+    /// Embeds a pre-serialized JSON value verbatim, as a field value or
+    /// array element. The caller guarantees `json` is one complete JSON
+    /// value; the writer only handles comma placement around it. This is
+    /// how one document (e.g. `nodefz-apicov-v1`) nests inside another
+    /// without re-walking its structure.
+    pub fn raw(&mut self, json: &str) {
+        self.before_value();
+        self.out.push_str(json.trim());
+    }
+
     /// `key` + [`str`](JsonWriter::str).
     pub fn field_str(&mut self, name: &str, v: &str) {
         self.key(name);
@@ -231,6 +241,21 @@ mod tests {
         w.null();
         w.end_object();
         assert_eq!(w.finish(), r#"{"a": [], "b": {}, "c": null}"#);
+    }
+
+    #[test]
+    fn raw_embeds_a_value_with_sibling_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("n", 1);
+        w.key("inner");
+        w.raw(r#"{"schema":"nodefz-apicov-v1","programs":3}"#);
+        w.field_bool("done", true);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"n": 1, "inner": {"schema":"nodefz-apicov-v1","programs":3}, "done": true}"#
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ const USAGE: &str = "usage: campaign [options]
        campaign explain REPRO [options]
        campaign sa [--apps LIST] [--conform N] [--family F] [--out PATH]
                    [--soundness] [--gated] [--tripwire N] [--canary]
+                   [--apicov PATH]
        campaign lint [--apps LIST]
   --threads N        worker threads (default 4)
   --budget N         total fuzz runs (default 400)
@@ -50,8 +51,12 @@ const USAGE: &str = "usage: campaign [options]
                      the targeted apps instead of the human listing
   --directed         add a race-directed bandit arm per app, fed by
                      happens-before analysis of one recorded run
-  --conform          add the CONFORM arm: generated event-driven programs
-                     judged against the runtime's ordering oracle
+  --conform          add the CONFORM and CONFORM-API arms: generated
+                     event-driven programs (independent sampling and
+                     API-graph traversal) judged against the runtime's
+                     ordering oracle; campaigns that pull CONFORM-API
+                     embed a nodefz-apicov-v1 coverage block in the final
+                     metrics snapshot
   --prune            classify every run into its happens-before
                      equivalence class online and report pruning counters
                      (distinct/redundant and redundancy ratio) in metrics
@@ -118,7 +123,11 @@ campaign sa — static race prediction without executing a schedule
                      soundness/gated/canary sweeps default to 200 when
                      this is unset)
   --family F         conform seed family for --conform and the sweeps
-                     (default 0, the CI smoke family)
+                     (default 0, the CI smoke family; 3 is the API-graph
+                     family)
+  --apicov PATH      run the family's first N programs (N as for the
+                     sweeps) under vanilla scheduling and write their
+                     nodefz-apicov-v1 API-coverage document to PATH
   --out PATH         where to write the nodefz-sa-v1 report
                      (default SA_report.json)
   --soundness        run the dynamic soundness gate over the conform
@@ -574,6 +583,7 @@ fn run_analyze(cfg: &CampaignConfig, opts: &AnalyzeOpts) -> ExitCode {
             pruning: None,
             prune_health: None,
             sa: Some(report.sa),
+            apicov: None,
         };
         if let Err(e) = nodefz_obs::write_atomic(path, &snapshot.to_json()) {
             eprintln!("campaign: cannot write {}: {e}", path.display());
@@ -874,6 +884,9 @@ struct SaOpts {
     gated: bool,
     tripwire: u64,
     canary: bool,
+    /// Where to write the family's `nodefz-apicov-v1` coverage document,
+    /// if requested.
+    apicov: Option<String>,
 }
 
 impl Default for SaOpts {
@@ -887,6 +900,7 @@ impl Default for SaOpts {
             gated: false,
             tripwire: 8,
             canary: false,
+            apicov: None,
         }
     }
 }
@@ -912,6 +926,7 @@ fn parse_sa_args(args: &[String]) -> Result<SaOpts, String> {
             "--gated" => opts.gated = true,
             "--tripwire" => opts.tripwire = num("--tripwire", value("--tripwire")?)?,
             "--canary" => opts.canary = true,
+            "--apicov" => opts.apicov = Some(value("--apicov")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("sa: unknown argument '{other}'\n{USAGE}")),
         }
@@ -970,7 +985,7 @@ fn run_sa(args: &[String]) -> ExitCode {
         let mut candidates = 0usize;
         for i in 0..opts.conform {
             let seed = nodefz_sa::family_seed(opts.family, i);
-            let prog = std::rc::Rc::new(nodefz_conform::generate(seed));
+            let prog = std::rc::Rc::new(nodefz_conform::generate_family(opts.family, seed));
             let pm = nodefz_sa::model_of_prog(&prog, &format!("conform-{seed:016x}"));
             let analysis = nodefz_sa::analyze_model(pm.model);
             race_free += u64::from(analysis.candidates.is_empty());
@@ -995,6 +1010,46 @@ fn run_sa(args: &[String]) -> ExitCode {
         analyses.iter().map(|a| a.lints.len()).sum::<usize>(),
         opts.out,
     );
+
+    if let Some(path) = &opts.apicov {
+        // Coverage accounting over the same seed stream the sweeps walk:
+        // run each program once under vanilla scheduling and fold it into
+        // one `nodefz-apicov-v1` document.
+        let mut cov = nodefz_conform::ApiCoverage::default();
+        for i in 0..sweep_count {
+            let seed = nodefz_sa::family_seed(opts.family, i);
+            let prog = std::rc::Rc::new(nodefz_conform::generate_family(opts.family, seed));
+            let (report, log) =
+                nodefz_conform::run_logged(&prog, seed, nodefz_conform::Mode::Vanilla, &pool);
+            let completed = matches!(report.termination, nodefz_rt::Termination::Quiescent);
+            cov.record(
+                &prog,
+                &log,
+                &nodefz_conform::OracleCtx {
+                    demux: false,
+                    completed,
+                },
+            );
+        }
+        let snap = cov.snapshot();
+        if let Err(e) =
+            nodefz_obs::write_atomic(std::path::Path::new(path), &format!("{}\n", snap.to_json()))
+        {
+            eprintln!("campaign: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "apicov: {} program(s) of family {}: {}/{} nodes, {}/{} edges, {}/{} rules; wrote {path}",
+            snap.programs,
+            opts.family,
+            snap.nodes_covered,
+            snap.nodes_total,
+            snap.edges_covered,
+            snap.edges_total,
+            snap.rules_covered,
+            snap.rules_total,
+        );
+    }
 
     if opts.soundness {
         let stats = match nodefz_sa::sweep_family(opts.family, sweep_count, &pool) {
@@ -1046,7 +1101,7 @@ fn run_sa(args: &[String]) -> ExitCode {
         let mut tripped = false;
         for i in 0..sweep_count {
             let seed = nodefz_sa::family_seed(opts.family, i);
-            let prog = std::rc::Rc::new(nodefz_conform::generate(seed));
+            let prog = std::rc::Rc::new(nodefz_conform::generate_family(opts.family, seed));
             match nodefz_sa::check_prog(&prog, seed, &pool, true) {
                 Ok(check) if !check.missing.is_empty() => {
                     println!(
@@ -1160,8 +1215,12 @@ fn main() -> ExitCode {
     if cfg.apps.is_empty() {
         cfg.apps = default_apps();
     }
-    if alt.conform && !cfg.apps.iter().any(|a| a.eq_ignore_ascii_case("CONFORM")) {
-        cfg.apps.push("CONFORM".into());
+    if alt.conform {
+        for abbr in [nodefz_conform::ABBR, nodefz_conform::API_ABBR] {
+            if !cfg.apps.iter().any(|a| a.eq_ignore_ascii_case(abbr)) {
+                cfg.apps.push(abbr.into());
+            }
+        }
     }
     if alt.list {
         if alt.list_json {
@@ -1182,6 +1241,8 @@ fn main() -> ExitCode {
             "{:<4} {:<16} {}",
             conform.abbr, "conformance arm", conform.bug_ref
         );
+        let api = nodefz_conform::api_bug_case().info();
+        println!("{:<4} {:<16} {}", api.abbr, "API-graph arm", api.bug_ref);
         return ExitCode::SUCCESS;
     }
     if let Some(opts) = &alt.bench {

@@ -50,11 +50,13 @@ fn list_json_emits_a_parseable_arm_space() {
     );
     let arms = nodefz_campaign::arms_from_json(&stdout(&out)).unwrap();
     let labels: Vec<String> = arms.iter().map(|a| a.label()).collect();
-    // 3 fuzz presets + 1 directed arm per studied app, 3 conform arms.
-    assert_eq!(arms.len(), 4 + 4 + 3, "{labels:?}");
+    // 3 fuzz presets + 1 directed arm per studied app, 3 conform arms
+    // for each of the two conform pseudo-apps (--conform adds both).
+    assert_eq!(arms.len(), 4 + 4 + 3 + 3, "{labels:?}");
     assert!(labels.contains(&"KUE/standard/fuzz".to_string()));
     assert!(labels.contains(&"GHO/directed/directed".to_string()));
     assert!(labels.contains(&"CONFORM/guided/conform".to_string()));
+    assert!(labels.contains(&"CONFORM-API/guided/conform".to_string()));
 }
 
 #[test]

@@ -36,6 +36,15 @@ fn kind_of(op: Op) -> AtomKind {
         Op::Close => AtomKind::Close,
         Op::Pool { .. } => AtomKind::Pool,
         Op::FdChain { .. } => AtomKind::Fd,
+        // Interval, barrier, and series bodies all run inside a timer
+        // dispatch (last tick / last arrival / last step hop), and the
+        // runtime chains every timer dispatch into a per-run total
+        // order, so Timer is the faithful — and MHP-precise — kind.
+        Op::Interval { .. } | Op::Barrier { .. } | Op::Series { .. } => AtomKind::Timer,
+        // An emitter body runs in the `setImmediate` that emits.
+        Op::Emitter { .. } => AtomKind::Immediate,
+        Op::Kv => AtomKind::Kv,
+        Op::Fs => AtomKind::Fs,
     }
 }
 
@@ -49,6 +58,12 @@ fn op_label(id: usize, op: Op) -> String {
         Op::Close => "close",
         Op::Pool { .. } => "pool",
         Op::FdChain { .. } => "fdchain",
+        Op::Interval { .. } => "interval",
+        Op::Barrier { .. } => "barrier",
+        Op::Series { .. } => "series",
+        Op::Emitter { .. } => "emitter",
+        Op::Kv => "kv",
+        Op::Fs => "fs",
     };
     format!("n{id}:{name}")
 }
@@ -137,12 +152,14 @@ mod tests {
     #[test]
     fn models_of_generated_programs_validate() {
         for seed in 0..50 {
-            let prog = nodefz_conform::generate(seed);
-            let pm = model_of_prog(&prog, "gen");
-            pm.model
-                .validate()
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-            assert_eq!(pm.atom_of_node.len(), prog.nodes.len());
+            for family in [0, nodefz_conform::API_FAMILY] {
+                let prog = nodefz_conform::generate_family(family, seed);
+                let pm = model_of_prog(&prog, "gen");
+                pm.model
+                    .validate()
+                    .unwrap_or_else(|e| panic!("family {family} seed {seed}: {e}"));
+                assert_eq!(pm.atom_of_node.len(), prog.nodes.len());
+            }
         }
     }
 }

@@ -15,7 +15,7 @@
 use std::rc::Rc;
 
 use nodefz::Mode;
-use nodefz_conform::{differential, generate, run_logged, DiffConfig, Prog};
+use nodefz_conform::{differential, generate_family, run_logged, DiffConfig, Prog};
 use nodefz_hb::races_with_cuts;
 use nodefz_rt::{EventLog, LoopPool, Termination};
 
@@ -193,7 +193,7 @@ pub fn sweep_family(
     let mut stats = SweepStats::default();
     for i in 0..count {
         let seed = family_seed(family, i);
-        let prog = Rc::new(generate(seed));
+        let prog = Rc::new(generate_family(family, seed));
         let check =
             check_prog(&prog, seed, pool, false).map_err(|e| format!("seed {seed}: {e}"))?;
         stats.programs += 1;
@@ -245,7 +245,7 @@ pub fn static_gated_sweep(
     let mut stats = GatedStats::default();
     for i in 0..count {
         let seed = family_seed(family, i);
-        let prog = Rc::new(generate(seed));
+        let prog = Rc::new(generate_family(family, seed));
         let pm = model_of_prog(&prog, "prog");
         let idx = MhpIndex::build(&pm.model);
         let race_free = candidates(&pm.model, &idx).is_empty();
@@ -294,6 +294,18 @@ mod tests {
         assert!(stats.dynamic > 0, "sweep too weak to test soundness");
         assert_eq!(stats.metrics.models, 40);
         assert!(stats.metrics.candidates >= stats.metrics.confirmed);
+    }
+
+    #[test]
+    fn an_api_family_prefix_is_sound() {
+        // The API-graph family routes through the graph-traversal
+        // generator; the gate must hold over combinator and client
+        // bodies exactly as it does over the original op mix.
+        let api = nodefz_conform::API_FAMILY;
+        let stats = sweep_family(api, 40, &Some(LoopPool::new())).expect("runs clean");
+        assert_eq!(stats.programs, 40);
+        assert!(stats.missing.is_empty(), "misses: {:#?}", stats.missing);
+        assert!(stats.dynamic > 0, "sweep too weak to test soundness");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use nodefz_check::forall;
-use nodefz_conform::generate;
+use nodefz_conform::{generate, generate_api};
 use nodefz_rt::LoopPool;
 use nodefz_sa::check_prog;
 
@@ -37,6 +37,32 @@ fn static_candidates_cover_dynamic_predictions_on_fresh_programs() {
         dynamic.get()
     );
     assert!(candidates.get() >= dynamic.get());
+}
+
+#[test]
+fn static_candidates_cover_dynamic_predictions_on_api_graph_programs() {
+    // Same containment property over the API-graph generator: the new
+    // op family (intervals, barriers, series, emitters, kv/fs clients)
+    // must stay inside the analyzer's static cover.
+    let pool = Some(LoopPool::new());
+    let dynamic = Cell::new(0u64);
+    forall("sa_soundness_apigraph", 300, |g| {
+        let seed = g.u64();
+        let prog = Rc::new(generate_api(seed));
+        let check = check_prog(&prog, seed, &pool, false)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\nprogram:\n{prog}"));
+        assert!(
+            check.missing.is_empty(),
+            "seed {seed}: uncovered dynamic prediction(s): {:#?}\nprogram:\n{prog}",
+            check.missing
+        );
+        dynamic.set(dynamic.get() + check.dynamic as u64);
+    });
+    assert!(
+        dynamic.get() > 30,
+        "only {} dynamic races across 300 API-graph programs — too weak to trust",
+        dynamic.get()
+    );
 }
 
 #[test]

@@ -1,7 +1,8 @@
-//! The acceptance sweep: the full conform corpus — three seed families
-//! × 500 generated programs, the exact seeds of the differential
-//! acceptance run — goes through the soundness gate with **zero**
-//! dynamically-predicted races missing a static cover.
+//! The acceptance sweep: the full conform corpus — three independent-
+//! sampling seed families plus the API-graph family, × 500 generated
+//! programs each, the exact seeds of the differential acceptance run —
+//! goes through the soundness gate with **zero** dynamically-predicted
+//! races missing a static cover.
 
 use nodefz_rt::LoopPool;
 use nodefz_sa::sweep_family;
@@ -13,7 +14,7 @@ fn soundness_holds_over_the_full_conform_corpus() {
     let mut race_free = 0u64;
     let mut dynamic = 0u64;
     let mut metrics = nodefz_sa::SaMetrics::default();
-    for family in 0..3u64 {
+    for family in 0..4u64 {
         let stats =
             sweep_family(family, 500, &pool).unwrap_or_else(|e| panic!("family {family}: {e}"));
         assert!(
@@ -42,7 +43,7 @@ fn soundness_holds_over_the_full_conform_corpus() {
         metrics.confirmed_ov,
         metrics.confirmed_cov,
     );
-    assert_eq!(programs, 1500);
+    assert_eq!(programs, 2000);
     assert!(dynamic > 500, "sweep too weak: {dynamic} dynamic races");
     assert!(
         race_free > 0,
